@@ -1,0 +1,188 @@
+//! # alloc-atomic — the `Atomic` baseline
+//!
+//! "We use as a baseline a simple memory manager built on atomics on a shared
+//! offset (referred to as *Atomic*), but this is no true memory manager due
+//! to the lack of deallocation." (paper §4)
+//!
+//! One `fetch_add` on a shared bump offset per allocation; `free` is
+//! rejected. This is the fastest possible device-side allocation and anchors
+//! the top of every performance plot, as well as the theoretical baseline of
+//! the fragmentation test case (Fig. 11a): its address range is exactly the
+//! aligned demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gpumem_core::util::align_up;
+use gpumem_core::{
+    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
+    ThreadCtx,
+};
+
+/// Alignment of returned pointers — 16 B, the framework-wide expectation.
+pub const ALIGNMENT: u64 = 16;
+
+/// The shared-offset bump allocator.
+pub struct AtomicAlloc {
+    heap: Arc<DeviceHeap>,
+    offset: AtomicU64,
+}
+
+/// Locals live in `malloc` (register proxy; see `gpumem_core::regs`).
+#[repr(C)]
+struct MallocFrame {
+    size: u64,
+    aligned: u64,
+    offset: u64,
+    end: u64,
+}
+
+impl AtomicAlloc {
+    /// Creates a baseline manager over the whole `heap`.
+    pub fn new(heap: Arc<DeviceHeap>) -> Self {
+        AtomicAlloc { heap, offset: AtomicU64::new(0) }
+    }
+
+    /// Convenience constructor: makes its own heap of `len` bytes.
+    pub fn with_capacity(len: u64) -> Self {
+        Self::new(Arc::new(DeviceHeap::new(len)))
+    }
+
+    /// Bytes handed out so far (aligned).
+    pub fn used(&self) -> u64 {
+        self.offset.load(Ordering::Relaxed).min(self.heap.len())
+    }
+}
+
+impl DeviceAllocator for AtomicAlloc {
+    fn info(&self) -> ManagerInfo {
+        ManagerInfo {
+            family: "Atomic",
+            variant: "",
+            supports_free: false,
+            warp_level_only: false,
+            resizable: false,
+            alignment: ALIGNMENT,
+            max_native_size: u64::MAX,
+            relays_large_to_cuda: false,
+        }
+    }
+
+    fn heap(&self) -> &DeviceHeap {
+        &self.heap
+    }
+
+    fn malloc(&self, _ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        if size == 0 {
+            return Err(AllocError::UnsupportedSize(0));
+        }
+        let aligned = align_up(size, ALIGNMENT);
+        let offset = self.offset.fetch_add(aligned, Ordering::Relaxed);
+        if offset + aligned > self.heap.len() {
+            // NOTE: like the original baseline, the offset is not rolled
+            // back — once exhausted, the manager stays exhausted.
+            return Err(AllocError::OutOfMemory(size));
+        }
+        Ok(DevicePtr::new(offset))
+    }
+
+    fn free(&self, _ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+        Err(AllocError::Unsupported("Atomic baseline has no deallocation"))
+    }
+
+    fn register_footprint(&self) -> RegisterFootprint {
+        RegisterFootprint::from_frames(std::mem::size_of::<MallocFrame>(), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_core::WarpCtx;
+
+    fn alloc() -> AtomicAlloc {
+        AtomicAlloc::with_capacity(1 << 16)
+    }
+
+    #[test]
+    fn sequential_bump() {
+        let a = alloc();
+        let ctx = ThreadCtx::host();
+        let p0 = a.malloc(&ctx, 10).unwrap();
+        let p1 = a.malloc(&ctx, 10).unwrap();
+        assert_eq!(p0.offset(), 0);
+        assert_eq!(p1.offset(), 16); // aligned to 16
+        assert_eq!(a.used(), 32);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let a = alloc();
+        assert_eq!(a.malloc(&ThreadCtx::host(), 0), Err(AllocError::UnsupportedSize(0)));
+    }
+
+    #[test]
+    fn free_unsupported() {
+        let a = alloc();
+        let p = a.malloc(&ThreadCtx::host(), 8).unwrap();
+        assert!(matches!(a.free(&ThreadCtx::host(), p), Err(AllocError::Unsupported(_))));
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let a = AtomicAlloc::with_capacity(128);
+        let ctx = ThreadCtx::host();
+        assert!(a.malloc(&ctx, 64).is_ok());
+        assert!(a.malloc(&ctx, 64).is_ok());
+        assert_eq!(a.malloc(&ctx, 16), Err(AllocError::OutOfMemory(16)));
+    }
+
+    #[test]
+    fn warp_malloc_default_path() {
+        let a = alloc();
+        let w = WarpCtx { warp: 0, block: 0, sm: 0 };
+        let mut out = [DevicePtr::NULL; 32];
+        a.malloc_warp(&w, &[32; 32], &mut out).unwrap();
+        for (i, p) in out.iter().enumerate() {
+            assert_eq!(p.offset(), i as u64 * 32);
+        }
+    }
+
+    #[test]
+    fn concurrent_allocations_never_overlap() {
+        let a = Arc::new(AtomicAlloc::with_capacity(1 << 22));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                let mut ptrs = Vec::new();
+                for i in 0..1000u32 {
+                    let ctx = ThreadCtx::from_linear(t * 1000 + i, 256, 80);
+                    ptrs.push(a.malloc(&ctx, 48).unwrap().offset());
+                }
+                ptrs
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] >= 48, "overlap: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn info_flags() {
+        let a = alloc();
+        let info = a.info();
+        assert_eq!(info.label(), "Atomic");
+        assert!(!info.supports_free);
+        assert_eq!(info.alignment, 16);
+    }
+
+    #[test]
+    fn register_footprint_is_small() {
+        let fp = alloc().register_footprint();
+        assert!(fp.malloc <= 10, "baseline should be near-free: {fp}");
+        assert_eq!(fp.free, 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Slab state and the bitmap-probe allocation core of Halloc.
+//!
+//! "The core of Halloc is a bitmap heap with one bit for each block that can
+//! be allocated from the system. To allocate a free block, a hash function
+//! is used to traverse the corresponding bitmap. This visits all blocks and
+//! is fast and scalable, as long as <85 % of the blocks are allocated."
+//! (paper §2.7)
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Slab `class` metadata value: unassigned.
+pub const CLASS_FREE: u32 = u32::MAX;
+/// Slab `count` sentinel while a slab is being returned to the free state.
+pub const COUNT_LOCK: u32 = 0x4000_0000;
+
+/// Primes used for the probe step, from Figure 5 ("s is prime (7, 11, 13) —
+/// reduces collisions; in practice faster than linear hashing").
+pub const STEP_PRIMES: [u64; 3] = [7, 11, 13];
+
+/// One slab's side metadata.
+pub struct Slab {
+    /// Size-class index serving this slab, or [`CLASS_FREE`].
+    pub class: AtomicU32,
+    /// Allocated blocks (with [`COUNT_LOCK`] as the reset sentinel).
+    pub count: AtomicU32,
+    /// Bitmap over blocks; sized for the smallest class so any assignment
+    /// fits. One bit per block.
+    pub bitmap: Box<[AtomicU32]>,
+}
+
+impl Slab {
+    /// Creates an unassigned slab able to track up to `max_blocks` blocks.
+    pub fn new(max_blocks: u32) -> Self {
+        let words = max_blocks.div_ceil(32) as usize;
+        Slab {
+            class: AtomicU32::new(CLASS_FREE),
+            count: AtomicU32::new(0),
+            bitmap: (0..words).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Attempts to claim this free slab for `class_idx`; winner initialises
+    /// the bitmap's invalid tail bits for `blocks` blocks.
+    pub fn try_assign(&self, class_idx: u32, blocks: u32) -> bool {
+        if self
+            .class
+            .compare_exchange(CLASS_FREE, class_idx | 0x8000_0000, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        let words = blocks.div_ceil(32) as usize;
+        for (w, word) in self.bitmap.iter().enumerate() {
+            if w + 1 < words {
+                word.store(0, Ordering::Relaxed);
+            } else if w + 1 == words {
+                let tail = blocks - (w as u32) * 32;
+                let valid = if tail >= 32 { u32::MAX } else { (1u32 << tail) - 1 };
+                word.store(!valid, Ordering::Relaxed);
+            } else {
+                word.store(u32::MAX, Ordering::Relaxed);
+            }
+        }
+        // Publish: drop the setup flag.
+        self.class.store(class_idx, Ordering::Release);
+        true
+    }
+
+    /// Reserves one block slot; `false` when the slab is full (or locked).
+    pub fn reserve(&self, blocks: u32) -> bool {
+        self.reserve_many(blocks, 1) == 1
+    }
+
+    /// Reserves up to `want` slots at once (warp-aggregated counter update:
+    /// "only the leader increments and broadcasts the results… up to 32×
+    /// less atomics"). Returns how many were granted.
+    pub fn reserve_many(&self, blocks: u32, want: u32) -> u32 {
+        let mut cur = self.count.load(Ordering::Acquire);
+        loop {
+            if cur >= blocks {
+                return 0; // full or locked
+            }
+            let granted = want.min(blocks - cur);
+            match self.count.compare_exchange_weak(
+                cur,
+                cur + granted,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return granted,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Gives back `n` reserved-but-unused slots.
+    pub fn unreserve(&self, n: u32) {
+        self.count.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    /// Finds and claims a free bit using the hashed traversal of Figure 5.
+    /// The caller must hold a reservation. Returns the block index.
+    pub fn claim_bit(&self, blocks: u32, hash: u64) -> Option<u32> {
+        let n_words = blocks.div_ceil(32) as u64;
+        let start = hash % n_words;
+        let step = STEP_PRIMES[(hash >> 32) as usize % STEP_PRIMES.len()];
+        // Hashed sweep, then one deterministic linear sweep as backstop.
+        for i in 0..n_words * 2 {
+            let w = if i < n_words {
+                ((start + i * step) % n_words) as usize
+            } else {
+                (i - n_words) as usize
+            };
+            let word = &self.bitmap[w];
+            loop {
+                let v = word.load(Ordering::Acquire);
+                let free = !v;
+                if free == 0 {
+                    break;
+                }
+                let bit = free.trailing_zeros();
+                if word.fetch_or(1 << bit, Ordering::AcqRel) & (1 << bit) == 0 {
+                    return Some(w as u32 * 32 + bit);
+                }
+            }
+        }
+        None
+    }
+
+    /// Clears a block bit; `Err` on double free. Returns the previous count.
+    pub fn release_bit(&self, block: u32) -> Result<u32, ()> {
+        let w = (block / 32) as usize;
+        let bit = block % 32;
+        let prev = self.bitmap[w].fetch_and(!(1 << bit), Ordering::AcqRel);
+        if prev & (1 << bit) == 0 {
+            return Err(());
+        }
+        Ok(self.count.fetch_sub(1, Ordering::AcqRel))
+    }
+
+    /// Fill ratio in percent (0-100) for `blocks` capacity.
+    pub fn fill_pct(&self, blocks: u32) -> u32 {
+        let c = self.count.load(Ordering::Relaxed);
+        if c >= COUNT_LOCK || blocks == 0 {
+            return 100;
+        }
+        c * 100 / blocks
+    }
+
+    /// Attempts to return an empty slab to the free pool ("marking a slab
+    /// as free, which takes more time").
+    pub fn try_free(&self) -> bool {
+        if self
+            .count
+            .compare_exchange(0, COUNT_LOCK, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        self.class.store(CLASS_FREE, Ordering::Release);
+        self.count.store(0, Ordering::Release);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_initialises_valid_bits() {
+        let s = Slab::new(128);
+        assert!(s.try_assign(3, 50));
+        assert!(!s.try_assign(4, 50), "already assigned");
+        assert_eq!(s.class.load(Ordering::Relaxed), 3);
+        // Words: 50 bits valid → word0 all valid, word1 has 18 valid bits.
+        assert_eq!(s.bitmap[0].load(Ordering::Relaxed), 0);
+        assert_eq!(s.bitmap[1].load(Ordering::Relaxed), !((1u32 << 18) - 1));
+        assert_eq!(s.bitmap[2].load(Ordering::Relaxed), u32::MAX);
+    }
+
+    #[test]
+    fn reserve_caps_at_capacity() {
+        let s = Slab::new(64);
+        s.try_assign(0, 10);
+        assert_eq!(s.reserve_many(10, 8), 8);
+        assert_eq!(s.reserve_many(10, 8), 2, "only 2 left");
+        assert!(!s.reserve(10));
+        s.unreserve(5);
+        assert!(s.reserve(10));
+    }
+
+    #[test]
+    fn claim_release_roundtrip() {
+        let s = Slab::new(64);
+        s.try_assign(0, 40);
+        assert!(s.reserve(40));
+        let b = s.claim_bit(40, 12345).unwrap();
+        assert!(b < 40);
+        assert_eq!(s.release_bit(b).unwrap(), 1);
+        assert!(s.release_bit(b).is_err(), "double free detected");
+    }
+
+    #[test]
+    fn claims_are_unique_until_full() {
+        let s = Slab::new(64);
+        s.try_assign(0, 40);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..40u64 {
+            assert!(s.reserve(40));
+            let b = s.claim_bit(40, i * 0x9e3779b9).unwrap();
+            assert!(seen.insert(b), "duplicate block {b}");
+        }
+        assert!(!s.reserve(40));
+    }
+
+    #[test]
+    fn fill_and_free_lifecycle() {
+        let s = Slab::new(64);
+        s.try_assign(7, 8);
+        assert_eq!(s.fill_pct(8), 0);
+        s.reserve(8);
+        let b = s.claim_bit(8, 0).unwrap();
+        assert_eq!(s.fill_pct(8), 12);
+        assert!(!s.try_free(), "non-empty slab stays");
+        s.release_bit(b).unwrap();
+        assert!(s.try_free());
+        assert_eq!(s.class.load(Ordering::Relaxed), CLASS_FREE);
+        assert!(s.try_assign(1, 60), "freed slab is reassignable");
+    }
+
+    #[test]
+    fn hashed_probe_covers_all_words() {
+        // Even with an adversarial hash the linear backstop finds the last
+        // free bit.
+        let s = Slab::new(96);
+        s.try_assign(0, 96);
+        for _ in 0..95 {
+            s.reserve(96);
+            s.claim_bit(96, 0).unwrap();
+        }
+        s.reserve(96);
+        assert!(s.claim_bit(96, u64::MAX - 1).is_some(), "one bit left, must be found");
+    }
+
+    #[test]
+    fn concurrent_claims_unique() {
+        let s = std::sync::Arc::new(Slab::new(1024));
+        s.try_assign(0, 1024);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for i in 0..256u64 {
+                    if s.reserve(1024) {
+                        got.push(s.claim_bit(1024, t * 777 + i).unwrap());
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert_eq!(n, 1024);
+    }
+}

@@ -1,0 +1,281 @@
+//! The chunk pool: Ouroboros' bottom layer.
+//!
+//! "The manageable memory area is split into equally-sized chunks (per
+//! default this is 8 KiB)" (paper §2.10). Chunks are handed out from a bump
+//! frontier and — crucially for the chunk-based variants and for queue
+//! virtualization — can be returned and reused for *any* purpose via a
+//! lock-free Treiber stack.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Chunk size in bytes (the paper's default).
+pub const CHUNK_BYTES: u64 = 8192;
+/// Maximum pages per chunk (smallest page size 16 B).
+pub const MAX_PAGES: u32 = (CHUNK_BYTES / 16) as u32;
+/// Chunk `class` metadata: not assigned to any page size.
+pub const CLASS_NONE: u32 = u32::MAX;
+/// Chunk `class` metadata: used as virtualized-queue storage.
+pub const CLASS_QUEUE: u32 = u32::MAX - 1;
+/// `free_pages` sentinel while a chunk is being reclaimed.
+pub const COUNT_LOCK: u32 = 0x4000_0000;
+
+const NO_CHUNK: u32 = u32::MAX;
+
+/// Per-chunk metadata (side arrays, mirroring the original's chunk index).
+pub struct ChunkMeta {
+    /// Page-size class index served by this chunk (`CLASS_*` sentinels).
+    pub class: AtomicU32,
+    /// Free pages remaining (chunk-based variants; [`COUNT_LOCK`] while
+    /// reclaiming).
+    pub free_pages: AtomicU32,
+    /// Page usage bits (1 = allocated); 512 bits cover the smallest pages.
+    pub bits: [AtomicU32; (MAX_PAGES / 32) as usize],
+    /// Treiber-stack link for the reuse stack.
+    next: AtomicU32,
+}
+
+impl ChunkMeta {
+    fn new() -> Self {
+        ChunkMeta {
+            class: AtomicU32::new(CLASS_NONE),
+            free_pages: AtomicU32::new(0),
+            bits: std::array::from_fn(|_| AtomicU32::new(0)),
+            next: AtomicU32::new(NO_CHUNK),
+        }
+    }
+
+    /// Marks page `slot` allocated; `false` if it already was (double
+    /// allocation — indicates a stale queue entry).
+    pub fn set_used(&self, slot: u32) -> bool {
+        let w = (slot / 32) as usize;
+        self.bits[w].fetch_or(1 << (slot % 32), Ordering::AcqRel) & (1 << (slot % 32)) == 0
+    }
+
+    /// Clears page `slot`; `false` on double free.
+    pub fn clear_used(&self, slot: u32) -> bool {
+        let w = (slot / 32) as usize;
+        self.bits[w].fetch_and(!(1 << (slot % 32)), Ordering::AcqRel) & (1 << (slot % 32))
+            != 0
+    }
+
+    /// Resets all usage bits (reclaim path; caller holds the lock sentinel).
+    pub fn reset_bits(&self) {
+        for b in &self.bits {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The pool of 8 KiB chunks covering `[0, chunks·8 KiB)` of the heap.
+pub struct ChunkPool {
+    chunks: u32,
+    /// Chunks currently manageable; grows at runtime up to `chunks`
+    /// (Ouroboros is one of the two resizable managers in the survey, §6).
+    active: AtomicU32,
+    frontier: AtomicU32,
+    /// Treiber stack head: `(tag << 32) | chunk_idx` to defeat ABA.
+    reuse_head: AtomicU64,
+    meta: Box<[ChunkMeta]>,
+}
+
+impl ChunkPool {
+    /// A pool of `chunks` chunks, all immediately manageable.
+    pub fn new(chunks: u32) -> Self {
+        Self::with_initial(chunks, chunks)
+    }
+
+    /// A pool of `chunks` chunks of which only `initial` are manageable
+    /// until [`ChunkPool::grow`] releases more.
+    pub fn with_initial(chunks: u32, initial: u32) -> Self {
+        assert!(chunks >= 1);
+        let initial = initial.clamp(1, chunks);
+        ChunkPool {
+            chunks,
+            active: AtomicU32::new(initial),
+            frontier: AtomicU32::new(0),
+            reuse_head: AtomicU64::new(u64::from(NO_CHUNK)),
+            meta: (0..chunks).map(|_| ChunkMeta::new()).collect(),
+        }
+    }
+
+    /// Total chunks currently manageable.
+    pub fn chunks(&self) -> u32 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Makes `add` more chunks manageable; returns how many were actually
+    /// added (0 when the backing heap is exhausted).
+    pub fn grow(&self, add: u32) -> u32 {
+        let mut cur = self.active.load(Ordering::Acquire);
+        loop {
+            if cur >= self.chunks {
+                return 0;
+            }
+            let new = cur.saturating_add(add).min(self.chunks);
+            match self.active.compare_exchange(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return new - cur,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Metadata of chunk `idx`.
+    pub fn meta(&self, idx: u32) -> &ChunkMeta {
+        &self.meta[idx as usize]
+    }
+
+    /// Byte offset of chunk `idx`.
+    pub fn chunk_base(&self, idx: u32) -> u64 {
+        idx as u64 * CHUNK_BYTES
+    }
+
+    /// Acquires a chunk: reuse stack first ("can efficiently reuse empty
+    /// chunks for all purposes"), then the bump frontier.
+    pub fn acquire(&self, class: u32) -> Option<u32> {
+        // Pop from the reuse stack.
+        let mut head = self.reuse_head.load(Ordering::Acquire);
+        loop {
+            let idx = head as u32;
+            if idx == NO_CHUNK {
+                break;
+            }
+            let next = self.meta[idx as usize].next.load(Ordering::Acquire);
+            let new_head = ((head >> 32).wrapping_add(1) << 32) | u64::from(next);
+            match self.reuse_head.compare_exchange_weak(
+                head,
+                new_head,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.meta[idx as usize].class.store(class, Ordering::Release);
+                    return Some(idx);
+                }
+                Err(actual) => head = actual,
+            }
+        }
+        // Bump a fresh chunk (bounded by the manageable prefix).
+        let idx = self.frontier.fetch_add(1, Ordering::AcqRel);
+        if idx >= self.active.load(Ordering::Acquire) {
+            self.frontier.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        self.meta[idx as usize].class.store(class, Ordering::Release);
+        Some(idx)
+    }
+
+    /// Returns a chunk for arbitrary reuse.
+    pub fn release(&self, idx: u32) {
+        let meta = &self.meta[idx as usize];
+        meta.class.store(CLASS_NONE, Ordering::Release);
+        let mut head = self.reuse_head.load(Ordering::Acquire);
+        loop {
+            meta.next.store(head as u32, Ordering::Release);
+            let new_head = ((head >> 32).wrapping_add(1) << 32) | u64::from(idx);
+            match self.reuse_head.compare_exchange_weak(
+                head,
+                new_head,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Chunks handed out so far minus those on the reuse stack (approx.).
+    pub fn allocated_chunks(&self) -> u32 {
+        self.frontier.load(Ordering::Relaxed).min(self.active.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_then_exhaust() {
+        let p = ChunkPool::new(3);
+        assert_eq!(p.acquire(0), Some(0));
+        assert_eq!(p.acquire(1), Some(1));
+        assert_eq!(p.acquire(2), Some(2));
+        assert_eq!(p.acquire(3), None);
+        assert_eq!(p.meta(1).class.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn release_enables_reuse_for_any_class() {
+        let p = ChunkPool::new(2);
+        let a = p.acquire(0).unwrap();
+        let _b = p.acquire(0).unwrap();
+        assert_eq!(p.acquire(0), None);
+        p.release(a);
+        assert_eq!(p.meta(a).class.load(Ordering::Relaxed), CLASS_NONE);
+        assert_eq!(p.acquire(5), Some(a), "reused chunk, new class");
+        assert_eq!(p.meta(a).class.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn reuse_stack_is_lifo() {
+        let p = ChunkPool::new(4);
+        for _ in 0..4 {
+            p.acquire(0);
+        }
+        p.release(1);
+        p.release(3);
+        assert_eq!(p.acquire(0), Some(3));
+        assert_eq!(p.acquire(0), Some(1));
+    }
+
+    #[test]
+    fn usage_bits_detect_double_ops() {
+        let p = ChunkPool::new(1);
+        let c = p.acquire(0).unwrap();
+        let m = p.meta(c);
+        assert!(m.set_used(7));
+        assert!(!m.set_used(7), "already used");
+        assert!(m.clear_used(7));
+        assert!(!m.clear_used(7), "double free");
+    }
+
+    #[test]
+    fn chunk_base_math() {
+        let p = ChunkPool::new(8);
+        assert_eq!(p.chunk_base(0), 0);
+        assert_eq!(p.chunk_base(3), 3 * 8192);
+    }
+
+    #[test]
+    fn concurrent_acquire_release_conserves_chunks() {
+        let p = std::sync::Arc::new(ChunkPool::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..5000 {
+                    if i % 3 != 2 {
+                        if let Some(c) = p.acquire(1) {
+                            held.push(c);
+                        }
+                    } else if let Some(c) = held.pop() {
+                        p.release(c);
+                    }
+                }
+                held
+            }));
+        }
+        let mut all: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "a chunk was handed out twice");
+        assert!(n <= 64);
+    }
+}

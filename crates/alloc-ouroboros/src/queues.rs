@@ -1,0 +1,580 @@
+//! The three queue designs of Ouroboros (paper §2.10, Figure 7).
+//!
+//! * [`StandardQueue`] (`Ouro-S-*`): a fixed-capacity lock-free ring. "Fast
+//!   and efficient", but "needs static space, which has to be large enough
+//!   to hold the largest expected number of free pages/chunks."
+//! * [`VirtArrayQueue`] (`Ouro-VA-*`): the *virtualized array-hierarchy
+//!   queue* — a small chunk-pointer array references the chunks currently
+//!   backing the queue; entries live in those chunks in device memory, and
+//!   storage chunks are acquired/released from the chunk pool as the
+//!   virtual front/back move.
+//! * [`VirtLinkedQueue`] (`Ouro-VL-*`): the *virtualized linked-chunk
+//!   queue* — no pointer array at all; storage chunks are linked through a
+//!   header word, giving an unlimited virtual queue size.
+//!
+//! The standard queue is a Vyukov-style ticket ring (the lock-free design
+//! the original uses). The two virtualized queues guard their multi-word
+//! front/back/storage state with a tiny spin lock: the original synchronises
+//! these transitions with a bespoke semaphore scheme; the lock preserves the
+//! ordering behaviour and the *two-tier cost* (every operation touches
+//! device memory, occasionally allocating or releasing a storage chunk),
+//! which is what the survey's measurements expose.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use gpumem_core::DeviceHeap;
+
+use crate::pool::{ChunkPool, CHUNK_BYTES, CLASS_QUEUE};
+
+/// Why an enqueue failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueError {
+    /// Fixed-capacity storage exhausted (standard / array-hierarchy).
+    Full,
+    /// The chunk pool could not supply a storage chunk (virtualized).
+    OutOfChunks,
+}
+
+/// A queue of `u32` indices (pages or chunks).
+pub trait IndexQueue: Send + Sync {
+    /// Creates a queue able to hold roughly `capacity_hint` entries (the
+    /// standard queue sizes its static storage from this; the virtualized
+    /// queues ignore it).
+    fn create(capacity_hint: u64) -> Self
+    where
+        Self: Sized;
+
+    /// Enqueues `v`.
+    fn enqueue(&self, pool: &ChunkPool, heap: &DeviceHeap, v: u32) -> Result<(), QueueError>;
+
+    /// Dequeues the oldest entry.
+    fn dequeue(&self, pool: &ChunkPool, heap: &DeviceHeap) -> Option<u32>;
+
+    /// Approximate occupancy.
+    fn len(&self) -> usize;
+
+    /// Whether the queue is (approximately) empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Variant tag used in manager labels: "S", "VA" or "VL".
+    fn tag() -> &'static str
+    where
+        Self: Sized;
+}
+
+// ---------------------------------------------------------------- standard
+
+/// Fixed-capacity lock-free MPMC ring (static storage).
+///
+/// Slot sequence numbers are stored *relative* to the slot index
+/// (`stored = seq - i`), so the required initial state (`seq[i] = i`) is
+/// all-zeroes — the storage comes straight from the zero page and
+/// initialisation is O(1), matching the fast init of the original's static
+/// queues (§4.1: standard Ouroboros initialises in ~6 ms).
+pub struct StandardQueue {
+    seq: Box<[AtomicU64]>,
+    val: Box<[AtomicU32]>,
+    head: AtomicU64,
+    tail: AtomicU64,
+    mask: u64,
+}
+
+/// Reinterprets a zeroed `Vec<u64>` (lazily-mapped calloc pages) as atomic
+/// storage without touching every element.
+fn zeroed_atomics_u64(n: usize) -> Box<[AtomicU64]> {
+    let v = vec![0u64; n];
+    // SAFETY: AtomicU64 has the same size, alignment and validity as u64.
+    unsafe { std::mem::transmute::<Box<[u64]>, Box<[AtomicU64]>>(v.into_boxed_slice()) }
+}
+
+/// As [`zeroed_atomics_u64`], for `u32`.
+fn zeroed_atomics_u32(n: usize) -> Box<[AtomicU32]> {
+    let v = vec![0u32; n];
+    // SAFETY: AtomicU32 has the same size, alignment and validity as u32.
+    unsafe { std::mem::transmute::<Box<[u32]>, Box<[AtomicU32]>>(v.into_boxed_slice()) }
+}
+
+/// Cap on static queue storage: 2²² entries (16 MiB of indices) — large
+/// heaps would otherwise demand absurd static allocations, which is exactly
+/// the drawback (§2.10) that motivated virtualization.
+pub const STANDARD_CAP_MAX: u64 = 1 << 22;
+
+impl IndexQueue for StandardQueue {
+    fn create(capacity_hint: u64) -> Self {
+        let cap = capacity_hint.clamp(64, STANDARD_CAP_MAX).next_power_of_two() as usize;
+        StandardQueue {
+            seq: zeroed_atomics_u64(cap),
+            val: zeroed_atomics_u32(cap),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    fn enqueue(&self, _pool: &ChunkPool, _heap: &DeviceHeap, v: u32) -> Result<(), QueueError> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let idx = (tail & self.mask) as usize;
+            // Stored sequences are relative to the slot index (see type
+            // docs): the logical sequence is `stored + idx`.
+            let seq = self.seq[idx].load(Ordering::Acquire) + idx as u64;
+            if seq == tail {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.val[idx].store(v, Ordering::Relaxed);
+                        self.seq[idx].store(tail + 1 - idx as u64, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => tail = actual,
+                }
+            } else if seq < tail {
+                return Err(QueueError::Full);
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn dequeue(&self, _pool: &ChunkPool, _heap: &DeviceHeap) -> Option<u32> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let idx = (head & self.mask) as usize;
+            let seq = self.seq[idx].load(Ordering::Acquire) + idx as u64;
+            if seq == head + 1 {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let v = self.val[idx].load(Ordering::Relaxed);
+                        self.seq[idx]
+                            .store(head + self.mask + 1 - idx as u64, Ordering::Release);
+                        return Some(v);
+                    }
+                    Err(actual) => head = actual,
+                }
+            } else if seq <= head {
+                return None;
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Relaxed);
+        t.saturating_sub(h) as usize
+    }
+
+    fn tag() -> &'static str {
+        "S"
+    }
+}
+
+// -------------------------------------------------------------- spin guard
+
+/// Minimal spin lock guarding the virtualized queues' multi-word state.
+struct Spin {
+    flag: AtomicBool,
+}
+
+impl Spin {
+    const fn new() -> Self {
+        Spin { flag: AtomicBool::new(false) }
+    }
+
+    fn lock(&self) -> SpinGuard<'_> {
+        while self
+            .flag
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        SpinGuard { spin: self }
+    }
+}
+
+struct SpinGuard<'a> {
+    spin: &'a Spin,
+}
+
+impl Drop for SpinGuard<'_> {
+    fn drop(&mut self) {
+        self.spin.flag.store(false, Ordering::Release);
+    }
+}
+
+// ----------------------------------------------------- virtualized (array)
+
+/// Entries per storage chunk (plain `u32` payload, whole chunk).
+pub const VA_ENTRIES_PER_CHUNK: u64 = CHUNK_BYTES / 4;
+/// Slots in the chunk-pointer array.
+pub const VA_SLOTS: usize = 512;
+
+const NO_STORAGE: u32 = u32::MAX;
+
+struct VaState {
+    front: u64,
+    back: u64,
+    slots: [u32; VA_SLOTS],
+}
+
+/// Virtualized array-hierarchy queue: entries live in pool chunks referenced
+/// by a small pointer array.
+pub struct VirtArrayQueue {
+    lock: Spin,
+    state: std::cell::UnsafeCell<VaState>,
+    approx_len: AtomicU64,
+}
+
+// SAFETY: `state` is only touched under `lock`.
+unsafe impl Send for VirtArrayQueue {}
+unsafe impl Sync for VirtArrayQueue {}
+
+impl VirtArrayQueue {
+    /// Virtual capacity: the pointer array times one chunk of entries.
+    pub const fn virtual_capacity() -> u64 {
+        VA_SLOTS as u64 * VA_ENTRIES_PER_CHUNK
+    }
+}
+
+impl IndexQueue for VirtArrayQueue {
+    fn create(_capacity_hint: u64) -> Self {
+        VirtArrayQueue {
+            lock: Spin::new(),
+            state: std::cell::UnsafeCell::new(VaState {
+                front: 0,
+                back: 0,
+                slots: [NO_STORAGE; VA_SLOTS],
+            }),
+            approx_len: AtomicU64::new(0),
+        }
+    }
+
+    fn enqueue(&self, pool: &ChunkPool, heap: &DeviceHeap, v: u32) -> Result<(), QueueError> {
+        let _g = self.lock.lock();
+        // SAFETY: lock held.
+        let st = unsafe { &mut *self.state.get() };
+        if st.back - st.front >= Self::virtual_capacity() {
+            return Err(QueueError::Full);
+        }
+        let pos = st.back % Self::virtual_capacity();
+        let slot = (pos / VA_ENTRIES_PER_CHUNK) as usize;
+        if st.slots[slot] == NO_STORAGE {
+            let c = pool.acquire(CLASS_QUEUE).ok_or(QueueError::OutOfChunks)?;
+            st.slots[slot] = c;
+        }
+        let chunk = st.slots[slot];
+        let off = pool.chunk_base(chunk) + (pos % VA_ENTRIES_PER_CHUNK) * 4;
+        heap.store_u32(off, v);
+        st.back += 1;
+        self.approx_len.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn dequeue(&self, pool: &ChunkPool, heap: &DeviceHeap) -> Option<u32> {
+        let _g = self.lock.lock();
+        // SAFETY: lock held.
+        let st = unsafe { &mut *self.state.get() };
+        if st.front == st.back {
+            return None;
+        }
+        let pos = st.front % Self::virtual_capacity();
+        let slot = (pos / VA_ENTRIES_PER_CHUNK) as usize;
+        let chunk = st.slots[slot];
+        debug_assert_ne!(chunk, NO_STORAGE);
+        let v = heap.load_u32(pool.chunk_base(chunk) + (pos % VA_ENTRIES_PER_CHUNK) * 4);
+        st.front += 1;
+        self.approx_len.fetch_sub(1, Ordering::Relaxed);
+        // Release the storage chunk once the front leaves it (and the back
+        // is not still writing into it).
+        if st.front % VA_ENTRIES_PER_CHUNK == 0 || st.front == st.back {
+            let back_slot = ((st.back % Self::virtual_capacity()) / VA_ENTRIES_PER_CHUNK)
+                as usize;
+            let front_done = st.front % VA_ENTRIES_PER_CHUNK == 0;
+            if front_done && slot != back_slot {
+                pool.release(chunk);
+                st.slots[slot] = NO_STORAGE;
+            }
+        }
+        Some(v)
+    }
+
+    fn len(&self) -> usize {
+        self.approx_len.load(Ordering::Relaxed) as usize
+    }
+
+    fn tag() -> &'static str {
+        "VA"
+    }
+}
+
+// ---------------------------------------------------- virtualized (linked)
+
+/// Entry capacity of one linked storage chunk (8-byte header: next, unused).
+pub const VL_ENTRIES_PER_CHUNK: u64 = (CHUNK_BYTES - 8) / 4;
+
+struct VlState {
+    front_chunk: u32,
+    front_idx: u64,
+    back_chunk: u32,
+    back_idx: u64,
+    len: u64,
+}
+
+/// Virtualized linked-chunk queue: unlimited virtual size, no pointer array.
+pub struct VirtLinkedQueue {
+    lock: Spin,
+    state: std::cell::UnsafeCell<VlState>,
+    approx_len: AtomicU64,
+}
+
+// SAFETY: `state` is only touched under `lock`.
+unsafe impl Send for VirtLinkedQueue {}
+unsafe impl Sync for VirtLinkedQueue {}
+
+impl VirtLinkedQueue {
+    fn entry_off(pool: &ChunkPool, chunk: u32, idx: u64) -> u64 {
+        pool.chunk_base(chunk) + 8 + idx * 4
+    }
+}
+
+impl IndexQueue for VirtLinkedQueue {
+    fn create(_capacity_hint: u64) -> Self {
+        VirtLinkedQueue {
+            lock: Spin::new(),
+            state: std::cell::UnsafeCell::new(VlState {
+                front_chunk: NO_STORAGE,
+                front_idx: 0,
+                back_chunk: NO_STORAGE,
+                back_idx: 0,
+                len: 0,
+            }),
+            approx_len: AtomicU64::new(0),
+        }
+    }
+
+    fn enqueue(&self, pool: &ChunkPool, heap: &DeviceHeap, v: u32) -> Result<(), QueueError> {
+        let _g = self.lock.lock();
+        // SAFETY: lock held.
+        let st = unsafe { &mut *self.state.get() };
+        if st.back_chunk == NO_STORAGE || st.back_idx == VL_ENTRIES_PER_CHUNK {
+            let c = pool.acquire(CLASS_QUEUE).ok_or(QueueError::OutOfChunks)?;
+            heap.store_u32(pool.chunk_base(c), NO_STORAGE); // next link
+            if st.back_chunk != NO_STORAGE {
+                heap.store_u32(pool.chunk_base(st.back_chunk), c);
+            } else {
+                st.front_chunk = c;
+                st.front_idx = 0;
+            }
+            st.back_chunk = c;
+            st.back_idx = 0;
+        }
+        heap.store_u32(Self::entry_off(pool, st.back_chunk, st.back_idx), v);
+        st.back_idx += 1;
+        st.len += 1;
+        self.approx_len.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn dequeue(&self, pool: &ChunkPool, heap: &DeviceHeap) -> Option<u32> {
+        let _g = self.lock.lock();
+        // SAFETY: lock held.
+        let st = unsafe { &mut *self.state.get() };
+        if st.len == 0 {
+            return None;
+        }
+        let v = heap.load_u32(Self::entry_off(pool, st.front_chunk, st.front_idx));
+        st.front_idx += 1;
+        st.len -= 1;
+        self.approx_len.fetch_sub(1, Ordering::Relaxed);
+        // Front chunk exhausted: follow the link and release it.
+        if st.front_idx == VL_ENTRIES_PER_CHUNK {
+            let next = heap.load_u32(pool.chunk_base(st.front_chunk));
+            pool.release(st.front_chunk);
+            st.front_chunk = next;
+            st.front_idx = 0;
+            if next == NO_STORAGE {
+                st.back_chunk = NO_STORAGE;
+                st.back_idx = 0;
+                debug_assert_eq!(st.len, 0);
+            }
+        } else if st.len == 0 {
+            // Queue drained mid-chunk: keep the chunk, reset the cursors so
+            // the chunk is reused from the top.
+            st.back_idx = st.front_idx;
+        }
+        Some(v)
+    }
+
+    fn len(&self) -> usize {
+        self.approx_len.load(Ordering::Relaxed) as usize
+    }
+
+    fn tag() -> &'static str {
+        "VL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(chunks: u32) -> (Arc<DeviceHeap>, ChunkPool) {
+        (
+            Arc::new(DeviceHeap::new(chunks as u64 * CHUNK_BYTES)),
+            ChunkPool::new(chunks),
+        )
+    }
+
+    fn fifo_roundtrip<Q: IndexQueue>() {
+        let (heap, pool) = env(16);
+        let q = Q::create(1024);
+        assert!(q.is_empty());
+        for v in 0..100 {
+            q.enqueue(&pool, &heap, v).unwrap();
+        }
+        assert_eq!(q.len(), 100);
+        for v in 0..100 {
+            assert_eq!(q.dequeue(&pool, &heap), Some(v), "FIFO order");
+        }
+        assert_eq!(q.dequeue(&pool, &heap), None);
+    }
+
+    #[test]
+    fn standard_fifo() {
+        fifo_roundtrip::<StandardQueue>();
+    }
+
+    #[test]
+    fn va_fifo() {
+        fifo_roundtrip::<VirtArrayQueue>();
+    }
+
+    #[test]
+    fn vl_fifo() {
+        fifo_roundtrip::<VirtLinkedQueue>();
+    }
+
+    #[test]
+    fn standard_full_reports() {
+        let (heap, pool) = env(1);
+        let q = StandardQueue::create(64);
+        for v in 0..64 {
+            q.enqueue(&pool, &heap, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&pool, &heap, 999), Err(QueueError::Full));
+    }
+
+    fn virtualized_storage_cycles<Q: IndexQueue>() {
+        let (heap, pool) = env(8);
+        let q = Q::create(0);
+        // Push/pop far more entries than one chunk holds; storage chunks
+        // must be acquired and released along the way.
+        let n = 3 * VA_ENTRIES_PER_CHUNK as u32;
+        for round in 0..3 {
+            for v in 0..n {
+                q.enqueue(&pool, &heap, round * n + v).unwrap();
+            }
+            for v in 0..n {
+                assert_eq!(q.dequeue(&pool, &heap), Some(round * n + v));
+            }
+        }
+        // All storage must be back in the pool: we can still acquire
+        // nearly all chunks (at most one may be parked by the queue).
+        let mut got = 0;
+        while pool.acquire(0).is_some() {
+            got += 1;
+        }
+        assert!(got >= 7, "queue leaked storage chunks: only {got} reusable");
+    }
+
+    #[test]
+    fn va_storage_cycles() {
+        virtualized_storage_cycles::<VirtArrayQueue>();
+    }
+
+    #[test]
+    fn vl_storage_cycles() {
+        virtualized_storage_cycles::<VirtLinkedQueue>();
+    }
+
+    #[test]
+    fn virtualized_out_of_chunks_surfaces() {
+        let (heap, pool) = env(1);
+        pool.acquire(0).unwrap(); // drain the pool
+        let q = VirtLinkedQueue::create(0);
+        assert_eq!(q.enqueue(&pool, &heap, 1), Err(QueueError::OutOfChunks));
+    }
+
+    fn concurrent_conservation<Q: IndexQueue + 'static>() {
+        let (heap, pool) = env(32);
+        let q = Arc::new(Q::create(1 << 16));
+        let heap = Arc::new(heap);
+        let pool = Arc::new(pool);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let q = q.clone();
+            let heap = Arc::clone(&heap);
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut popped = Vec::new();
+                for i in 0..2000u32 {
+                    let v = t * 10_000 + i + 1;
+                    while q.enqueue(&pool, &heap, v).is_err() {
+                        std::hint::spin_loop();
+                    }
+                    if i % 2 == 1 {
+                        if let Some(v) = q.dequeue(&pool, &heap) {
+                            popped.push(v);
+                        }
+                    }
+                }
+                popped
+            }));
+        }
+        let mut all: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        // Drain the rest.
+        while let Some(v) = q.dequeue(&pool, &heap) {
+            all.push(v);
+        }
+        assert_eq!(all.len(), 8000, "elements lost or duplicated");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8000);
+    }
+
+    #[test]
+    fn standard_concurrent() {
+        concurrent_conservation::<StandardQueue>();
+    }
+
+    #[test]
+    fn va_concurrent() {
+        concurrent_conservation::<VirtArrayQueue>();
+    }
+
+    #[test]
+    fn vl_concurrent() {
+        concurrent_conservation::<VirtLinkedQueue>();
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(StandardQueue::tag(), "S");
+        assert_eq!(VirtArrayQueue::tag(), "VA");
+        assert_eq!(VirtLinkedQueue::tag(), "VL");
+    }
+}

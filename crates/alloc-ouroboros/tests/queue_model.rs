@@ -1,0 +1,98 @@
+//! Model-based property tests: every Ouroboros queue implementation must
+//! behave exactly like `VecDeque` under arbitrary operation sequences
+//! (modulo capacity limits, which only cause clean `Full`/`OutOfChunks`
+//! rejections).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use alloc_ouroboros::pool::{ChunkPool, CHUNK_BYTES};
+use alloc_ouroboros::queues::{
+    IndexQueue, QueueError, StandardQueue, VirtArrayQueue, VirtLinkedQueue,
+};
+use gpumem_core::DeviceHeap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Enqueue(u32),
+    Dequeue,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u32..1_000_000).prop_map(Op::Enqueue),
+            2 => Just(Op::Dequeue),
+        ],
+        1..400,
+    )
+}
+
+fn run_against_model<Q: IndexQueue>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let heap = Arc::new(DeviceHeap::new(32 * CHUNK_BYTES));
+    let pool = ChunkPool::new(32);
+    let q = Q::create(256);
+    let mut model: VecDeque<u32> = VecDeque::new();
+    for op in ops {
+        match op {
+            Op::Enqueue(v) => match q.enqueue(&pool, &heap, *v) {
+                Ok(()) => model.push_back(*v),
+                Err(QueueError::Full) | Err(QueueError::OutOfChunks) => {
+                    // Capacity rejection must not corrupt order; just skip.
+                }
+            },
+            Op::Dequeue => {
+                prop_assert_eq!(q.dequeue(&pool, &heap), model.pop_front());
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+    }
+    // Drain completely.
+    while let Some(expected) = model.pop_front() {
+        prop_assert_eq!(q.dequeue(&pool, &heap), Some(expected));
+    }
+    prop_assert_eq!(q.dequeue(&pool, &heap), None);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn standard_queue_matches_vecdeque(ops in ops()) {
+        run_against_model::<StandardQueue>(&ops)?;
+    }
+
+    #[test]
+    fn virt_array_queue_matches_vecdeque(ops in ops()) {
+        run_against_model::<VirtArrayQueue>(&ops)?;
+    }
+
+    #[test]
+    fn virt_linked_queue_matches_vecdeque(ops in ops()) {
+        run_against_model::<VirtLinkedQueue>(&ops)?;
+    }
+
+    /// Whatever the op sequence, the virtualized queues must return all
+    /// borrowed storage chunks once drained (at most one parked chunk).
+    #[test]
+    fn virtualized_queues_return_storage(ops in ops()) {
+        let heap = Arc::new(DeviceHeap::new(16 * CHUNK_BYTES));
+        let pool = ChunkPool::new(16);
+        let q = VirtLinkedQueue::create(0);
+        for op in &ops {
+            match op {
+                Op::Enqueue(v) => { let _ = q.enqueue(&pool, &heap, *v); }
+                Op::Dequeue => { let _ = q.dequeue(&pool, &heap); }
+            }
+        }
+        while q.dequeue(&pool, &heap).is_some() {}
+        let mut reclaimable = 0;
+        while pool.acquire(0).is_some() {
+            reclaimable += 1;
+        }
+        prop_assert!(reclaimable >= 15, "storage leak: only {reclaimable}/16 chunks free");
+    }
+}

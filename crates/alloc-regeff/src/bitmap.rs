@@ -1,0 +1,120 @@
+//! Side bitmap of live chunk starts.
+//!
+//! The original Reg-Eff tolerates a rare race: a walker holding a pointer to
+//! a chunk that a concurrent merge absorbs can read recycled payload bytes
+//! as a header (the paper classifies Reg-Eff as not entirely stable, §5).
+//! The port keeps the in-heap header layout — it is what gives Reg-Eff its
+//! register frugality and its fragmentation behaviour — but adds this
+//! *side* bitmap of valid chunk-start granules so walkers can validate a
+//! position before trusting bytes at it. The bitmap is maintained only by
+//! owners (init, split, merge), i.e. with the same exclusivity the header
+//! flags already provide, and it lives outside the manageable memory, so it
+//! does not perturb the fragmentation measurements.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Granularity of chunk starts in bytes (= header alignment).
+pub const GRANULE: u64 = 8;
+
+/// One bit per 8-byte granule of the managed region.
+pub struct ChunkStarts {
+    words: Box<[AtomicU32]>,
+    granules: u64,
+}
+
+impl ChunkStarts {
+    /// Bitmap for a region of `region_len` bytes (multiple of 8).
+    pub fn new(region_len: u64) -> Self {
+        let granules = region_len / GRANULE;
+        let n_words = granules.div_ceil(32) as usize;
+        let words = (0..n_words).map(|_| AtomicU32::new(0)).collect();
+        ChunkStarts { words, granules }
+    }
+
+    #[inline]
+    fn split_index(&self, offset: u64) -> (usize, u32) {
+        debug_assert_eq!(offset % GRANULE, 0, "chunk start must be 8-byte aligned");
+        let g = offset / GRANULE;
+        debug_assert!(g < self.granules);
+        ((g / 32) as usize, 1u32 << (g % 32))
+    }
+
+    /// Marks `offset` as a live chunk start.
+    #[inline]
+    pub fn set(&self, offset: u64) {
+        let (w, bit) = self.split_index(offset);
+        self.words[w].fetch_or(bit, Ordering::Release);
+    }
+
+    /// Clears the chunk-start mark at `offset`.
+    #[inline]
+    pub fn clear(&self, offset: u64) {
+        let (w, bit) = self.split_index(offset);
+        self.words[w].fetch_and(!bit, Ordering::Release);
+    }
+
+    /// Whether `offset` is (still) a live chunk start. Also rejects
+    /// unaligned or out-of-range offsets, which makes it the walker's
+    /// one-stop validity check for untrusted `next` pointers.
+    #[inline]
+    pub fn check(&self, offset: u64) -> bool {
+        if offset % GRANULE != 0 || offset / GRANULE >= self.granules {
+            return false;
+        }
+        let (w, bit) = self.split_index(offset);
+        self.words[w].load(Ordering::Acquire) & bit != 0
+    }
+
+    /// Number of live chunk starts (test/diagnostic use; O(words)).
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_check_clear() {
+        let b = ChunkStarts::new(1024);
+        assert!(!b.check(64));
+        b.set(64);
+        assert!(b.check(64));
+        b.clear(64);
+        assert!(!b.check(64));
+    }
+
+    #[test]
+    fn check_rejects_bad_offsets() {
+        let b = ChunkStarts::new(1024);
+        b.set(0);
+        assert!(b.check(0));
+        assert!(!b.check(4), "unaligned");
+        assert!(!b.check(1024), "out of range");
+        assert!(!b.check(u64::MAX - 7), "far out of range");
+    }
+
+    #[test]
+    fn count_tracks_population() {
+        let b = ChunkStarts::new(4096);
+        for off in [0u64, 8, 16, 4088] {
+            b.set(off);
+        }
+        assert_eq!(b.count(), 4);
+        b.clear(8);
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn dense_bits_do_not_interfere() {
+        let b = ChunkStarts::new(512);
+        for g in 0..64u64 {
+            b.set(g * 8);
+        }
+        b.clear(8 * 31);
+        for g in 0..64u64 {
+            assert_eq!(b.check(g * 8), g != 31);
+        }
+    }
+}

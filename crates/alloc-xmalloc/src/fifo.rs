@@ -1,0 +1,199 @@
+//! Fixed-capacity, lock-free FIFO — XMalloc's buffer structure.
+//!
+//! Paper §2.2: "Both buffers are fixed-capacity, lock-free FIFO arrays".
+//! This is a bounded MPMC ring in the style of Vyukov's queue: every slot
+//! carries a sequence number that encodes whether it is ready for the next
+//! enqueue or dequeue, so producers and consumers synchronise per-slot with
+//! a single CAS — the same wait-free-in-the-common-case behaviour the
+//! original gets from its SIMD-coalesced FIFO arrays.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bounded, lock-free multi-producer multi-consumer FIFO of `u64` values.
+pub struct FifoArray {
+    seq: Box<[AtomicU64]>,
+    val: Box<[AtomicU64]>,
+    head: AtomicU64,
+    tail: AtomicU64,
+    mask: u64,
+}
+
+impl FifoArray {
+    /// Creates a FIFO with capacity `cap` (rounded up to a power of two).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(2);
+        let seq = (0..cap).map(|i| AtomicU64::new(i as u64)).collect();
+        let val = (0..cap).map(|_| AtomicU64::new(0)).collect();
+        FifoArray {
+            seq,
+            val,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// Capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Attempts to enqueue; returns `false` when the buffer is full (the
+    /// fixed-capacity property XMalloc's free path depends on — a full
+    /// first-level buffer sends the block back to its Superblock instead).
+    pub fn push(&self, value: u64) -> bool {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let idx = (tail & self.mask) as usize;
+            let seq = self.seq[idx].load(Ordering::Acquire);
+            if seq == tail {
+                // Slot ready for this ticket: take the ticket.
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.val[idx].store(value, Ordering::Relaxed);
+                        self.seq[idx].store(tail + 1, Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => tail = actual,
+                }
+            } else if seq < tail {
+                // Slot still holds an element a consumer has not taken: full.
+                return false;
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue; `None` when empty.
+    pub fn pop(&self) -> Option<u64> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let idx = (head & self.mask) as usize;
+            let seq = self.seq[idx].load(Ordering::Acquire);
+            if seq == head + 1 {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let v = self.val[idx].load(Ordering::Relaxed);
+                        self.seq[idx].store(head + self.mask + 1, Ordering::Release);
+                        return Some(v);
+                    }
+                    Err(actual) => head = actual,
+                }
+            } else if seq <= head {
+                return None; // empty
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued elements (diagnostics only).
+    pub fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Relaxed);
+        t.saturating_sub(h) as usize
+    }
+
+    /// Whether the FIFO is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = FifoArray::new(8);
+        for v in 10..15 {
+            assert!(q.push(v));
+        }
+        for v in 10..15 {
+            assert_eq!(q.pop(), Some(v));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(FifoArray::new(5).capacity(), 8);
+        assert_eq!(FifoArray::new(8).capacity(), 8);
+        assert_eq!(FifoArray::new(1).capacity(), 2);
+    }
+
+    #[test]
+    fn push_fails_when_full() {
+        let q = FifoArray::new(4);
+        for v in 0..4 {
+            assert!(q.push(v));
+        }
+        assert!(!q.push(99), "full FIFO must reject");
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.push(99), "one slot freed");
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let q = FifoArray::new(4);
+        for round in 0..100u64 {
+            assert!(q.push(round));
+            assert_eq!(q.pop(), Some(round));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_elements() {
+        let q = Arc::new(FifoArray::new(64));
+        let produced = Arc::new(AtomicU64::new(0));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..2u64 {
+            let q = q.clone();
+            let produced = produced.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    let v = t * 1_000_000 + i + 1;
+                    while !q.push(v) {
+                        std::hint::spin_loop();
+                    }
+                    produced.fetch_add(v, Ordering::Relaxed);
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = q.clone();
+            let consumed = consumed.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while got < 10_000 {
+                    if let Some(v) = q.pop() {
+                        consumed.fetch_add(v, Ordering::Relaxed);
+                        got += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(produced.load(Ordering::Relaxed), consumed.load(Ordering::Relaxed));
+        assert!(q.is_empty());
+    }
+}

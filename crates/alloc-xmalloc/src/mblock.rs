@@ -1,0 +1,233 @@
+//! The Memoryblock heap: XMalloc's bottom allocation layer.
+//!
+//! Paper §2.2 / Figure 1: "Large allocations (as well as Superblocks) are
+//! served from a heap, which is segmented into free and allocated
+//! Memoryblocks. These blocks form a linked-list, which allows for merging
+//! of neighboring blocks. This type of allocation is relatively slow, as the
+//! list of memory blocks has to be traversed in search of a free
+//! Memoryblock."
+//!
+//! The port keeps exactly that cost profile: a first-fit traversal from the
+//! start of the segment list under one lock, splitting oversized blocks and
+//! merging with both physical neighbours on free (`prev_size` backlinks make
+//! the list effectively doubly-linked, as in the original).
+
+use std::sync::Mutex;
+
+use gpumem_core::util::align_up;
+use gpumem_core::DeviceHeap;
+
+/// Block header size; payload starts `HDR` bytes into a block.
+pub const HDR: u64 = 32;
+
+const MAGIC_FREE: u32 = 0x4D42_0000;
+const MAGIC_ALLOC: u32 = 0x4D42_0001;
+
+/// First-fit Memoryblock heap over `[base, base+len)` of a shared heap.
+pub struct MBlockHeap {
+    base: u64,
+    len: u64,
+    lock: Mutex<()>,
+}
+
+// Header accessors (all through the heap's atomic views; the lock makes the
+// plain ordering sufficient, the atomics keep the reads defined even if a
+// buggy caller races).
+fn magic(heap: &DeviceHeap, block: u64) -> u32 {
+    heap.load_u32(block)
+}
+fn set_magic(heap: &DeviceHeap, block: u64, m: u32) {
+    heap.store_u32(block, m);
+}
+fn size(heap: &DeviceHeap, block: u64) -> u64 {
+    heap.load_u64(block + 8)
+}
+fn set_size(heap: &DeviceHeap, block: u64, s: u64) {
+    heap.store_u64(block + 8, s);
+}
+fn prev_size(heap: &DeviceHeap, block: u64) -> u64 {
+    heap.load_u64(block + 16)
+}
+fn set_prev_size(heap: &DeviceHeap, block: u64, s: u64) {
+    heap.store_u64(block + 16, s);
+}
+
+impl MBlockHeap {
+    /// Initialises the segment list: one all-covering free Memoryblock.
+    pub fn new(heap: &DeviceHeap, base: u64, len: u64) -> Self {
+        assert!(base % 16 == 0 && len % 16 == 0 && len > HDR);
+        assert!(base + len <= heap.len());
+        set_magic(heap, base, MAGIC_FREE);
+        set_size(heap, base, len);
+        set_prev_size(heap, base, 0);
+        MBlockHeap { base, len, lock: Mutex::new(()) }
+    }
+
+    /// Allocates `payload` bytes; returns the payload offset (16-aligned).
+    pub fn alloc(&self, heap: &DeviceHeap, payload: u64) -> Option<u64> {
+        let need = align_up(payload, 16) + HDR;
+        let _g = self.lock.lock().unwrap();
+        let end = self.base + self.len;
+        let mut block = self.base;
+        while block < end {
+            let bsize = size(heap, block);
+            debug_assert!(bsize >= HDR && block + bsize <= end, "corrupt memoryblock list");
+            if magic(heap, block) == MAGIC_FREE && bsize >= need {
+                if bsize - need >= HDR + 16 {
+                    // Split: trailing remainder stays free.
+                    let rest = block + need;
+                    set_magic(heap, rest, MAGIC_FREE);
+                    set_size(heap, rest, bsize - need);
+                    set_prev_size(heap, rest, need);
+                    set_size(heap, block, need);
+                    let after = rest + (bsize - need);
+                    if after < end {
+                        set_prev_size(heap, after, bsize - need);
+                    }
+                } // else: hand out the whole block (internal fragmentation).
+                set_magic(heap, block, MAGIC_ALLOC);
+                return Some(block + HDR);
+            }
+            block += bsize;
+        }
+        None
+    }
+
+    /// Frees a payload offset previously returned by [`MBlockHeap::alloc`],
+    /// merging with free physical neighbours.
+    pub fn free(&self, heap: &DeviceHeap, payload: u64) -> Result<(), ()> {
+        if payload < self.base + HDR || payload >= self.base + self.len {
+            return Err(());
+        }
+        let mut block = payload - HDR;
+        let _g = self.lock.lock().unwrap();
+        if magic(heap, block) != MAGIC_ALLOC {
+            return Err(());
+        }
+        let end = self.base + self.len;
+        let mut bsize = size(heap, block);
+        set_magic(heap, block, MAGIC_FREE);
+        // Merge forward.
+        let next = block + bsize;
+        if next < end && magic(heap, next) == MAGIC_FREE {
+            bsize += size(heap, next);
+            set_size(heap, block, bsize);
+        }
+        // Merge backward.
+        let psize = prev_size(heap, block);
+        if psize != 0 {
+            let prev = block - psize;
+            if magic(heap, prev) == MAGIC_FREE {
+                bsize += size(heap, prev);
+                block = prev;
+                set_size(heap, block, bsize);
+            }
+        }
+        // Fix the backlink of whatever follows the merged block.
+        let after = block + bsize;
+        if after < end {
+            set_prev_size(heap, after, bsize);
+        }
+        Ok(())
+    }
+
+    /// Number of blocks in the list and number of free blocks (diagnostics).
+    pub fn census(&self, heap: &DeviceHeap) -> (u64, u64) {
+        let _g = self.lock.lock().unwrap();
+        let end = self.base + self.len;
+        let (mut total, mut free) = (0u64, 0u64);
+        let mut block = self.base;
+        while block < end {
+            total += 1;
+            if magic(heap, block) == MAGIC_FREE {
+                free += 1;
+            }
+            block += size(heap, block);
+        }
+        (total, free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(len: u64) -> (DeviceHeap, MBlockHeap) {
+        let heap = DeviceHeap::new(len);
+        let mb = MBlockHeap::new(&heap, 0, len);
+        (heap, mb)
+    }
+
+    #[test]
+    fn single_free_block_at_start() {
+        let (heap, mb) = setup(4096);
+        assert_eq!(mb.census(&heap), (1, 1));
+    }
+
+    #[test]
+    fn alloc_splits_and_free_merges() {
+        let (heap, mb) = setup(4096);
+        let a = mb.alloc(&heap, 100).unwrap();
+        assert_eq!(a % 16, 0);
+        assert_eq!(mb.census(&heap), (2, 1));
+        mb.free(&heap, a).unwrap();
+        assert_eq!(mb.census(&heap), (1, 1), "free must merge back to one block");
+    }
+
+    #[test]
+    fn first_fit_reuses_earliest_hole() {
+        let (heap, mb) = setup(8192);
+        let a = mb.alloc(&heap, 512).unwrap();
+        let _b = mb.alloc(&heap, 512).unwrap();
+        mb.free(&heap, a).unwrap();
+        let c = mb.alloc(&heap, 256).unwrap();
+        assert_eq!(c, a, "first fit starts from the list head");
+    }
+
+    #[test]
+    fn backward_merge_via_prev_size() {
+        let (heap, mb) = setup(8192);
+        let a = mb.alloc(&heap, 512).unwrap();
+        let b = mb.alloc(&heap, 512).unwrap();
+        let _c = mb.alloc(&heap, 512).unwrap();
+        mb.free(&heap, a).unwrap();
+        mb.free(&heap, b).unwrap(); // must merge backward into a's block
+        assert_eq!(mb.census(&heap), (3, 2)); // [a+b free][c][tail free]
+        let d = mb.alloc(&heap, 1024).unwrap();
+        assert_eq!(d, a, "merged hole fits the bigger request");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let (heap, mb) = setup(1024);
+        assert!(mb.alloc(&heap, 2048).is_none());
+        let a = mb.alloc(&heap, 900).unwrap();
+        assert!(mb.alloc(&heap, 900).is_none());
+        mb.free(&heap, a).unwrap();
+        assert!(mb.alloc(&heap, 900).is_some());
+    }
+
+    #[test]
+    fn invalid_frees_rejected() {
+        let (heap, mb) = setup(4096);
+        assert!(mb.free(&heap, 8).is_err(), "below first payload");
+        assert!(mb.free(&heap, 5000).is_err(), "out of range");
+        let a = mb.alloc(&heap, 64).unwrap();
+        mb.free(&heap, a).unwrap();
+        assert!(mb.free(&heap, a).is_err(), "double free");
+    }
+
+    #[test]
+    fn many_blocks_roundtrip() {
+        let (heap, mb) = setup(1 << 16);
+        let ptrs: Vec<u64> = (0..40).map(|_| mb.alloc(&heap, 1000).unwrap()).collect();
+        // Free every other block, then the rest; everything merges.
+        for p in ptrs.iter().step_by(2) {
+            mb.free(&heap, *p).unwrap();
+        }
+        for p in ptrs.iter().skip(1).step_by(2) {
+            mb.free(&heap, *p).unwrap();
+        }
+        assert_eq!(mb.census(&heap), (1, 1));
+    }
+}

@@ -1,0 +1,58 @@
+//! Model-based property tests for XMalloc's fixed-capacity lock-free FIFO:
+//! must behave exactly like a bounded `VecDeque`.
+
+use std::collections::VecDeque;
+
+use alloc_xmalloc::fifo::FifoArray;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn fifo_matches_bounded_vecdeque(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                3 => (1u64..1_000_000).prop_map(Op::Push),
+                2 => Just(Op::Pop),
+            ],
+            1..300,
+        ),
+        cap_exp in 2u32..8,
+    ) {
+        let cap = 1usize << cap_exp;
+        let q = FifoArray::new(cap);
+        prop_assert_eq!(q.capacity(), cap);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &ops {
+            match op {
+                Op::Push(v) => {
+                    let accepted = q.push(*v);
+                    prop_assert_eq!(
+                        accepted,
+                        model.len() < cap,
+                        "push acceptance must equal capacity check"
+                    );
+                    if accepted {
+                        model.push_back(*v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        while let Some(v) = model.pop_front() {
+            prop_assert_eq!(q.pop(), Some(v));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion bench for the Figure 9 family: thread- and warp-based
+//! allocation/deallocation performance per size, reduced parameter set so
+//! `cargo bench` terminates quickly (the full sweep lives in `repro fig9`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_bench::registry::ManagerKind;
+use gpumem_bench::runners::{alloc_perf, Bench};
+
+fn bench_thread_alloc(c: &mut Criterion) {
+    let mut bench = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    bench.iterations = 1;
+    let mut group = c.benchmark_group("fig9_thread_alloc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in [
+        ManagerKind::Atomic,
+        ManagerKind::CudaAllocator,
+        ManagerKind::ScatterAlloc,
+        ManagerKind::Halloc,
+        ManagerKind::OuroSP,
+        ManagerKind::OuroVAC,
+        ManagerKind::RegEffCF,
+        ManagerKind::XMalloc,
+    ] {
+        for size in [16u64, 256, 4096] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| alloc_perf(&bench, kind, 2048, size, false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_warp_alloc(c: &mut Criterion) {
+    let mut bench = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    bench.iterations = 1;
+    let mut group = c.benchmark_group("fig9g_warp_alloc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in [
+        ManagerKind::ScatterAlloc,
+        ManagerKind::Halloc,
+        ManagerKind::OuroSP,
+        ManagerKind::RegEffCM,
+        ManagerKind::FDGMalloc,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| alloc_perf(&bench, kind, 1024, 256, true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_alloc, bench_warp_alloc);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figures 11f/11g: graph initialization and updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_bench::registry::ManagerKind;
+use gpumem_bench::runners::{graph_init, graph_update, Bench};
+
+fn bench_graph(c: &mut Criterion) {
+    let mut bench = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    bench.iterations = 1;
+    let csr = dyn_graph::generate("fe_body", 32, 7);
+    let mut group = c.benchmark_group("fig11fg_graph");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in [ManagerKind::ScatterAlloc, ManagerKind::Halloc, ManagerKind::OuroVLP] {
+        group.bench_function(BenchmarkId::new("init", kind.label()), |b| {
+            b.iter(|| graph_init(&bench, kind, &csr));
+        });
+        group.bench_function(BenchmarkId::new("update_focused", kind.label()), |b| {
+            b.iter(|| graph_update(&bench, kind, &csr, 2000, true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

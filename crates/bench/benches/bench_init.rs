@@ -1,0 +1,31 @@
+//! Criterion bench for §4.1: manager initialization performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_bench::registry::{ManagerKind, DEFAULT_KINDS};
+use gpumem_bench::runners::Bench;
+use gpumem_core::DeviceHeap;
+use std::sync::Arc;
+
+fn bench_init(c: &mut Criterion) {
+    let bench = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    let mut group = c.benchmark_group("sec41_init");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in DEFAULT_KINDS {
+        // FDGMalloc aside, every manager initialises over a shared heap.
+        let _ = ManagerKind::Atomic;
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || Arc::new(DeviceHeap::new(128 << 20)),
+                |heap| kind.create_on(heap, bench.device.spec().num_sms),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_init);
+criterion_main!(benches);

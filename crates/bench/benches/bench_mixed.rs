@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 9h: mixed allocation sizes per kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_bench::registry::ManagerKind;
+use gpumem_bench::runners::{mixed_perf, Bench};
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut bench = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    bench.iterations = 1;
+    let mut group = c.benchmark_group("fig9h_mixed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in [
+        ManagerKind::CudaAllocator,
+        ManagerKind::ScatterAlloc,
+        ManagerKind::Halloc,
+        ManagerKind::OuroSP,
+        ManagerKind::OuroSC,
+    ] {
+        for upper in [64u64, 1024, 8192] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), upper),
+                &upper,
+                |b, &upper| {
+                    b.iter(|| mixed_perf(&bench, kind, 2048, upper));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Figure 10 family: performance scaling over the
+//! number of allocating threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_bench::registry::ManagerKind;
+use gpumem_bench::runners::{alloc_perf, Bench};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut bench = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    bench.iterations = 1;
+    let mut group = c.benchmark_group("fig10_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in [
+        ManagerKind::CudaAllocator,
+        ManagerKind::ScatterAlloc,
+        ManagerKind::OuroSP,
+        ManagerKind::RegEffC,
+    ] {
+        for exp in [6u32, 10, 13] {
+            let threads = 1u32 << exp;
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| alloc_perf(&bench, kind, threads, 64, false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figures 11c/11d: work generation vs the prefix-sum
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{Device, DeviceSpec};
+use gpumem_bench::registry::ManagerKind;
+use gpumem_bench::runners::{work_generation, work_generation_baseline, Bench};
+
+fn bench_workgen(c: &mut Criterion) {
+    let mut bench = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    bench.iterations = 1;
+    let mut group = c.benchmark_group("fig11cd_workgen");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (lo, hi) in [(4u64, 64u64), (4, 4096)] {
+        group.bench_with_input(
+            BenchmarkId::new("Baseline", format!("{lo}-{hi}")),
+            &(lo, hi),
+            |b, &(lo, hi)| {
+                b.iter(|| work_generation_baseline(&bench, 4096, lo, hi));
+            },
+        );
+        for kind in [ManagerKind::ScatterAlloc, ManagerKind::Halloc, ManagerKind::OuroSP] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{lo}-{hi}")),
+                &(lo, hi),
+                |b, &(lo, hi)| {
+                    b.iter(|| work_generation(&bench, kind, 4096, lo, hi));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workgen);
+criterion_main!(benches);

@@ -1,0 +1,595 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all                         # every experiment, CPU-scaled defaults
+//! repro table1                      # survey table (Table 1)
+//! repro init                        # §4.1 init + register requirements
+//! repro fig9  --num 10000           # Fig 9a/b  (thread-based alloc/free)
+//! repro fig9  --num 100000          # Fig 9c/d
+//! repro fig9  --num 100000 --device 2080ti   # Fig 9e/f
+//! repro fig9  --num 10000 --warp    # Fig 9g   (warp-based)
+//! repro mixed --num 100000          # Fig 9h   (mixed sizes)
+//! repro scaling --max-exp 20        # Fig 10a-h
+//! repro frag                        # Fig 11a
+//! repro oom                         # Fig 11b
+//! repro workgen --range 4-64        # Fig 11c  (4-4096 → Fig 11d)
+//! repro write                       # Fig 11e
+//! repro graph-init                  # Fig 11f
+//! repro graph-update                # Fig 11g
+//! ```
+//!
+//! Common options: `-t o+s+h+c+r+x+a` (approach selector, artifact syntax),
+//! `--device titanv|2080ti`, `--iter N`, `--timeout SECS`, `--out DIR`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gpu_sim::{Device, DeviceSpec};
+use gpu_workloads::{sizes, write_test::WritePattern};
+use gpumem_bench::csv::{ms, Csv};
+use gpumem_bench::registry::{ManagerKind, DEFAULT_KINDS};
+use gpumem_bench::runners::{self, Bench};
+use gpumem_core::info::SURVEY_TABLE;
+
+struct Opts {
+    kinds: Vec<ManagerKind>,
+    device: DeviceSpec,
+    num: u32,
+    warp: bool,
+    dense: bool,
+    max_exp: u32,
+    range: (u64, u64),
+    iterations: u32,
+    timeout: u64,
+    cycles: u32,
+    edges: u32,
+    scale_div: u32,
+    oom_heap_mb: u64,
+    out: PathBuf,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            kinds: DEFAULT_KINDS.to_vec(),
+            device: DeviceSpec::titan_v(),
+            num: 10_000,
+            warp: false,
+            dense: false,
+            max_exp: 14,
+            range: (4, 64),
+            iterations: 2,
+            timeout: 20,
+            cycles: 10,
+            edges: 20_000,
+            scale_div: 64,
+            oom_heap_mb: 64,
+            out: PathBuf::from("results"),
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
+    let mut opts = Opts::default();
+    let cmd = args.first().cloned().ok_or_else(usage)?;
+    let mut i = 1;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i - 1).cloned().ok_or_else(|| "missing option value".to_string())
+    };
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "-t" => opts.kinds = ManagerKind::parse_selector(&next(&mut i)?)?,
+            "--device" => {
+                let name = next(&mut i)?;
+                opts.device = DeviceSpec::by_name(&name)
+                    .ok_or_else(|| format!("unknown device: {name}"))?;
+            }
+            "--num" => opts.num = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--warp" => opts.warp = true,
+            "--dense" => opts.dense = true,
+            "--max-exp" => {
+                opts.max_exp = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--range" => {
+                let r = next(&mut i)?;
+                let (lo, hi) = r
+                    .split_once('-')
+                    .ok_or_else(|| format!("range must be LO-HI: {r}"))?;
+                opts.range = (
+                    lo.parse().map_err(|e| format!("{e}"))?,
+                    hi.parse().map_err(|e| format!("{e}"))?,
+                );
+            }
+            "--iter" => {
+                opts.iterations = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--timeout" => {
+                opts.timeout = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--cycles" => opts.cycles = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--edges" => opts.edges = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--scale-div" => {
+                opts.scale_div = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--oom-heap" => {
+                opts.oom_heap_mb = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => opts.out = PathBuf::from(next(&mut i)?),
+            other => return Err(format!("unknown option: {other}\n{}", usage())),
+        }
+    }
+    Ok((cmd, opts))
+}
+
+fn usage() -> String {
+    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|check|all> [options]\n\
+     options: -t SELECTOR --device D --num N --warp --dense --max-exp E --range LO-HI\n\
+     --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB --out DIR"
+        .to_string()
+}
+
+fn bench_of(opts: &Opts) -> Bench {
+    let mut b = Bench::new(Device::new(opts.device));
+    b.iterations = opts.iterations;
+    b.cell_timeout = Duration::from_secs(opts.timeout);
+    b
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match cmd.as_str() {
+        "table1" => table1(&opts),
+        "init" => init(&opts),
+        "fig9" => fig9(&opts),
+        "mixed" => mixed(&opts),
+        "scaling" => scaling(&opts),
+        "frag" => frag(&opts),
+        "oom" => oom(&opts),
+        "workgen" => workgen(&opts),
+        "write" => write_perf(&opts),
+        "graph-init" => graph_init(&opts),
+        "graph-update" => graph_update(&opts),
+        "churn" => churn(&opts),
+        "check" => check(&opts),
+        "all" => run_all(opts),
+        other => {
+            eprintln!("unknown command: {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_all(mut opts: Opts) {
+    // CPU-scaled defaults for a complete sweep.
+    opts.num = opts.num.min(10_000);
+    println!("== Table 1 ==");
+    table1(&opts);
+    println!("== Section 4.1: init & registers ==");
+    init(&opts);
+    println!("== Figure 9a/9b: thread-based alloc/free ({}) ==", opts.num);
+    fig9(&opts);
+    println!("== Figure 9g: warp-based alloc ==");
+    let mut warp = Opts { warp: true, ..clone_opts(&opts) };
+    warp.num = opts.num.min(4096) * 32 / 32;
+    fig9(&warp);
+    println!("== Figure 9h: mixed allocation ==");
+    mixed(&opts);
+    println!("== Figure 10: scaling ==");
+    scaling(&opts);
+    println!("== Figure 11a: fragmentation ==");
+    frag(&opts);
+    println!("== Figure 11b: out-of-memory ==");
+    oom(&opts);
+    println!("== Figure 11c: work generation 4-64 B ==");
+    workgen(&opts);
+    println!("== Figure 11d: work generation 4-4096 B ==");
+    let wide = Opts { range: (4, 4096), ..clone_opts(&opts) };
+    workgen(&wide);
+    println!("== Figure 11e: write performance ==");
+    write_perf(&opts);
+    println!("== Figure 11f: graph initialization ==");
+    graph_init(&opts);
+    println!("== Figure 11g: graph updates ==");
+    graph_update(&opts);
+    println!("done; results in {}", opts.out.display());
+}
+
+fn clone_opts(o: &Opts) -> Opts {
+    Opts {
+        kinds: o.kinds.clone(),
+        device: o.device,
+        out: o.out.clone(),
+        ..Opts {
+            kinds: Vec::new(),
+            device: o.device,
+            num: o.num,
+            warp: o.warp,
+            dense: o.dense,
+            max_exp: o.max_exp,
+            range: o.range,
+            iterations: o.iterations,
+            timeout: o.timeout,
+            cycles: o.cycles,
+            edges: o.edges,
+            scale_div: o.scale_div,
+            oom_heap_mb: o.oom_heap_mb,
+            out: o.out.clone(),
+        }
+    }
+}
+
+fn table1(opts: &Opts) {
+    let mut csv = Csv::new([
+        "ref", "name", "year", "availability", "build", "variants", "needs_cuda_alloc",
+        "general_purpose", "results", "stable", "evaluated_here",
+    ]);
+    println!(
+        "{:<6}{:<16}{:<6}{:<10}{:<8}{:<9}{:<10}{:<9}{:<8}{:<7}{}",
+        "ref", "name", "year", "avail", "build", "variants", "cuda-dep", "general",
+        "results", "stable", "evaluated"
+    );
+    for r in SURVEY_TABLE {
+        println!(
+            "{:<6}{:<16}{:<6}{:<10}{:<8}{:<9}{:<10}{:<9}{:<8}{:<7}{}",
+            r.reference,
+            r.short_name,
+            r.year,
+            r.availability.to_string(),
+            r.build,
+            r.variants,
+            if r.depends_on_cuda_alloc { "yes" } else { "no" },
+            r.general_purpose,
+            if r.results_available { "yes" } else { "no" },
+            r.stable.to_string(),
+            if r.evaluated_here { "yes" } else { "no" },
+        );
+        csv.row([
+            r.reference.to_string(),
+            r.short_name.to_string(),
+            r.year.to_string(),
+            r.availability.to_string(),
+            r.build.to_string(),
+            r.variants.to_string(),
+            r.depends_on_cuda_alloc.to_string(),
+            r.general_purpose.to_string(),
+            r.results_available.to_string(),
+            r.stable.to_string(),
+            r.evaluated_here.to_string(),
+        ]);
+    }
+    save(csv, opts, "table1.csv");
+}
+
+fn init(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv = Csv::new(["manager", "init_ms", "malloc_regs", "free_regs"]);
+    println!("{:<16}{:>12}{:>14}{:>12}", "manager", "init_ms", "malloc_regs", "free_regs");
+    for &kind in &opts.kinds {
+        let c = runners::init_performance(&bench, kind, 256 << 20);
+        println!(
+            "{:<16}{:>12}{:>14}{:>12}",
+            c.manager,
+            ms(c.init),
+            c.malloc_regs,
+            c.free_regs
+        );
+        csv.row([
+            c.manager.to_string(),
+            ms(c.init),
+            c.malloc_regs.to_string(),
+            c.free_regs.to_string(),
+        ]);
+    }
+    save(csv, opts, "init_register.csv");
+}
+
+fn fig9(opts: &Opts) {
+    let bench = bench_of(opts);
+    let sweep = sizes::alloc_size_sweep(opts.dense.then_some(64));
+    let mode = if opts.warp { "warp" } else { "thread" };
+    let mut csv = Csv::new(["manager", "size", "alloc_ms", "free_ms", "failures", "timed_out"]);
+    for &kind in &opts.kinds {
+        let mut skipping = false;
+        for &size in &sweep {
+            if skipping {
+                csv.row([
+                    kind.label().to_string(),
+                    size.to_string(),
+                    "".into(),
+                    "".into(),
+                    "".into(),
+                    "skipped".into(),
+                ]);
+                continue;
+            }
+            let c = runners::alloc_perf(&bench, kind, opts.num, size, opts.warp);
+            csv.row([
+                c.manager.to_string(),
+                size.to_string(),
+                ms(c.alloc),
+                c.free.map(ms).unwrap_or_default(),
+                c.failures.to_string(),
+                c.timed_out.to_string(),
+            ]);
+            skipping = c.timed_out;
+        }
+        println!("  {} done{}", kind.label(), if skipping { " (timed out)" } else { "" });
+    }
+    save(
+        csv,
+        opts,
+        &format!("alloc_{mode}_{}_{}.csv", opts.num, opts.device.name),
+    );
+}
+
+fn mixed(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv = Csv::new(["manager", "upper", "alloc_ms", "free_ms", "failures"]);
+    for &kind in &opts.kinds {
+        for upper in sizes::mixed_upper_bounds() {
+            let c = runners::mixed_perf(&bench, kind, opts.num, upper);
+            csv.row([
+                c.manager.to_string(),
+                upper.to_string(),
+                ms(c.alloc),
+                c.free.map(ms).unwrap_or_default(),
+                c.failures.to_string(),
+            ]);
+            if c.timed_out {
+                break;
+            }
+        }
+        println!("  {} done", kind.label());
+    }
+    save(csv, opts, &format!("mixed_{}_{}.csv", opts.num, opts.device.name));
+}
+
+fn scaling(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv = Csv::new(["manager", "size", "threads", "alloc_ms", "free_ms"]);
+    for &size in &[16u64, 64, 512, 8192] {
+        for &kind in &opts.kinds {
+            for e in 0..=opts.max_exp {
+                let n = 1u32 << e;
+                let c = runners::alloc_perf(&bench, kind, n, size, false);
+                csv.row([
+                    c.manager.to_string(),
+                    size.to_string(),
+                    n.to_string(),
+                    ms(c.alloc),
+                    c.free.map(ms).unwrap_or_default(),
+                ]);
+                if c.timed_out {
+                    break;
+                }
+            }
+        }
+        println!("  size {size} done");
+    }
+    save(csv, opts, &format!("scaling_{}.csv", opts.device.name));
+}
+
+fn frag(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv = Csv::new([
+        "manager", "size", "address_range", "baseline", "expansion", "max_range_cycles",
+    ]);
+    for &kind in &opts.kinds {
+        for &size in &[4u64, 16, 64, 256, 1024, 4096, 8192] {
+            let c = runners::fragmentation(&bench, kind, opts.num, size, opts.cycles);
+            csv.row([
+                c.manager.to_string(),
+                size.to_string(),
+                c.initial.address_range.to_string(),
+                c.initial.baseline.to_string(),
+                format!("{:.3}", c.initial.expansion_factor()),
+                c.max_range_after_cycles.to_string(),
+            ]);
+        }
+        println!("  {} done", kind.label());
+    }
+    save(csv, opts, "fragmentation.csv");
+}
+
+fn oom(opts: &Opts) {
+    let bench = bench_of(opts);
+    let heap = opts.oom_heap_mb << 20;
+    let mut csv = Csv::new(["manager", "size", "allocations", "utilization", "timed_out"]);
+    for &kind in &opts.kinds {
+        for &size in &[4u64, 16, 64, 256, 1024, 4096, 8192] {
+            let c = runners::oom(&bench, kind, heap, size);
+            csv.row([
+                c.manager.to_string(),
+                size.to_string(),
+                c.allocations.to_string(),
+                format!("{:.4}", c.utilization),
+                c.timed_out.to_string(),
+            ]);
+        }
+        println!("  {} done", kind.label());
+    }
+    save(csv, opts, &format!("oom_{}mb.csv", opts.oom_heap_mb));
+}
+
+fn workgen(opts: &Opts) {
+    let bench = bench_of(opts);
+    let (lo, hi) = opts.range;
+    let mut csv = Csv::new(["manager", "threads", "elapsed_ms", "failures"]);
+    for e in 0..=opts.max_exp {
+        let n = 1u32 << e;
+        let base = runners::work_generation_baseline(&bench, n, lo, hi);
+        csv.row([
+            base.manager.to_string(),
+            n.to_string(),
+            ms(base.elapsed),
+            base.failures.to_string(),
+        ]);
+    }
+    for &kind in &opts.kinds {
+        for e in 0..=opts.max_exp {
+            let n = 1u32 << e;
+            let c = runners::work_generation(&bench, kind, n, lo, hi);
+            csv.row([
+                c.manager.to_string(),
+                n.to_string(),
+                ms(c.elapsed),
+                c.failures.to_string(),
+            ]);
+        }
+        println!("  {} done", kind.label());
+    }
+    save(csv, opts, &format!("workgen_{lo}_{hi}.csv"));
+}
+
+fn write_perf(opts: &Opts) {
+    let bench = bench_of(opts);
+    let n = opts.num.max(1 << 14);
+    let mut csv = Csv::new(["manager", "pattern", "relative_cost", "failures"]);
+    println!("{:<16}{:>24}{:>16}", "manager", "pattern", "rel_cost");
+    for &kind in &opts.kinds {
+        for pattern in [
+            WritePattern::Uniform { bytes: 16 },
+            WritePattern::Uniform { bytes: 64 },
+            WritePattern::Uniform { bytes: 128 },
+            WritePattern::Mixed { lo: 16, hi: 128 },
+        ] {
+            let c = runners::write_performance(&bench, kind, n, pattern);
+            println!("{:<16}{:>24}{:>16.3}", c.manager, c.pattern, c.relative_cost);
+            csv.row([
+                c.manager.to_string(),
+                c.pattern.clone(),
+                format!("{:.4}", c.relative_cost),
+                c.failures.to_string(),
+            ]);
+        }
+    }
+    save(csv, opts, "write_performance.csv");
+}
+
+fn graph_init(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv = Csv::new(["manager", "graph", "vertices", "edges", "init_ms", "failures"]);
+    for name in dyn_graph::GRAPH_NAMES {
+        let csr = dyn_graph::generate(name, opts.scale_div, bench.seed);
+        for &kind in &opts.kinds {
+            if kind.warp_level_only() {
+                continue; // no general free → cannot run the graph cases
+            }
+            let c = runners::graph_init(&bench, kind, &csr);
+            csv.row([
+                c.manager.to_string(),
+                c.graph.clone(),
+                csr.vertices().to_string(),
+                csr.edges().to_string(),
+                ms(c.elapsed),
+                c.failures.to_string(),
+            ]);
+        }
+        println!("  {name} done");
+    }
+    save(csv, opts, &format!("graph_init_div{}.csv", opts.scale_div));
+}
+
+fn graph_update(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv =
+        Csv::new(["manager", "graph", "scenario", "edges", "elapsed_ms", "failures"]);
+    for name in dyn_graph::GRAPH_NAMES {
+        let csr = dyn_graph::generate(name, opts.scale_div, bench.seed);
+        for &kind in &opts.kinds {
+            if kind.warp_level_only() || kind == ManagerKind::Atomic {
+                continue; // update requires general free
+            }
+            for focused in [false, true] {
+                let c = runners::graph_update(&bench, kind, &csr, opts.edges, focused);
+                csv.row([
+                    c.manager.to_string(),
+                    c.graph.clone(),
+                    if focused { "focused" } else { "uniform" }.to_string(),
+                    opts.edges.to_string(),
+                    ms(c.elapsed),
+                    c.failures.to_string(),
+                ]);
+            }
+        }
+        println!("  {name} done");
+    }
+    save(csv, opts, &format!("graph_update_div{}.csv", opts.scale_div));
+}
+
+/// Repeated alloc/free cycles: slowdown factors per manager (the paper's
+/// "slowing down significantly over time" observation, §4.2.1).
+fn churn(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv = Csv::new(["manager", "cycles", "first_alloc_ms", "last_alloc_ms", "slowdown"]);
+    println!("{:<16}{:>10}{:>16}{:>16}{:>10}", "manager", "cycles", "first_ms", "last_ms", "slowdown");
+    for &kind in &opts.kinds {
+        let alloc = kind.create(
+            gpumem_bench::runners::heap_for(opts.num, 256),
+            opts.device.num_sms,
+        );
+        let r = gpu_workloads::churn::run(alloc.as_ref(), &bench.device, opts.num, 256, opts.cycles.max(8));
+        let first = r.cycles.first().map(|(a, _)| a.as_secs_f64() * 1e3).unwrap_or(0.0);
+        let last = r.cycles.last().map(|(a, _)| a.as_secs_f64() * 1e3).unwrap_or(0.0);
+        println!(
+            "{:<16}{:>10}{:>16.4}{:>16.4}{:>10.2}",
+            kind.label(),
+            r.cycles.len(),
+            first,
+            last,
+            r.slowdown_factor()
+        );
+        csv.row([
+            kind.label().to_string(),
+            r.cycles.len().to_string(),
+            format!("{first:.4}"),
+            format!("{last:.4}"),
+            format!("{:.3}", r.slowdown_factor()),
+        ]);
+    }
+    save(csv, opts, "churn.csv");
+}
+
+/// Validates a finished run's CSVs against the paper's qualitative shapes.
+fn check(opts: &Opts) {
+    let results = gpumem_bench::shapes::check_all(&opts.out);
+    if results.is_empty() {
+        eprintln!("no result CSVs found in {} — run `repro all` first", opts.out.display());
+        std::process::exit(2);
+    }
+    let mut failed = 0;
+    for r in &results {
+        println!(
+            "[{}] {:<32} {} — {}",
+            if r.pass { "PASS" } else { "FAIL" },
+            r.id,
+            r.paper,
+            r.statement
+        );
+        if !r.pass {
+            failed += 1;
+        }
+    }
+    println!("\n{} of {} shape expectations hold", results.len() - failed, results.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn save(csv: Csv, opts: &Opts, name: &str) {
+    let path = opts.out.join(name);
+    match csv.write(&path) {
+        Ok(()) => println!("wrote {} ({} rows)", path.display(), csv.len()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

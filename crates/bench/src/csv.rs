@@ -1,0 +1,120 @@
+//! Tiny CSV emitter — the artifact's scripts aggregate results into `.csv`
+//! files; so does the `repro` binary.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// An in-memory CSV table.
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// New table with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Csv { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: ToString>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV text.
+    pub fn to_string_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the table to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_string_csv())
+    }
+}
+
+/// Formats a `Duration` in milliseconds with microsecond resolution.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.4}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["1", "2"]);
+        c.row(["x", "y"]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.to_string_csv(), "a,b\n1,2\nx,y\n");
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut c = Csv::new(["v"]);
+        c.row(["a,b"]);
+        c.row(["say \"hi\""]);
+        assert_eq!(c.to_string_csv(), "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["only one"]);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.5000");
+        assert_eq!(ms(Duration::ZERO), "0.0000");
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("gms_csv_test");
+        let path = dir.join("t.csv");
+        let mut c = Csv::new(["x"]);
+        c.row([42]);
+        c.write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n42\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

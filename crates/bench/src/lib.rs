@@ -1,0 +1,24 @@
+//! # gpumem-bench — the benchmark harness
+//!
+//! Reproduces every table and figure of the paper's evaluation (Section 4)
+//! against the Rust ports of the surveyed managers:
+//!
+//! * [`registry`] — instantiate any manager by kind or by the artifact's
+//!   `o+s+h+c+r+x` selector syntax.
+//! * [`runners`] — one runner per test-case family: allocation performance
+//!   (thread/warp), mixed sizes, scaling, fragmentation, out-of-memory,
+//!   work generation, write/access performance, graph initialisation and
+//!   graph updates, plus the §4.1 init/register measurements.
+//! * [`csv`] — result serialisation, consumed by `EXPERIMENTS.md`.
+//!
+//! * [`shapes`] — mechanical verification that a finished run exhibits the
+//!   paper's qualitative results (`repro check`).
+//!
+//! The `repro` binary (in `src/bin`) drives everything:
+//! `repro all` writes one CSV per figure into `results/`, and
+//! `repro check` validates the shapes against the paper.
+
+pub mod csv;
+pub mod registry;
+pub mod runners;
+pub mod shapes;

@@ -1,0 +1,219 @@
+//! The manager registry — "switch between them for benchmarking purposes".
+//!
+//! Mirrors the artifact's selection syntax: each approach is picked by the
+//! first letter of its name and chained with `+` (`-t o+s+h+c+r+x`,
+//! Appendix A.6). Every kind constructs through one call, so any test case
+//! can run against any manager.
+
+use std::sync::Arc;
+
+use alloc_atomic::AtomicAlloc;
+use alloc_cuda::CudaAllocModel;
+use alloc_fdg::FdgMalloc;
+use alloc_halloc::Halloc;
+use alloc_ouroboros::{OuroSC, OuroSP, OuroVAC, OuroVAP, OuroVLC, OuroVLP};
+use alloc_regeff::{RegEffC, RegEffCF, RegEffCFM, RegEffCM};
+use alloc_scatter::ScatterAlloc;
+use alloc_xmalloc::XMalloc;
+use gpumem_core::{DeviceAllocator, DeviceHeap};
+
+/// Every manager variant the framework can instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ManagerKind {
+    Atomic,
+    CudaAllocator,
+    XMalloc,
+    ScatterAlloc,
+    FDGMalloc,
+    RegEffC,
+    RegEffCF,
+    RegEffCM,
+    RegEffCFM,
+    Halloc,
+    OuroSP,
+    OuroSC,
+    OuroVAP,
+    OuroVAC,
+    OuroVLP,
+    OuroVLC,
+}
+
+use ManagerKind::*;
+
+/// All kinds, in the paper's Figure 8 plot order.
+pub const ALL_KINDS: [ManagerKind; 16] = [
+    OuroSP, OuroSC, OuroVAP, OuroVAC, OuroVLP, OuroVLC, ScatterAlloc, Halloc,
+    CudaAllocator, XMalloc, RegEffC, RegEffCF, RegEffCM, RegEffCFM, FDGMalloc, Atomic,
+];
+
+/// The default evaluation set: the paper's `-t o+s+h+c+r+x` plus the Atomic
+/// baseline (FDGMalloc is opt-in, as in the paper's final evaluation).
+pub const DEFAULT_KINDS: [ManagerKind; 15] = [
+    OuroSP, OuroSC, OuroVAP, OuroVAC, OuroVLP, OuroVLC, ScatterAlloc, Halloc,
+    CudaAllocator, XMalloc, RegEffC, RegEffCF, RegEffCM, RegEffCFM, Atomic,
+];
+
+impl ManagerKind {
+    /// Label used in CSVs and reports (matches the paper's naming).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Atomic => "Atomic",
+            CudaAllocator => "CUDA-Allocator",
+            XMalloc => "XMalloc",
+            ScatterAlloc => "ScatterAlloc",
+            FDGMalloc => "FDGMalloc",
+            RegEffC => "Reg-Eff-C",
+            RegEffCF => "Reg-Eff-CF",
+            RegEffCM => "Reg-Eff-CM",
+            RegEffCFM => "Reg-Eff-CFM",
+            Halloc => "Halloc",
+            OuroSP => "Ouro-S-P",
+            OuroSC => "Ouro-S-C",
+            OuroVAP => "Ouro-VA-P",
+            OuroVAC => "Ouro-VA-C",
+            OuroVLP => "Ouro-VL-P",
+            OuroVLC => "Ouro-VL-C",
+        }
+    }
+
+    /// Plot colour (hex), following the consistent colour scheme of
+    /// Figure 8 (Ouroboros greens, ScatterAlloc blue, Halloc amber,
+    /// CUDA-Allocator grey, XMalloc violet, Reg-Eff reds).
+    pub fn color(&self) -> &'static str {
+        match self {
+            OuroSP => "#1b7837",
+            OuroSC => "#5aae61",
+            OuroVAP => "#a6dba0",
+            OuroVAC => "#00441b",
+            OuroVLP => "#238b45",
+            OuroVLC => "#74c476",
+            ScatterAlloc => "#2166ac",
+            Halloc => "#e08214",
+            CudaAllocator => "#7f7f7f",
+            XMalloc => "#762a83",
+            RegEffC => "#b2182b",
+            RegEffCF => "#d6604d",
+            RegEffCM => "#f4a582",
+            RegEffCFM => "#fddbc7",
+            FDGMalloc => "#c51b7d",
+            Atomic => "#000000",
+        }
+    }
+
+    /// Whether this kind frees through `free_warp_all` (FDGMalloc).
+    pub fn warp_level_only(&self) -> bool {
+        matches!(self, FDGMalloc)
+    }
+
+    /// Instantiates the manager over a fresh heap of `heap_bytes`
+    /// (`num_sms` feeds the SM-scattering variants).
+    pub fn create(&self, heap_bytes: u64, num_sms: u32) -> Box<dyn DeviceAllocator> {
+        let heap = Arc::new(DeviceHeap::new(heap_bytes));
+        self.create_on(heap, num_sms)
+    }
+
+    /// Instantiates the manager over an existing heap.
+    pub fn create_on(
+        &self,
+        heap: Arc<DeviceHeap>,
+        num_sms: u32,
+    ) -> Box<dyn DeviceAllocator> {
+        match self {
+            Atomic => Box::new(AtomicAlloc::new(heap)),
+            CudaAllocator => Box::new(CudaAllocModel::new(heap)),
+            XMalloc => Box::new(XMalloc::new(heap)),
+            ScatterAlloc => Box::new(ScatterAlloc::new(heap)),
+            FDGMalloc => Box::new(FdgMalloc::new(heap)),
+            RegEffC => Box::new(RegEffC::new(heap, num_sms)),
+            RegEffCF => Box::new(RegEffCF::new(heap, num_sms)),
+            RegEffCM => Box::new(RegEffCM::new(heap, num_sms)),
+            RegEffCFM => Box::new(RegEffCFM::new(heap, num_sms)),
+            Halloc => Box::new(Halloc::new(heap)),
+            OuroSP => Box::new(OuroSP::new(heap)),
+            OuroSC => Box::new(OuroSC::new(heap)),
+            OuroVAP => Box::new(OuroVAP::new(heap)),
+            OuroVAC => Box::new(OuroVAC::new(heap)),
+            OuroVLP => Box::new(OuroVLP::new(heap)),
+            OuroVLC => Box::new(OuroVLC::new(heap)),
+        }
+    }
+
+    /// Parses the artifact's selector syntax: letters chained with `+`
+    /// (`o` Ouroboros, `s` ScatterAlloc, `h` Halloc, `c` CUDA-Allocator,
+    /// `r` Reg-Eff, `x` XMalloc, `f` FDGMalloc, `a` Atomic baseline).
+    pub fn parse_selector(s: &str) -> Result<Vec<ManagerKind>, String> {
+        let mut kinds = Vec::new();
+        for part in s.split('+') {
+            match part.trim().to_ascii_lowercase().as_str() {
+                "o" => kinds.extend([OuroSP, OuroSC, OuroVAP, OuroVAC, OuroVLP, OuroVLC]),
+                "s" => kinds.push(ScatterAlloc),
+                "h" => kinds.push(Halloc),
+                "c" => kinds.push(CudaAllocator),
+                "r" => kinds.extend([RegEffC, RegEffCF, RegEffCM, RegEffCFM]),
+                "x" => kinds.push(XMalloc),
+                "f" => kinds.push(FDGMalloc),
+                "a" => kinds.push(Atomic),
+                other => return Err(format!("unknown approach selector: {other:?}")),
+            }
+        }
+        Ok(kinds)
+    }
+}
+
+/// Creates the default evaluation set over per-manager heaps.
+pub fn all_managers(heap_bytes: u64, num_sms: u32) -> Vec<(ManagerKind, Box<dyn DeviceAllocator>)> {
+    DEFAULT_KINDS
+        .iter()
+        .map(|k| (*k, k.create(heap_bytes, num_sms)))
+        .collect()
+}
+
+/// Creates one manager by kind (facade convenience).
+pub fn create_manager(kind: ManagerKind, heap_bytes: u64) -> Box<dyn DeviceAllocator> {
+    kind.create(heap_bytes, 80)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumem_core::ThreadCtx;
+
+    const HEAP: u64 = 16 << 20;
+
+    #[test]
+    fn every_kind_constructs_and_allocates() {
+        for kind in ALL_KINDS {
+            let a = kind.create(HEAP, 80);
+            assert_eq!(a.info().label(), kind.label().replace("Ouro-", "Ouroboros-"));
+            let p = a.malloc(&ThreadCtx::host(), 64).unwrap();
+            assert!(p.offset() + 64 <= HEAP, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn selector_parses_paper_syntax() {
+        let kinds = ManagerKind::parse_selector("o+s+h+c+r+x").unwrap();
+        assert_eq!(kinds.len(), 6 + 1 + 1 + 1 + 4 + 1);
+        assert!(kinds.contains(&OuroVLC));
+        assert!(kinds.contains(&RegEffCFM));
+        assert!(!kinds.contains(&FDGMalloc));
+        assert!(ManagerKind::parse_selector("q").is_err());
+        assert_eq!(ManagerKind::parse_selector("f+a").unwrap(), vec![FDGMalloc, Atomic]);
+    }
+
+    #[test]
+    fn labels_and_colors_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            ALL_KINDS.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), ALL_KINDS.len());
+        let colors: std::collections::HashSet<_> =
+            ALL_KINDS.iter().map(|k| k.color()).collect();
+        assert_eq!(colors.len(), ALL_KINDS.len());
+    }
+
+    #[test]
+    fn default_set_excludes_fdg() {
+        assert!(!DEFAULT_KINDS.contains(&FDGMalloc));
+        assert_eq!(DEFAULT_KINDS.len(), 15);
+    }
+}

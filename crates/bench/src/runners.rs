@@ -1,0 +1,632 @@
+//! Experiment runners — one function per test-case family of Section 4.
+//!
+//! Every runner creates a *fresh* manager per cell (as the artifact's
+//! scripts do between runs), executes the kernel(s) on the simulated
+//! device, and returns plain rows the `repro` binary serialises to CSV.
+
+use std::time::{Duration, Instant};
+
+use gpu_sim::{Device, PerThread};
+use gpumem_core::{AllocError, DeviceAllocator, DevicePtr, WarpCtx, WARP_SIZE};
+use gpumem_core::frag::{AddressRange, FragmentationStats};
+use gpu_workloads::{sizes, workgen, write_test};
+
+use crate::registry::ManagerKind;
+
+/// Shared experiment context.
+pub struct Bench {
+    /// The simulated device (spec + worker pool).
+    pub device: Device,
+    /// Iterations per cell; the mean is reported (the paper uses 100; the
+    /// CPU default is smaller).
+    pub iterations: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Soft per-cell timeout: once a cell exceeds it, larger parameter
+    /// values for the same manager are skipped (mirrors the artifact's
+    /// per-process timeout).
+    pub cell_timeout: Duration,
+}
+
+impl Bench {
+    /// Context with CPU-scaled defaults on the given device.
+    pub fn new(device: Device) -> Self {
+        Bench {
+            device,
+            iterations: 2,
+            seed: 0x5eed,
+            cell_timeout: Duration::from_secs(20),
+        }
+    }
+
+    fn num_sms(&self) -> u32 {
+        self.device.spec().num_sms
+    }
+}
+
+/// Sizes a per-manager heap for a demand of `num × max_size` bytes: six-fold
+/// headroom (fragmentation, per-manager metadata, repeated iterations for
+/// managers without free), clamped to sane host bounds.
+pub fn heap_for(num: u32, max_size: u64) -> u64 {
+    let demand = num as u64 * max_size.max(16);
+    let raw = (demand.saturating_mul(6)).clamp(64 << 20, 6 << 30);
+    raw.div_ceil(4 << 20) * (4 << 20)
+}
+
+/// One cell of the allocation-performance experiments (Figures 9/10).
+#[derive(Clone, Debug)]
+pub struct AllocPerfCell {
+    pub manager: &'static str,
+    pub size: u64,
+    pub num: u32,
+    pub alloc: Duration,
+    /// `None` when the manager cannot free (Atomic) — plotted as a gap.
+    pub free: Option<Duration>,
+    pub failures: u64,
+    pub timed_out: bool,
+}
+
+/// Runs one (manager, size, num) cell of Fig. 9/10: `num` allocations of
+/// `size` bytes (thread-based, or one per warp when `warp`), then the
+/// matching deallocations, averaged over `bench.iterations`.
+pub fn alloc_perf(
+    bench: &Bench,
+    kind: ManagerKind,
+    num: u32,
+    size: u64,
+    warp: bool,
+) -> AllocPerfCell {
+    let alloc = kind.create(heap_for(num, size), bench.num_sms());
+    let mut alloc_total = Duration::ZERO;
+    let mut free_total = Duration::ZERO;
+    let mut free_supported = true;
+    let mut failures = 0u64;
+    let started = Instant::now();
+    let mut iters_done = 0u32;
+
+    for _ in 0..bench.iterations {
+        let ptrs = PerThread::<DevicePtr>::new(num as usize);
+        let t_alloc = if warp {
+            bench.device.launch_warps(num, |w| {
+                let mut out = [DevicePtr::NULL; 1];
+                match alloc.malloc_warp(w, &[size], &mut out) {
+                    Ok(()) => ptrs.set(w.warp as usize, out[0]),
+                    Err(_) => ptrs.set(w.warp as usize, DevicePtr::NULL),
+                }
+            })
+        } else {
+            bench.device.launch(num, |ctx| {
+                match alloc.malloc(ctx, size) {
+                    Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+                    Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+                }
+            })
+        };
+        let ptrs = ptrs.into_vec();
+        failures += ptrs.iter().filter(|p| p.is_null()).count() as u64;
+        alloc_total += t_alloc;
+
+        // Deallocation phase.
+        if kind.warp_level_only() {
+            let warps = if warp { num } else { num.div_ceil(WARP_SIZE) };
+            free_total += bench.device.launch_warps(warps, |w| {
+                let _ = alloc.free_warp_all(w);
+            });
+        } else if alloc.info().supports_free {
+            free_total += if warp {
+                bench.device.launch_warps(num, |w| {
+                    let p = ptrs[w.warp as usize];
+                    if !p.is_null() {
+                        let _ = alloc.free(&w.leader(), p);
+                    }
+                })
+            } else {
+                bench.device.launch(num, |ctx| {
+                    let p = ptrs[ctx.thread_id as usize];
+                    if !p.is_null() {
+                        let _ = alloc.free(ctx, p);
+                    }
+                })
+            };
+        } else {
+            free_supported = false;
+        }
+        iters_done += 1;
+        if started.elapsed() > bench.cell_timeout {
+            break;
+        }
+    }
+    let n = iters_done.max(1);
+    AllocPerfCell {
+        manager: kind.label(),
+        size,
+        num,
+        alloc: alloc_total / n,
+        free: free_supported.then_some(free_total / n),
+        failures,
+        timed_out: started.elapsed() > bench.cell_timeout,
+    }
+}
+
+/// Runs one mixed-allocation cell (Fig. 9h): per-thread sizes uniform in
+/// `[4, upper]`.
+pub fn mixed_perf(bench: &Bench, kind: ManagerKind, num: u32, upper: u64) -> AllocPerfCell {
+    let alloc = kind.create(heap_for(num, upper), bench.num_sms());
+    let mut alloc_total = Duration::ZERO;
+    let mut free_total = Duration::ZERO;
+    let mut free_supported = true;
+    let mut failures = 0u64;
+    let started = Instant::now();
+    let mut iters_done = 0u32;
+
+    for it in 0..bench.iterations {
+        let seed = bench.seed ^ (it as u64);
+        let ptrs = PerThread::<DevicePtr>::new(num as usize);
+        alloc_total += bench.device.launch(num, |ctx| {
+            let size = sizes::thread_size(seed, ctx.thread_id, 4, upper);
+            match alloc.malloc(ctx, size) {
+                Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+                Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+            }
+        });
+        let ptrs = ptrs.into_vec();
+        failures += ptrs.iter().filter(|p| p.is_null()).count() as u64;
+        if alloc.info().supports_free {
+            free_total += bench.device.launch(num, |ctx| {
+                let p = ptrs[ctx.thread_id as usize];
+                if !p.is_null() {
+                    let _ = alloc.free(ctx, p);
+                }
+            });
+        } else if kind.warp_level_only() {
+            free_total += bench.device.launch_warps(num.div_ceil(WARP_SIZE), |w| {
+                let _ = alloc.free_warp_all(w);
+            });
+        } else {
+            free_supported = false;
+        }
+        iters_done += 1;
+        if started.elapsed() > bench.cell_timeout {
+            break;
+        }
+    }
+    let n = iters_done.max(1);
+    AllocPerfCell {
+        manager: kind.label(),
+        size: upper,
+        num,
+        alloc: alloc_total / n,
+        free: free_supported.then_some(free_total / n),
+        failures,
+        timed_out: started.elapsed() > bench.cell_timeout,
+    }
+}
+
+/// One row of the fragmentation experiment (Fig. 11a).
+#[derive(Clone, Debug)]
+pub struct FragCell {
+    pub manager: &'static str,
+    pub size: u64,
+    /// Address range after the initial `num` allocations.
+    pub initial: FragmentationStats,
+    /// Maximum address range observed across the alloc/free cycles.
+    pub max_range_after_cycles: u64,
+}
+
+/// Runs the fragmentation test: `num` allocations of `size`, address range
+/// recorded, then `cycles` iterations of free-all + allocate-all.
+pub fn fragmentation(
+    bench: &Bench,
+    kind: ManagerKind,
+    num: u32,
+    size: u64,
+    cycles: u32,
+) -> FragCell {
+    let alloc = kind.create(heap_for(num, size), bench.num_sms());
+    let allocate = |seed_round: u64| -> Vec<DevicePtr> {
+        let ptrs = PerThread::<DevicePtr>::new(num as usize);
+        bench.device.launch(num, |ctx| {
+            let _ = seed_round;
+            match alloc.malloc(ctx, size) {
+                Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+                Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+            }
+        });
+        ptrs.into_vec()
+    };
+    let range_of = |ptrs: &[DevicePtr]| {
+        let mut r = AddressRange::new();
+        for &p in ptrs {
+            r.record(p, size);
+        }
+        r
+    };
+
+    let mut ptrs = allocate(0);
+    let initial = FragmentationStats::from_range(&range_of(&ptrs));
+    let mut max_range = initial.address_range;
+    let can_free = alloc.info().supports_free || kind.warp_level_only();
+    if can_free {
+        for round in 1..=cycles {
+            if kind.warp_level_only() {
+                bench.device.launch_warps(num.div_ceil(WARP_SIZE), |w| {
+                    let _ = alloc.free_warp_all(w);
+                });
+            } else {
+                bench.device.launch(num, |ctx| {
+                    let p = ptrs[ctx.thread_id as usize];
+                    if !p.is_null() {
+                        let _ = alloc.free(ctx, p);
+                    }
+                });
+            }
+            ptrs = allocate(round as u64);
+            max_range = max_range.max(range_of(&ptrs).range());
+        }
+    }
+    FragCell {
+        manager: kind.label(),
+        size,
+        initial,
+        max_range_after_cycles: max_range,
+    }
+}
+
+/// One row of the out-of-memory experiment (Fig. 11b).
+#[derive(Clone, Debug)]
+pub struct OomCell {
+    pub manager: &'static str,
+    pub size: u64,
+    pub allocations: u64,
+    /// Achieved demand as a share of the heap (the "% of baseline" axis).
+    pub utilization: f64,
+    pub timed_out: bool,
+}
+
+/// Allocates `size` until the manager reports OOM (or the timeout fires,
+/// like the artifact's one-hour kill) and reports heap utilization.
+pub fn oom(bench: &Bench, kind: ManagerKind, heap_bytes: u64, size: u64) -> OomCell {
+    let alloc = kind.create(heap_bytes, bench.num_sms());
+    let start = Instant::now();
+    let mut count = 0u64;
+    let mut timed_out = false;
+    let ctx_pool: Vec<_> = (0..1024)
+        .map(|t| gpumem_core::ThreadCtx::from_linear(t, 256, bench.num_sms()))
+        .collect();
+    'outer: loop {
+        for ctx in &ctx_pool {
+            match alloc.malloc(ctx, size) {
+                Ok(_) => count += 1,
+                Err(_) => break 'outer,
+            }
+        }
+        if start.elapsed() > bench.cell_timeout {
+            timed_out = true;
+            break;
+        }
+    }
+    OomCell {
+        manager: kind.label(),
+        size,
+        allocations: count,
+        utilization: (count * size) as f64 / heap_bytes as f64,
+        timed_out,
+    }
+}
+
+/// One row of the work-generation experiment (Fig. 11c/d) or of the
+/// baseline series.
+#[derive(Clone, Debug)]
+pub struct WorkGenCell {
+    pub manager: &'static str,
+    pub threads: u32,
+    pub elapsed: Duration,
+    pub failures: u64,
+}
+
+/// Work generation through a manager: allocate per-thread work and write it.
+pub fn work_generation(
+    bench: &Bench,
+    kind: ManagerKind,
+    threads: u32,
+    lo: u64,
+    hi: u64,
+) -> WorkGenCell {
+    let alloc = kind.create(heap_for(threads, hi), bench.num_sms());
+    let r = workgen::run_managed(alloc.as_ref(), &bench.device, threads, bench.seed, lo, hi);
+    WorkGenCell {
+        manager: kind.label(),
+        threads,
+        elapsed: r.elapsed,
+        failures: r.failures,
+    }
+}
+
+/// The prefix-sum baseline row for the same workload.
+pub fn work_generation_baseline(bench: &Bench, threads: u32, lo: u64, hi: u64) -> WorkGenCell {
+    let heap = gpumem_core::DeviceHeap::new(heap_for(threads, hi));
+    let r = workgen::run_baseline(&bench.device, &heap, threads, bench.seed, lo, hi);
+    WorkGenCell { manager: "Baseline", threads, elapsed: r.elapsed, failures: r.failures }
+}
+
+/// One row of the write/access-performance experiment (Fig. 11e).
+#[derive(Clone, Debug)]
+pub struct WriteCell {
+    pub manager: &'static str,
+    pub pattern: String,
+    /// Memory transactions relative to the coalesced baseline (≥ 1.0).
+    pub relative_cost: f64,
+    pub failures: u64,
+}
+
+/// Prices each manager's allocation layout with the coalescing model.
+pub fn write_performance(
+    bench: &Bench,
+    kind: ManagerKind,
+    threads: u32,
+    pattern: write_test::WritePattern,
+) -> WriteCell {
+    let max = match pattern {
+        write_test::WritePattern::Uniform { bytes } => bytes,
+        write_test::WritePattern::Mixed { hi, .. } => hi,
+    };
+    let alloc = kind.create(heap_for(threads, max), bench.num_sms());
+    let r = write_test::run(alloc.as_ref(), &bench.device, threads, bench.seed, pattern);
+    WriteCell {
+        manager: kind.label(),
+        pattern: format!("{pattern:?}"),
+        relative_cost: r.stats.relative_cost(),
+        failures: r.failures,
+    }
+}
+
+/// One row of the graph experiments (Fig. 11f/11g).
+#[derive(Clone, Debug)]
+pub struct GraphCell {
+    pub manager: &'static str,
+    pub graph: String,
+    pub elapsed: Duration,
+    pub failures: u64,
+}
+
+/// Graph initialisation (Fig. 11f).
+pub fn graph_init(bench: &Bench, kind: ManagerKind, csr: &dyn_graph::CsrGraph) -> GraphCell {
+    let demand: u64 = (0..csr.vertices())
+        .map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4))
+        .sum();
+    let alloc = kind.create(heap_for(1, demand.max(1 << 20)), bench.num_sms());
+    let (g, elapsed) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
+    GraphCell {
+        manager: kind.label(),
+        graph: csr.name.clone(),
+        elapsed,
+        failures: g.failures(),
+    }
+}
+
+/// Graph updates (Fig. 11g): insert `n_edges`, focused or uniform.
+pub fn graph_update(
+    bench: &Bench,
+    kind: ManagerKind,
+    csr: &dyn_graph::CsrGraph,
+    n_edges: u32,
+    focused: bool,
+) -> GraphCell {
+    let demand: u64 = (0..csr.vertices())
+        .map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4))
+        .sum();
+    // Updates grow a few adjacencies dramatically; generous headroom.
+    let heap = heap_for(1, (demand + n_edges as u64 * 64).max(1 << 20));
+    let alloc = kind.create(heap, bench.num_sms());
+    let (g, _) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
+    let edges = if focused {
+        dyn_graph::focused_edges(csr.vertices(), n_edges, 20, bench.seed)
+    } else {
+        dyn_graph::uniform_edges(csr.vertices(), n_edges, bench.seed)
+    };
+    let elapsed = g.insert_edges(&bench.device, &edges);
+    GraphCell {
+        manager: kind.label(),
+        graph: csr.name.clone(),
+        elapsed,
+        failures: g.failures(),
+    }
+}
+
+/// One row of the initialisation & register experiment (§4.1).
+#[derive(Clone, Debug)]
+pub struct InitCell {
+    pub manager: &'static str,
+    pub init: Duration,
+    pub malloc_regs: u32,
+    pub free_regs: u32,
+}
+
+/// Measures manager construction time and the register-footprint proxy.
+pub fn init_performance(bench: &Bench, kind: ManagerKind, heap_bytes: u64) -> InitCell {
+    // Pre-create the heap so the measurement isolates the manager's own
+    // initialisation, as the artifact does.
+    let heap = std::sync::Arc::new(gpumem_core::DeviceHeap::new(heap_bytes));
+    let start = Instant::now();
+    let alloc = kind.create_on(heap, bench.num_sms());
+    let init = start.elapsed();
+    let regs = alloc.register_footprint();
+    InitCell {
+        manager: kind.label(),
+        init,
+        malloc_regs: regs.malloc,
+        free_regs: regs.free,
+    }
+}
+
+/// Sanity helper shared by tests and the quickstart example: allocate,
+/// write, read back, free.
+pub fn smoke_test(alloc: &dyn DeviceAllocator) -> Result<(), AllocError> {
+    let ctx = gpumem_core::ThreadCtx::host();
+    let p = alloc.malloc(&ctx, 256)?;
+    alloc.heap().fill(p, 256, 0x5c);
+    assert_eq!(alloc.heap().read_u8(p, 255), 0x5c);
+    if alloc.info().supports_free {
+        alloc.free(&ctx, p)?;
+    } else if alloc.info().warp_level_only {
+        alloc.free_warp_all(&WarpCtx { warp: 0, block: 0, sm: 0 })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn bench() -> Bench {
+        let mut b = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 2));
+        b.iterations = 1;
+        b
+    }
+
+    #[test]
+    fn heap_sizing_bounds() {
+        assert_eq!(heap_for(1, 16) % (4 << 20), 0);
+        assert!(heap_for(1, 16) >= 64 << 20);
+        assert!(heap_for(1 << 20, 8192) <= 6 << 30);
+        assert!(heap_for(100_000, 8192) >= 100_000 * 8192);
+    }
+
+    #[test]
+    fn alloc_perf_runs_for_every_default_kind() {
+        let b = bench();
+        for kind in crate::registry::DEFAULT_KINDS {
+            let cell = alloc_perf(&b, kind, 2048, 64, false);
+            assert_eq!(cell.failures, 0, "{}", kind.label());
+            assert!(cell.alloc.as_nanos() > 0, "{}", kind.label());
+            if kind != ManagerKind::Atomic {
+                assert!(cell.free.is_some(), "{}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn warp_mode_allocates_one_per_warp() {
+        let b = bench();
+        let cell = alloc_perf(&b, ManagerKind::ScatterAlloc, 512, 128, true);
+        assert_eq!(cell.failures, 0);
+        assert_eq!(cell.num, 512);
+    }
+
+    #[test]
+    fn fdg_runs_via_warp_free() {
+        let b = bench();
+        let cell = alloc_perf(&b, ManagerKind::FDGMalloc, 1024, 64, false);
+        assert_eq!(cell.failures, 0);
+        assert!(cell.free.is_some(), "tidy-up counts as deallocation");
+    }
+
+    #[test]
+    fn mixed_perf_counts_no_failures_with_headroom() {
+        let b = bench();
+        let cell = mixed_perf(&b, ManagerKind::OuroVAP, 2048, 1024);
+        assert_eq!(cell.failures, 0);
+    }
+
+    #[test]
+    fn fragmentation_baseline_is_tight_for_atomic() {
+        let b = bench();
+        let cell = fragmentation(&b, ManagerKind::Atomic, 4096, 64, 0);
+        // Bump allocation is perfectly packed: range == demand.
+        assert_eq!(cell.initial.address_range, cell.initial.baseline);
+    }
+
+    #[test]
+    fn fragmentation_cuda_spans_whole_heap() {
+        let b = bench();
+        let cell = fragmentation(&b, ManagerKind::CudaAllocator, 512, 4096, 1);
+        // Small units from the bottom, large area pinned at top on first
+        // carve? Not for uniform small sizes — but the expansion must still
+        // exceed the packed baseline.
+        assert!(cell.initial.expansion_factor() >= 1.0);
+    }
+
+    #[test]
+    fn oom_utilization_in_unit_range() {
+        let b = bench();
+        for kind in [ManagerKind::OuroSP, ManagerKind::ScatterAlloc, ManagerKind::Halloc] {
+            let cell = oom(&b, kind, 64 << 20, 1024);
+            assert!(!cell.timed_out, "{}", kind.label());
+            assert!(
+                cell.utilization > 0.5 && cell.utilization <= 1.0,
+                "{}: {}",
+                kind.label(),
+                cell.utilization
+            );
+        }
+    }
+
+    #[test]
+    fn workgen_managed_and_baseline() {
+        let b = bench();
+        let m = work_generation(&b, ManagerKind::ScatterAlloc, 4096, 4, 64);
+        assert_eq!(m.failures, 0);
+        let base = work_generation_baseline(&b, 4096, 4, 64);
+        assert_eq!(base.failures, 0);
+        assert_eq!(base.manager, "Baseline");
+    }
+
+    #[test]
+    fn write_perf_relative_cost_sane() {
+        let b = bench();
+        let cell = write_performance(
+            &b,
+            ManagerKind::OuroSP,
+            4096,
+            write_test::WritePattern::Uniform { bytes: 32 },
+        );
+        assert!(cell.relative_cost >= 0.9, "{}", cell.relative_cost);
+        assert!(cell.relative_cost < 8.0, "{}", cell.relative_cost);
+    }
+
+    #[test]
+    fn graph_init_and_update_run() {
+        let b = bench();
+        let csr = dyn_graph::generate("fe_body", 256, 3);
+        let init = graph_init(&b, ManagerKind::OuroVLP, &csr);
+        assert_eq!(init.failures, 0);
+        let upd = graph_update(&b, ManagerKind::OuroVLP, &csr, 2000, true);
+        assert_eq!(upd.failures, 0);
+    }
+
+    #[test]
+    fn init_performance_reports_registers() {
+        let b = bench();
+        let cuda = init_performance(&b, ManagerKind::CudaAllocator, 64 << 20);
+        let regeff = init_performance(&b, ManagerKind::RegEffC, 64 << 20);
+        let xmal = init_performance(&b, ManagerKind::XMalloc, 64 << 20);
+        // §4.1 ordering: Reg-Eff least, XMalloc's malloc the outlier.
+        assert!(regeff.malloc_regs < cuda.malloc_regs);
+        assert!(xmal.malloc_regs > 3 * cuda.malloc_regs);
+    }
+
+    #[test]
+    fn smoke_every_default_kind() {
+        for kind in crate::registry::DEFAULT_KINDS {
+            let a = kind.create(64 << 20, 80);
+            smoke_test(a.as_ref()).unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod mp_probe {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn scatter_multipage_via_harness() {
+        let mut b = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 1));
+        b.iterations = 1;
+        let t = std::time::Instant::now();
+        let cell = alloc_perf(&b, crate::registry::ManagerKind::ScatterAlloc, 10_000, 8192, false);
+        eprintln!("harness cell: alloc={:?} wall={:?} failures={}", cell.alloc, t.elapsed(), cell.failures);
+    }
+}

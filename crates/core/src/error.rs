@@ -1,0 +1,69 @@
+//! Error type shared by every memory manager in the framework.
+
+use std::fmt;
+
+/// Why an allocation or deallocation request failed.
+///
+/// The survey treats a returned null pointer / trap as failure; the Rust port
+/// surfaces the cause so the out-of-memory test case (Fig. 11b) can
+/// distinguish genuine exhaustion from misuse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The manager could not find memory for the request. Carries the
+    /// requested size in bytes.
+    OutOfMemory(u64),
+    /// The requested size is zero or exceeds what this manager supports
+    /// (e.g. larger than the manageable region).
+    UnsupportedSize(u64),
+    /// `free` was handed a pointer this manager does not recognise as a live
+    /// allocation of its own.
+    InvalidPointer,
+    /// The operation is not offered by this manager (e.g. FDGMalloc has no
+    /// per-allocation `free`; the Atomic baseline has no `free` at all).
+    Unsupported(&'static str),
+    /// The manager gave up after exceeding an internal retry bound. The
+    /// originals would deadlock or trap here; the port reports it. Carries a
+    /// short description of the exhausted search.
+    Contention(&'static str),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory(sz) => {
+                write!(f, "out of memory allocating {sz} bytes")
+            }
+            AllocError::UnsupportedSize(sz) => {
+                write!(f, "unsupported allocation size: {sz} bytes")
+            }
+            AllocError::InvalidPointer => write!(f, "invalid pointer passed to free"),
+            AllocError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+            AllocError::Contention(what) => {
+                write!(f, "gave up after excessive contention: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AllocError::OutOfMemory(64).to_string(),
+            "out of memory allocating 64 bytes"
+        );
+        assert!(AllocError::Unsupported("free").to_string().contains("free"));
+        assert!(AllocError::Contention("page search").to_string().contains("page search"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&AllocError::InvalidPointer);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fragmentation measurement (paper §4.3, Figure 11a).
+//!
+//! "To assess fragmentation from outside the allocators, we track the maximum
+//! address range for a number of allocations as well as the maximum address
+//! range after 100 iterations of allocations and deallocations."
+//!
+//! [`AddressRange`] accumulates pointers and reports `max(ptr + size) -
+//! min(ptr)`; [`FragmentationStats`] compares that range to the theoretical
+//! minimum (the packed footprint of the same demand) to yield the
+//! "% over baseline" the paper plots.
+
+use crate::ptr::DevicePtr;
+
+/// Accumulates the address range spanned by a set of allocations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AddressRange {
+    lo: Option<u64>,
+    hi: Option<u64>,
+    total_bytes: u64,
+    count: u64,
+}
+
+impl AddressRange {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one allocation of `size` bytes at `ptr`. Null pointers
+    /// (failed allocations) are ignored, matching the survey's scripts.
+    pub fn record(&mut self, ptr: DevicePtr, size: u64) {
+        if ptr.is_null() {
+            return;
+        }
+        let off = ptr.offset();
+        self.lo = Some(self.lo.map_or(off, |l| l.min(off)));
+        self.hi = Some(self.hi.map_or(off + size, |h| h.max(off + size)));
+        self.total_bytes += size;
+        self.count += 1;
+    }
+
+    /// Merges another tracker (used when per-worker trackers are reduced).
+    pub fn merge(&mut self, other: &AddressRange) {
+        if let Some(lo) = other.lo {
+            self.lo = Some(self.lo.map_or(lo, |l| l.min(lo)));
+        }
+        if let Some(hi) = other.hi {
+            self.hi = Some(self.hi.map_or(hi, |h| h.max(hi)));
+        }
+        self.total_bytes += other.total_bytes;
+        self.count += other.count;
+    }
+
+    /// `max(ptr+size) - min(ptr)`, or 0 if nothing was recorded.
+    pub fn range(&self) -> u64 {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) => h - l,
+            _ => 0,
+        }
+    }
+
+    /// Sum of requested bytes — the theoretical perfectly-packed range.
+    pub fn demand(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of successful allocations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Final fragmentation report for one (manager, size) cell of Fig. 11a.
+#[derive(Clone, Copy, Debug)]
+pub struct FragmentationStats {
+    /// Observed maximum address range in bytes.
+    pub address_range: u64,
+    /// Theoretical packed baseline in bytes (sum of requests).
+    pub baseline: u64,
+    /// Successful allocations measured.
+    pub allocations: u64,
+}
+
+impl FragmentationStats {
+    /// Builds a report from a finished tracker.
+    pub fn from_range(r: &AddressRange) -> Self {
+        FragmentationStats {
+            address_range: r.range(),
+            baseline: r.demand(),
+            allocations: r.count(),
+        }
+    }
+
+    /// Address range as a multiple of the packed baseline (1.0 = perfect).
+    pub fn expansion_factor(&self) -> f64 {
+        if self.baseline == 0 {
+            0.0
+        } else {
+            self.address_range as f64 / self.baseline as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_range_is_zero() {
+        let r = AddressRange::new();
+        assert_eq!(r.range(), 0);
+        assert_eq!(r.demand(), 0);
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn records_span() {
+        let mut r = AddressRange::new();
+        r.record(DevicePtr::new(100), 16);
+        r.record(DevicePtr::new(200), 32);
+        assert_eq!(r.range(), 232 - 100);
+        assert_eq!(r.demand(), 48);
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn null_pointers_ignored() {
+        let mut r = AddressRange::new();
+        r.record(DevicePtr::NULL, 64);
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.range(), 0);
+    }
+
+    #[test]
+    fn merge_combines_extremes() {
+        let mut a = AddressRange::new();
+        a.record(DevicePtr::new(1000), 8);
+        let mut b = AddressRange::new();
+        b.record(DevicePtr::new(0), 8);
+        b.record(DevicePtr::new(5000), 24);
+        a.merge(&b);
+        assert_eq!(a.range(), 5024);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.demand(), 40);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = AddressRange::new();
+        a.record(DevicePtr::new(16), 16);
+        let before = a.range();
+        a.merge(&AddressRange::new());
+        assert_eq!(a.range(), before);
+    }
+
+    #[test]
+    fn expansion_factor() {
+        let mut r = AddressRange::new();
+        r.record(DevicePtr::new(0), 100);
+        r.record(DevicePtr::new(900), 100);
+        let s = FragmentationStats::from_range(&r);
+        assert_eq!(s.address_range, 1000);
+        assert_eq!(s.baseline, 200);
+        assert!((s.expansion_factor() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_factor_of_empty_is_zero() {
+        let s = FragmentationStats::from_range(&AddressRange::new());
+        assert_eq!(s.expansion_factor(), 0.0);
+    }
+}

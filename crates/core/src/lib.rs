@@ -1,0 +1,47 @@
+//! # gpumem-core
+//!
+//! Core abstractions for the GPU dynamic-memory-manager survey reproduction
+//! (Winter et al., *"Are Dynamic Memory Managers on GPUs Slow? A Survey and
+//! Benchmarks"*, PPoPP 2021).
+//!
+//! This crate defines the pieces every memory manager and every benchmark
+//! shares:
+//!
+//! * [`DeviceHeap`] — the simulated slab of GPU global memory. One contiguous
+//!   host allocation addressed by byte offsets, with *in-heap atomic views*
+//!   so allocators can keep their headers and tables inside the managed
+//!   region, exactly like their CUDA originals.
+//! * [`DevicePtr`] — a byte offset into a [`DeviceHeap`] (the survey's
+//!   device-pointer equivalent).
+//! * [`ThreadCtx`] / [`WarpCtx`] — the identity a simulated GPU thread or
+//!   warp carries into an allocation call (thread / lane / warp / block /
+//!   SM id). Several allocators hash these ids (ScatterAlloc scatters by SM
+//!   id, Reg-Eff-CM keeps one offset per SM, FDGMalloc keys state by warp).
+//! * [`DeviceAllocator`] — the unified `malloc`/`free` interface of the
+//!   survey's framework, Section 3 of the paper. Warp-level entry points
+//!   ([`DeviceAllocator::malloc_warp`]) model warp-aggregated allocation.
+//! * [`ManagerInfo`] — the static survey metadata behind Table 1.
+//! * [`RegisterFootprint`] — the register-requirement proxy used for the
+//!   Section 4.1 comparison (see that type's docs for the methodology).
+//! * [`frag`] — fragmentation / address-range measurement (Figure 11a).
+//!
+//! Everything here is `std`-only; no external dependencies.
+
+pub mod ctx;
+pub mod error;
+pub mod frag;
+pub mod heap;
+pub mod info;
+pub mod ptr;
+pub mod regs;
+pub mod traits;
+pub mod util;
+
+pub use ctx::{ThreadCtx, WarpCtx, WARP_SIZE};
+pub use error::AllocError;
+pub use frag::{AddressRange, FragmentationStats};
+pub use heap::DeviceHeap;
+pub use info::{Availability, ManagerInfo, SurveyRow, SURVEY_TABLE};
+pub use ptr::DevicePtr;
+pub use regs::RegisterFootprint;
+pub use traits::DeviceAllocator;

@@ -1,0 +1,131 @@
+//! Device pointers: byte offsets into a [`DeviceHeap`](crate::DeviceHeap).
+//!
+//! On a real GPU the surveyed allocators return raw `void*` into the device
+//! heap. In the simulation a pointer is a byte offset into the managed
+//! region, which keeps pointers stable, serializable and easy to validate
+//! (the fragmentation and out-of-memory test cases of the paper only inspect
+//! pointer *values*, never dereference them on the host).
+
+use std::fmt;
+
+/// A pointer into the simulated device heap, expressed as a byte offset.
+///
+/// `DevicePtr::NULL` plays the role of CUDA's null return from a failed
+/// `malloc`. All other values are offsets in `0..heap.len()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DevicePtr(u64);
+
+impl DevicePtr {
+    /// The null pointer (failed allocation / not yet assigned).
+    pub const NULL: DevicePtr = DevicePtr(u64::MAX);
+
+    /// Creates a pointer from a byte offset.
+    #[inline]
+    pub const fn new(offset: u64) -> Self {
+        DevicePtr(offset)
+    }
+
+    /// The byte offset this pointer designates.
+    ///
+    /// # Panics
+    /// Panics on [`DevicePtr::NULL`]; call [`DevicePtr::is_null`] first when
+    /// null is a possible value.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        assert!(!self.is_null(), "offset() called on DevicePtr::NULL");
+        self.0
+    }
+
+    /// The raw representation (including the null sentinel).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null pointer.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Pointer arithmetic: `self + bytes`.
+    ///
+    /// # Panics
+    /// Panics on null or on overflow into the null sentinel.
+    #[inline]
+    pub fn add(self, bytes: u64) -> DevicePtr {
+        let off = self.offset().checked_add(bytes).expect("DevicePtr overflow");
+        assert_ne!(off, u64::MAX, "DevicePtr arithmetic produced the null sentinel");
+        DevicePtr(off)
+    }
+
+    /// Returns whether `self` is aligned to `align` bytes (`align` must be a
+    /// power of two).
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        !self.is_null() && self.0 & (align - 1) == 0
+    }
+}
+
+impl fmt::Debug for DevicePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "DevicePtr(NULL)")
+        } else {
+            write!(f, "DevicePtr({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for DevicePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Default for DevicePtr {
+    fn default() -> Self {
+        DevicePtr::NULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_roundtrip() {
+        assert!(DevicePtr::NULL.is_null());
+        assert!(!DevicePtr::new(0).is_null());
+        assert_eq!(DevicePtr::default(), DevicePtr::NULL);
+    }
+
+    #[test]
+    fn offset_and_add() {
+        let p = DevicePtr::new(128);
+        assert_eq!(p.offset(), 128);
+        assert_eq!(p.add(64).offset(), 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL")]
+    fn offset_on_null_panics() {
+        let _ = DevicePtr::NULL.offset();
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(DevicePtr::new(256).is_aligned(16));
+        assert!(!DevicePtr::new(260).is_aligned(16));
+        assert!(DevicePtr::new(260).is_aligned(4));
+        assert!(!DevicePtr::NULL.is_aligned(4));
+    }
+
+    #[test]
+    fn ordering_follows_offsets() {
+        assert!(DevicePtr::new(4) < DevicePtr::new(8));
+        // NULL sorts last, which the fragmentation tracker relies on.
+        assert!(DevicePtr::new(u64::MAX - 1) < DevicePtr::NULL);
+    }
+}

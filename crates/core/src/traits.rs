@@ -1,0 +1,214 @@
+//! The unified memory-manager interface (paper §3).
+//!
+//! "Each memory manager is instantiated on the host with a configurable size
+//! of the manageable memory. This memory manager can then be passed to device
+//! kernels and offers the standard malloc/free interface. Using this
+//! framework, one can integrate a memory manager into an existing project and
+//! simply swap out one declaration to change between memory managers."
+//!
+//! [`DeviceAllocator`] is that interface. Thread-level entry points take a
+//! [`ThreadCtx`]; warp-level entry points take a [`WarpCtx`] plus the 32 lane
+//! requests, which lets coalescing designs (XMalloc, Halloc, FDGMalloc) batch
+//! them the way their warp-aggregated atomics do on hardware.
+
+use crate::ctx::{ThreadCtx, WarpCtx};
+use crate::error::AllocError;
+use crate::heap::DeviceHeap;
+use crate::info::ManagerInfo;
+use crate::ptr::DevicePtr;
+use crate::regs::RegisterFootprint;
+
+/// The survey's uniform `malloc`/`free` interface.
+///
+/// All methods take `&self`: a manager is shared across every simulated
+/// thread and must synchronise internally (with atomics, as the originals
+/// do). Implementations are registered with the benchmark registry in the
+/// `gpumem-bench` crate and become selectable in every test case.
+pub trait DeviceAllocator: Send + Sync {
+    /// Static capability metadata (name, variant, free support, alignment…).
+    fn info(&self) -> ManagerInfo;
+
+    /// The managed memory region.
+    fn heap(&self) -> &DeviceHeap;
+
+    /// Allocates `size` bytes on behalf of one thread.
+    fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError>;
+
+    /// Frees a pointer previously returned by [`DeviceAllocator::malloc`] (or
+    /// a warp-level variant) on this manager.
+    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError>;
+
+    /// Warp-collective allocation: all 32 lanes request at once.
+    ///
+    /// `sizes` and `out` have equal length ≤ 32 (a partially populated tail
+    /// warp passes fewer). The default implementation simply loops lanes —
+    /// managers with warp aggregation override this to coalesce.
+    fn malloc_warp(
+        &self,
+        warp: &WarpCtx,
+        sizes: &[u64],
+        out: &mut [DevicePtr],
+    ) -> Result<(), AllocError> {
+        debug_assert_eq!(sizes.len(), out.len());
+        for (lane, (&size, slot)) in sizes.iter().zip(out.iter_mut()).enumerate() {
+            let ctx = warp.lane(lane as u32);
+            *slot = self.malloc(&ctx, size)?;
+        }
+        Ok(())
+    }
+
+    /// Warp-collective free of previously returned pointers.
+    fn free_warp(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) -> Result<(), AllocError> {
+        for (lane, &ptr) in ptrs.iter().enumerate() {
+            if ptr.is_null() {
+                continue;
+            }
+            let ctx = warp.lane(lane as u32);
+            self.free(&ctx, ptr)?;
+        }
+        Ok(())
+    }
+
+    /// Releases *everything* a warp ever allocated (FDGMalloc's `tidyUp`).
+    /// Only warp-level-only managers implement this.
+    fn free_warp_all(&self, _warp: &WarpCtx) -> Result<(), AllocError> {
+        Err(AllocError::Unsupported("free_warp_all"))
+    }
+
+    /// Register-requirement proxy for §4.1 (see [`RegisterFootprint`]).
+    fn register_footprint(&self) -> RegisterFootprint;
+
+    /// Grows the manageable memory at runtime by `additional` bytes.
+    ///
+    /// Per the paper (§6), only ScatterAlloc and Ouroboros support this; the
+    /// default rejects it.
+    fn grow(&self, _additional: u64) -> Result<(), AllocError> {
+        Err(AllocError::Unsupported("grow"))
+    }
+}
+
+/// Blanket helpers layered over the raw trait.
+pub trait DeviceAllocatorExt: DeviceAllocator {
+    /// `malloc` + panic-free bounds check, for tests: returns the pointer and
+    /// asserts it is in-bounds and satisfies the manager's declared
+    /// alignment.
+    fn checked_malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        let info = self.info();
+        let ptr = self.malloc(ctx, size)?;
+        assert!(
+            ptr.offset() + size <= self.heap().len(),
+            "{}: returned out-of-bounds allocation {ptr:?} + {size}",
+            info.label()
+        );
+        assert!(
+            ptr.is_aligned(info.alignment),
+            "{}: pointer {ptr:?} violates declared alignment {}",
+            info.label(),
+            info.alignment
+        );
+        Ok(ptr)
+    }
+}
+
+impl<A: DeviceAllocator + ?Sized> DeviceAllocatorExt for A {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Minimal conforming implementation used to exercise trait defaults.
+    struct Bump {
+        heap: Arc<DeviceHeap>,
+        top: AtomicU64,
+    }
+
+    impl Bump {
+        fn new(len: u64) -> Self {
+            Bump { heap: Arc::new(DeviceHeap::new(len)), top: AtomicU64::new(0) }
+        }
+    }
+
+    impl DeviceAllocator for Bump {
+        fn info(&self) -> ManagerInfo {
+            ManagerInfo {
+                family: "Bump",
+                variant: "",
+                supports_free: false,
+                warp_level_only: false,
+                resizable: false,
+                alignment: 16,
+                max_native_size: u64::MAX,
+                relays_large_to_cuda: false,
+            }
+        }
+        fn heap(&self) -> &DeviceHeap {
+            &self.heap
+        }
+        fn malloc(&self, _ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+            let sz = crate::util::align_up(size.max(1), 16);
+            let off = self.top.fetch_add(sz, Ordering::Relaxed);
+            if off + sz > self.heap.len() {
+                return Err(AllocError::OutOfMemory(size));
+            }
+            Ok(DevicePtr::new(off))
+        }
+        fn free(&self, _ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+            Err(AllocError::Unsupported("free"))
+        }
+        fn register_footprint(&self) -> RegisterFootprint {
+            RegisterFootprint { malloc: 4, free: 0 }
+        }
+    }
+
+    #[test]
+    fn default_malloc_warp_loops_lanes() {
+        let a = Bump::new(1 << 16);
+        let warp = WarpCtx { warp: 0, block: 0, sm: 0 };
+        let sizes = [16u64; 32];
+        let mut out = [DevicePtr::NULL; 32];
+        a.malloc_warp(&warp, &sizes, &mut out).unwrap();
+        // Distinct, consecutive bump allocations.
+        for w in out.windows(2) {
+            assert_eq!(w[1].offset() - w[0].offset(), 16);
+        }
+    }
+
+    #[test]
+    fn default_free_warp_skips_null() {
+        let a = Bump::new(1 << 12);
+        let warp = WarpCtx { warp: 0, block: 0, sm: 0 };
+        // All NULL — free is unsupported but must not be reached.
+        a.free_warp(&warp, &[DevicePtr::NULL; 4]).unwrap();
+    }
+
+    #[test]
+    fn default_free_warp_all_unsupported() {
+        let a = Bump::new(1 << 12);
+        let warp = WarpCtx { warp: 0, block: 0, sm: 0 };
+        assert_eq!(a.free_warp_all(&warp), Err(AllocError::Unsupported("free_warp_all")));
+    }
+
+    #[test]
+    fn default_grow_unsupported() {
+        let a = Bump::new(1 << 12);
+        assert_eq!(a.grow(4096), Err(AllocError::Unsupported("grow")));
+    }
+
+    #[test]
+    fn checked_malloc_validates_alignment() {
+        let a = Bump::new(1 << 12);
+        let p = a.checked_malloc(&ThreadCtx::host(), 24).unwrap();
+        assert!(p.is_aligned(16));
+    }
+
+    #[test]
+    fn object_safety() {
+        // The registry stores `Box<dyn DeviceAllocator>`; keep the trait
+        // object-safe.
+        let a: Box<dyn DeviceAllocator> = Box::new(Bump::new(1 << 12));
+        assert_eq!(a.info().family, "Bump");
+        let _ = a.malloc(&ThreadCtx::host(), 8).unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! Small analytics layer over the device-resident graph — the kind of
+//! consumer the paper's motivation names (dynamic graph analytics à la
+//! cuSTINGER/aimGraph/faimGraph/Hornet all pair dynamic memory with
+//! traversal workloads). Used by the examples and by tests to validate
+//! that a graph survives allocation churn semantically, not just
+//! byte-wise.
+
+use crate::graph::DynGraph;
+
+/// BFS distances from `source` (`u32::MAX` = unreachable).
+pub fn bfs(graph: &DynGraph<'_>, source: u32) -> Vec<u32> {
+    let n = graph.vertex_count();
+    assert!(source < n, "source out of range");
+    let mut dist = vec![u32::MAX; n as usize];
+    let mut frontier = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    frontier.push_back(source);
+    while let Some(v) = frontier.pop_front() {
+        let d = dist[v as usize];
+        for u in graph.adjacency(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of vertices reachable from `source` (including itself).
+pub fn reachable(graph: &DynGraph<'_>, source: u32) -> usize {
+    bfs(graph, source).iter().filter(|&&d| d != u32::MAX).count()
+}
+
+/// Degree histogram: `hist[i]` counts vertices with degree in
+/// `[2^i, 2^(i+1))`; `hist[0]` counts degree 0 and 1.
+pub fn degree_histogram(graph: &DynGraph<'_>) -> Vec<u64> {
+    let mut hist = vec![0u64; 33];
+    for v in 0..graph.vertex_count() {
+        let d = graph.degree(v);
+        let bucket = if d <= 1 { 0 } else { 64 - (d as u64).leading_zeros() as usize - 1 };
+        hist[bucket.min(32)] += 1;
+    }
+    while hist.len() > 1 && *hist.last().expect("non-empty") == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::CsrGraph;
+    use crate::graph::DynGraph;
+    use gpu_sim::{Device, DeviceSpec};
+    use gpumem_core::util::align_up;
+    use gpumem_core::{
+        AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
+        ThreadCtx,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct Bump {
+        heap: Arc<DeviceHeap>,
+        top: AtomicU64,
+    }
+
+    impl Bump {
+        fn new(len: u64) -> Self {
+            Bump { heap: Arc::new(DeviceHeap::new(len)), top: AtomicU64::new(0) }
+        }
+    }
+
+    impl DeviceAllocator for Bump {
+        fn info(&self) -> ManagerInfo {
+            ManagerInfo {
+                family: "Bump",
+                variant: "",
+                supports_free: true,
+                warp_level_only: false,
+                resizable: false,
+                alignment: 16,
+                max_native_size: u64::MAX,
+                relays_large_to_cuda: false,
+            }
+        }
+        fn heap(&self) -> &DeviceHeap {
+            &self.heap
+        }
+        fn malloc(&self, _c: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+            let sz = align_up(size.max(1), 16);
+            let off = self.top.fetch_add(sz, Ordering::Relaxed);
+            if off + sz > self.heap.len() {
+                return Err(AllocError::OutOfMemory(size));
+            }
+            Ok(DevicePtr::new(off))
+        }
+        fn free(&self, _c: &ThreadCtx, _p: DevicePtr) -> Result<(), AllocError> {
+            Ok(()) // leak-free enough for tests
+        }
+        fn register_footprint(&self) -> RegisterFootprint {
+            RegisterFootprint { malloc: 1, free: 1 }
+        }
+    }
+
+    /// A path graph 0-1-2-…-(n-1) as CSR.
+    fn path_graph(n: u32) -> CsrGraph {
+        let mut offsets = vec![0u64];
+        let mut targets = Vec::new();
+        for v in 0..n {
+            if v > 0 {
+                targets.push(v - 1);
+            }
+            if v + 1 < n {
+                targets.push(v + 1);
+            }
+            offsets.push(targets.len() as u64);
+        }
+        CsrGraph { offsets, targets, name: "path".into() }
+    }
+
+    fn device() -> Device {
+        Device::with_workers(DeviceSpec::titan_v(), 2)
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let a = Bump::new(1 << 20);
+        let csr = path_graph(50);
+        let (g, _) = DynGraph::init(&a, &device(), &csr);
+        let dist = bfs(&g, 0);
+        for v in 0..50u32 {
+            assert_eq!(dist[v as usize], v);
+        }
+        assert_eq!(reachable(&g, 0), 50);
+        let mid = bfs(&g, 25);
+        assert_eq!(mid[0], 25);
+        assert_eq!(mid[49], 24);
+    }
+
+    #[test]
+    fn bfs_detects_disconnection_and_new_edges() {
+        let a = Bump::new(1 << 20);
+        // Two disjoint paths: 0-..-9 and 10-..-19.
+        let mut csr = path_graph(10);
+        let other = path_graph(10);
+        let base = 10u32;
+        for v in 0..10u32 {
+            let start = other.offsets[v as usize];
+            let end = other.offsets[v as usize + 1];
+            for &t in &other.targets[start as usize..end as usize] {
+                csr.targets.push(t + base);
+            }
+            csr.offsets.push(csr.targets.len() as u64);
+        }
+        let (g, _) = DynGraph::init(&a, &device(), &csr);
+        assert_eq!(reachable(&g, 0), 10, "component 2 must be unreachable");
+        // Bridge the components dynamically.
+        g.insert_edge(&ThreadCtx::host(), 9, 10).unwrap();
+        assert_eq!(reachable(&g, 0), 20, "inserted edge must connect them");
+        assert_eq!(bfs(&g, 0)[10], 10);
+    }
+
+    #[test]
+    fn histogram_matches_degrees() {
+        let a = Bump::new(1 << 20);
+        let csr = path_graph(8); // degrees: 1,2,2,2,2,2,2,1
+        let (g, _) = DynGraph::init(&a, &device(), &csr);
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 2, "two endpoints of degree 1");
+        assert_eq!(h[1], 6, "six interior vertices of degree 2");
+    }
+}

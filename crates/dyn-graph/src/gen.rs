@@ -1,0 +1,206 @@
+//! Synthetic stand-ins for the DIMACS10 graphs of Figure 11f/11g.
+//!
+//! Each generator matches the published vertex count and degree profile of
+//! its namesake (scaled by `scale_div`); adjacency *contents* are synthetic.
+//! What the graph test cases actually exercise is the distribution of
+//! adjacency-array sizes (= allocation sizes) and the insertion churn, both
+//! of which are preserved.
+
+use gpumem_core::util::DeviceRng;
+
+/// The five graphs of Figure 11f/11g.
+pub const GRAPH_NAMES: [&str; 5] =
+    ["rgg_n_2_20_s0", "sc2010", "fe_body", "adaptive", "coAuthorsCiteseer"];
+
+/// A host-side CSR graph (generator output / initialisation input).
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets`.
+    pub offsets: Vec<u64>,
+    /// Flattened adjacency.
+    pub targets: Vec<u32>,
+    /// Graph name (for reports).
+    pub name: String,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    pub fn vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.edges() as f64 / self.vertices() as f64
+    }
+}
+
+/// Published profile of one DIMACS10 graph.
+struct Profile {
+    vertices: u32,
+    kind: DegreeKind,
+}
+
+enum DegreeKind {
+    /// Uniform in `[lo, hi]` (meshes, geometric graphs).
+    Uniform { lo: u64, hi: u64 },
+    /// Truncated power law with average ≈ `avg` (co-authorship).
+    PowerLaw { avg: f64, max: u64 },
+}
+
+fn profile(name: &str) -> Option<Profile> {
+    // Vertex counts from the DIMACS10 collection; degree bands chosen to
+    // match each graph's published average degree.
+    match name {
+        // Random geometric graph, 2^20 vertices, avg degree ≈ 13.
+        "rgg_n_2_20_s0" => Some(Profile {
+            vertices: 1 << 20,
+            kind: DegreeKind::Uniform { lo: 6, hi: 20 },
+        }),
+        // South Carolina census blocks, ~585 k vertices, avg degree ≈ 5.
+        "sc2010" => Some(Profile {
+            vertices: 585_088,
+            kind: DegreeKind::Uniform { lo: 2, hi: 8 },
+        }),
+        // FE mesh, ~45 k vertices, avg degree ≈ 6.
+        "fe_body" => Some(Profile {
+            vertices: 45_087,
+            kind: DegreeKind::Uniform { lo: 4, hi: 8 },
+        }),
+        // Adaptive FE mesh, ~6.8 M vertices, avg degree ≈ 4.
+        "adaptive" => Some(Profile {
+            vertices: 6_815_744,
+            kind: DegreeKind::Uniform { lo: 3, hi: 5 },
+        }),
+        // Co-authorship network, ~227 k vertices, skewed degrees, avg ≈ 7.
+        "coAuthorsCiteseer" => Some(Profile {
+            vertices: 227_320,
+            kind: DegreeKind::PowerLaw { avg: 7.2, max: 512 },
+        }),
+        _ => None,
+    }
+}
+
+/// Generates the named graph scaled down by `scale_div` (≥ 1; vertex count
+/// divided, degree distribution kept).
+///
+/// # Panics
+/// Panics on an unknown name (see [`GRAPH_NAMES`]).
+pub fn generate(name: &str, scale_div: u32, seed: u64) -> CsrGraph {
+    let p = profile(name).unwrap_or_else(|| panic!("unknown graph: {name}"));
+    let n = (p.vertices / scale_div.max(1)).max(16);
+    let mut rng = DeviceRng::new(seed ^ 0xD1AC_5_u64);
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    let mut targets = Vec::new();
+    offsets.push(0u64);
+    for _v in 0..n {
+        let deg = match p.kind {
+            DegreeKind::Uniform { lo, hi } => rng.range_u64(lo, hi),
+            DegreeKind::PowerLaw { avg, max } => {
+                // Inverse-transform a truncated Pareto with shape tuned so
+                // the mean lands near `avg`.
+                let u = rng.next_f64().max(1e-9);
+                let d = (avg * 0.45 / u.powf(0.55)) as u64;
+                d.clamp(1, max)
+            }
+        };
+        for _ in 0..deg {
+            targets.push((rng.next_u64() % n as u64) as u32);
+        }
+        offsets.push(targets.len() as u64);
+    }
+    CsrGraph { offsets, targets, name: name.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_named_graphs_generate() {
+        for name in GRAPH_NAMES {
+            let g = generate(name, 64, 1);
+            assert!(g.vertices() >= 16, "{name}");
+            assert!(g.edges() > 0, "{name}");
+            assert_eq!(g.offsets.len() as u32, g.vertices() + 1);
+            assert_eq!(*g.offsets.last().unwrap(), g.edges());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown graph")]
+    fn unknown_graph_panics() {
+        let _ = generate("nope", 1, 1);
+    }
+
+    #[test]
+    fn degrees_match_published_averages() {
+        for (name, lo, hi) in [
+            ("rgg_n_2_20_s0", 10.0, 16.0),
+            ("sc2010", 3.5, 6.5),
+            ("fe_body", 5.0, 7.0),
+            ("adaptive", 3.5, 4.5),
+            ("coAuthorsCiteseer", 4.0, 11.0),
+        ] {
+            let g = generate(name, 64, 7);
+            let avg = g.avg_degree();
+            assert!((lo..=hi).contains(&avg), "{name}: avg degree {avg}");
+        }
+    }
+
+    #[test]
+    fn power_law_graph_is_skewed() {
+        let g = generate("coAuthorsCiteseer", 32, 3);
+        let max_deg = (0..g.vertices()).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        assert!(
+            max_deg as f64 > avg * 5.0,
+            "power law should have heavy tail: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate("fe_body", 8, 42);
+        let b = generate("fe_body", 8, 42);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+        let c = generate("fe_body", 8, 43);
+        assert_ne!(a.targets, c.targets);
+    }
+
+    #[test]
+    fn neighbors_are_in_range() {
+        let g = generate("sc2010", 128, 5);
+        let n = g.vertices();
+        for v in (0..n).step_by(97) {
+            for &u in g.neighbors(v) {
+                assert!(u < n);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_div_shrinks_vertices() {
+        let big = generate("fe_body", 4, 1);
+        let small = generate("fe_body", 16, 1);
+        assert!(big.vertices() > small.vertices() * 3);
+    }
+}

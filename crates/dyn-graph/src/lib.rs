@@ -1,0 +1,28 @@
+//! # dyn-graph — dynamic graphs on top of a device memory manager
+//!
+//! The real-world test cases of the survey (§4.4.3, §4.4.4) initialise a
+//! graph whose adjacency lists live in manager-allocated device memory and
+//! then update it under edge insertions:
+//!
+//! * "We test graph initialization performance for a set of graphs taken
+//!   from the DIMACS10 graph data set. Each adjacency is aligned to a power
+//!   of two."
+//! * "As soon as an existing adjacency crosses over a power of two barrier
+//!   during the allocation change, we allocate a new adjacency and free the
+//!   old adjacency. We test two different scenarios, uniform updates as
+//!   well as updates focused on a range of source vertices."
+//!
+//! The DIMACS10 inputs are not redistributable here; [`gen`] provides
+//! synthetic stand-ins matched to each graph's published vertex count and
+//! degree distribution (scaled down by default), which is what drives the
+//! allocation-size distribution the test case exercises.
+
+pub mod algo;
+pub mod gen;
+pub mod graph;
+pub mod update;
+
+pub use algo::{bfs, degree_histogram, reachable};
+pub use gen::{generate, CsrGraph, GRAPH_NAMES};
+pub use graph::DynGraph;
+pub use update::{focused_edges, uniform_edges};

@@ -1,0 +1,75 @@
+//! Edge-update batch generators (§4.4.4).
+//!
+//! "We test two different scenarios, uniform updates as well as updates
+//! focused on a range of source vertices, to simulate more update
+//! pressure."
+
+use gpumem_core::util::DeviceRng;
+
+/// Uniformly random edge insertions over all vertices.
+pub fn uniform_edges(n_vertices: u32, n_edges: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = DeviceRng::new(seed ^ 0xED6E_5);
+    (0..n_edges)
+        .map(|_| {
+            (
+                (rng.next_u64() % n_vertices as u64) as u32,
+                (rng.next_u64() % n_vertices as u64) as u32,
+            )
+        })
+        .collect()
+}
+
+/// Edge insertions whose sources concentrate on the first
+/// `n_vertices / focus_div` vertices (the paper's focused scenario).
+pub fn focused_edges(
+    n_vertices: u32,
+    n_edges: u32,
+    focus_div: u32,
+    seed: u64,
+) -> Vec<(u32, u32)> {
+    let span = (n_vertices / focus_div.max(1)).max(1);
+    let mut rng = DeviceRng::new(seed ^ 0xF0C0_5);
+    (0..n_edges)
+        .map(|_| {
+            (
+                (rng.next_u64() % span as u64) as u32,
+                (rng.next_u64() % n_vertices as u64) as u32,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spans_all_vertices() {
+        let edges = uniform_edges(1000, 10_000, 1);
+        assert_eq!(edges.len(), 10_000);
+        let max_src = edges.iter().map(|&(v, _)| v).max().unwrap();
+        assert!(max_src > 900, "uniform sources should reach high ids");
+        assert!(edges.iter().all(|&(v, u)| v < 1000 && u < 1000));
+    }
+
+    #[test]
+    fn focused_sources_stay_in_range() {
+        let edges = focused_edges(1000, 10_000, 20, 1);
+        assert!(edges.iter().all(|&(v, _)| v < 50), "sources must stay in the focus range");
+        let max_dst = edges.iter().map(|&(_, u)| u).max().unwrap();
+        assert!(max_dst > 900, "targets remain uniform");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform_edges(100, 50, 9), uniform_edges(100, 50, 9));
+        assert_ne!(uniform_edges(100, 50, 9), uniform_edges(100, 50, 10));
+    }
+
+    #[test]
+    fn focus_div_one_behaves_like_uniform_range() {
+        let edges = focused_edges(64, 1000, 1, 2);
+        let max_src = edges.iter().map(|&(v, _)| v).max().unwrap();
+        assert!(max_src >= 48);
+    }
+}

@@ -1,0 +1,294 @@
+//! The kernel executor: schedules logical GPU threads onto OS workers.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use gpumem_core::{ThreadCtx, WarpCtx, WARP_SIZE};
+
+use crate::spec::DeviceSpec;
+
+/// How many warps a worker claims from the queue at a time. Large enough to
+/// keep the claim counter cold, small enough that tail imbalance stays low.
+const CLAIM_CHUNK: u32 = 16;
+
+/// A simulated device: a [`DeviceSpec`] plus a worker pool size.
+///
+/// Each [`Device::launch`] call runs one kernel: it spawns the workers
+/// (scoped threads), lets them drain the warp queue, and returns the
+/// wall-clock duration of the parallel section — the "kernel time" every
+/// benchmark records. Spawning per launch mirrors per-kernel launch overhead
+/// and keeps the executor stateless.
+pub struct Device {
+    spec: DeviceSpec,
+    workers: usize,
+}
+
+impl Device {
+    /// A device with the default worker count: `GMS_WORKERS` env var if set,
+    /// otherwise `max(available_parallelism, 4)` capped at 16. A floor of 4
+    /// keeps atomic interleavings real even on small hosts.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let workers = std::env::var("GMS_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(4, |n| n.get()).clamp(4, 16)
+            });
+        Device { spec, workers }
+    }
+
+    /// A device with an explicit worker count (≥ 1).
+    pub fn with_workers(spec: DeviceSpec, workers: usize) -> Self {
+        assert!(workers >= 1);
+        Device { spec, workers }
+    }
+
+    /// The device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Number of OS workers a launch uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Launches `n_threads` logical threads running `kernel`, one call per
+    /// thread. Returns the wall-clock time of the parallel section.
+    pub fn launch<F>(&self, n_threads: u32, kernel: F) -> Duration
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        if n_threads == 0 {
+            return Duration::ZERO;
+        }
+        let n_warps = n_threads.div_ceil(WARP_SIZE);
+        let block_size = self.spec.default_block_size;
+        let num_sms = self.spec.num_sms;
+        self.run_warps(n_warps, |warp_id| {
+            let first = warp_id * WARP_SIZE;
+            let last = (first + WARP_SIZE).min(n_threads);
+            for tid in first..last {
+                let ctx = ThreadCtx::from_linear(tid, block_size, num_sms);
+                kernel(&ctx);
+            }
+        })
+    }
+
+    /// Launches `n_warps` warps running a *warp-collective* kernel, one call
+    /// per warp. This drives the warp-based test cases (Fig. 9g) and any
+    /// allocator's `malloc_warp` path.
+    pub fn launch_warps<F>(&self, n_warps: u32, kernel: F) -> Duration
+    where
+        F: Fn(&WarpCtx) + Sync,
+    {
+        if n_warps == 0 {
+            return Duration::ZERO;
+        }
+        let block_size = self.spec.default_block_size;
+        let num_sms = self.spec.num_sms;
+        let warps_per_block = (block_size / WARP_SIZE).max(1);
+        self.run_warps(n_warps, |warp_id| {
+            let block = warp_id / warps_per_block;
+            let ctx = WarpCtx { warp: warp_id, block, sm: block % num_sms };
+            kernel(&ctx);
+        })
+    }
+
+    /// Shared scheduling loop: workers claim chunks of warp ids until the
+    /// queue is drained.
+    fn run_warps<F>(&self, n_warps: u32, body: F) -> Duration
+    where
+        F: Fn(u32) + Sync,
+    {
+        let next = AtomicU32::new(0);
+        let start = Instant::now();
+        if self.workers == 1 {
+            for w in 0..n_warps {
+                body(w);
+            }
+            return start.elapsed();
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    let first = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                    if first >= n_warps {
+                        break;
+                    }
+                    let last = (first + CLAIM_CHUNK).min(n_warps);
+                    for w in first..last {
+                        body(w);
+                    }
+                });
+            }
+        });
+        start.elapsed()
+    }
+}
+
+/// One output slot per logical thread, writable from inside a kernel.
+///
+/// Kernels frequently need "each thread stores its pointer": slot `i` may be
+/// written only by the thread whose `thread_id == i` (or, for warp kernels,
+/// by the warp that owns lane-range `i`). That exclusivity is the safety
+/// contract; it mirrors how the CUDA test kernels write `ptrs[threadIdx]`.
+pub struct PerThread<T> {
+    slots: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: distinct threads access distinct slots (type contract above).
+unsafe impl<T: Send> Sync for PerThread<T> {}
+
+impl<T: Default> PerThread<T> {
+    /// `n` default-initialised slots.
+    pub fn new(n: usize) -> Self {
+        let slots: Box<[UnsafeCell<T>]> =
+            (0..n).map(|_| UnsafeCell::new(T::default())).collect();
+        PerThread { slots }
+    }
+}
+
+impl<T> PerThread<T> {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Writes slot `i`.
+    ///
+    /// Contract: during a launch, each slot is written by exactly one logical
+    /// thread (the one it belongs to). Violations are a logic bug in the
+    /// calling kernel, not detectable here.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        // SAFETY: unique writer per slot (type contract).
+        unsafe { *self.slots[i].get() = v }
+    }
+
+    /// Reads slot `i` via a mutable borrow (host-side, after the launch).
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        self.slots[i].get_mut()
+    }
+
+    /// Reads slot `i` from inside a kernel. Only sound for slots the calling
+    /// thread owns (e.g. reading back a pointer it stored earlier in the same
+    /// or an earlier launch).
+    #[inline]
+    pub fn get(&self, i: usize) -> &T {
+        // SAFETY: slot is not being mutated concurrently (owner-only access).
+        unsafe { &*self.slots[i].get() }
+    }
+
+    /// Consumes the buffer into a plain vector (host-side reduction).
+    pub fn into_vec(self) -> Vec<T> {
+        self.slots.into_vec().into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceSpec::titan_v(), 4)
+    }
+
+    #[test]
+    fn launch_runs_every_thread_exactly_once() {
+        let d = device();
+        let n = 10_000u32;
+        let hits = PerThread::<u32>::new(n as usize);
+        d.launch(n, |ctx| {
+            hits.set(ctx.thread_id as usize, hits.get(ctx.thread_id as usize) + 1);
+        });
+        let v = hits.into_vec();
+        assert!(v.iter().all(|&h| h == 1), "some thread ran != 1 times");
+    }
+
+    #[test]
+    fn launch_zero_threads_is_noop() {
+        let d = device();
+        assert_eq!(d.launch(0, |_| panic!("must not run")), Duration::ZERO);
+    }
+
+    #[test]
+    fn partial_tail_warp() {
+        let d = device();
+        let n = 33u32; // one full warp + 1 lane
+        let count = AtomicU64::new(0);
+        d.launch(n, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 33);
+    }
+
+    #[test]
+    fn thread_ctx_coordinates_are_consistent() {
+        let d = device();
+        d.launch(4096, |ctx| {
+            assert_eq!(ctx.warp, ctx.thread_id / 32);
+            assert_eq!(ctx.lane, ctx.thread_id % 32);
+            assert_eq!(ctx.block, ctx.thread_id / 256);
+            assert!(ctx.sm < 80);
+        });
+    }
+
+    #[test]
+    fn launch_warps_runs_each_warp_once() {
+        let d = device();
+        let n_warps = 500u32;
+        let hits = PerThread::<u32>::new(n_warps as usize);
+        d.launch_warps(n_warps, |w| {
+            hits.set(w.warp as usize, hits.get(w.warp as usize) + 1);
+        });
+        assert!(hits.into_vec().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn warp_sm_assignment_spreads_over_sms() {
+        let d = device();
+        let sms = std::sync::Mutex::new(std::collections::HashSet::new());
+        d.launch_warps(8 * 100, |w| {
+            sms.lock().unwrap().insert(w.sm);
+        });
+        // 800 warps in blocks of 8 warps → 100 blocks → 80 SMs all covered.
+        assert_eq!(sms.into_inner().unwrap().len(), 80);
+    }
+
+    #[test]
+    fn single_worker_device_runs_inline() {
+        let d = Device::with_workers(DeviceSpec::rtx_2080ti(), 1);
+        let count = AtomicU64::new(0);
+        d.launch(1000, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn per_thread_into_vec_roundtrip() {
+        let p = PerThread::<u64>::new(8);
+        for i in 0..8 {
+            p.set(i, (i * i) as u64);
+        }
+        assert_eq!(p.into_vec(), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn timing_is_monotonically_positive() {
+        let d = device();
+        let t = d.launch(50_000, |ctx| {
+            std::hint::black_box(ctx.scatter_hash());
+        });
+        assert!(t > Duration::ZERO);
+    }
+}

@@ -1,0 +1,85 @@
+//! Device presets — the two GPUs the paper evaluates on.
+
+/// Static description of a simulated device.
+///
+/// The SM count feeds the `ThreadCtx::sm` assignment (and thereby every
+/// SM-scattering allocator); the V-RAM size bounds the default manageable
+/// memory; `default_block_size` matches the 256-thread blocks the survey's
+/// test kernels launch with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in CSV output.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Device memory in bytes.
+    pub vram: u64,
+    /// Threads per block for kernel launches.
+    pub default_block_size: u32,
+}
+
+impl DeviceSpec {
+    /// NVIDIA TITAN V (Volta, 80 SMs, 12 GB) — the paper's primary device.
+    pub const fn titan_v() -> Self {
+        DeviceSpec {
+            name: "TITANV",
+            num_sms: 80,
+            vram: 12 * (1 << 30),
+            default_block_size: 256,
+        }
+    }
+
+    /// NVIDIA RTX 2080 Ti (Turing, 68 SMs, 11 GB) — the paper's secondary
+    /// device (Figures 9e/9f and the GitHub result set).
+    pub const fn rtx_2080ti() -> Self {
+        DeviceSpec {
+            name: "2080Ti",
+            num_sms: 68,
+            vram: 11 * (1 << 30),
+            default_block_size: 256,
+        }
+    }
+
+    /// Looks a preset up by (case-insensitive) name, accepting the spellings
+    /// the artifact's scripts use.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "titanv" | "titan_v" | "titan-v" => Some(Self::titan_v()),
+            "2080ti" | "rtx2080ti" | "rtx_2080ti" | "rtx-2080ti" => Some(Self::rtx_2080ti()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::titan_v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_hardware() {
+        let tv = DeviceSpec::titan_v();
+        assert_eq!(tv.num_sms, 80);
+        assert_eq!(tv.vram, 12 << 30);
+        let ti = DeviceSpec::rtx_2080ti();
+        assert_eq!(ti.num_sms, 68);
+        assert_eq!(ti.vram, 11 << 30);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(DeviceSpec::by_name("TITANV").unwrap().name, "TITANV");
+        assert_eq!(DeviceSpec::by_name("2080ti").unwrap().name, "2080Ti");
+        assert!(DeviceSpec::by_name("a100").is_none());
+    }
+
+    #[test]
+    fn default_is_titan_v() {
+        assert_eq!(DeviceSpec::default().name, "TITANV");
+    }
+}

@@ -1,0 +1,26 @@
+//! # gpu-workloads — workload generators and reference baselines
+//!
+//! The building blocks of the survey's synthetic test cases (§4.2, §4.4.1,
+//! §4.4.2):
+//!
+//! * [`sizes`] — deterministic per-thread request-size streams (uniform
+//!   ranges for the mixed-allocation and work-generation test cases).
+//! * [`prefix`] — the canonical alternative to dynamic allocation: a
+//!   parallel exclusive prefix sum over the per-thread sizes plus a single
+//!   bulk allocation (the paper's "Baseline built on a prefix-sum from
+//!   Thrust").
+//! * [`workgen`] — the work-generation test case: threads produce variable
+//!   amounts of output, either through a memory manager or through the
+//!   prefix-sum baseline.
+//! * [`write_test`] — the memory-access performance test case (Fig. 11e):
+//!   allocate, then measure warp write coalescing via the `gpu-sim`
+//!   transaction model.
+//! * [`churn`] — repeated allocate/free cycles, exposing slowdown over
+//!   time (observed for the Multi-Reg-Eff variants and, inverted, the
+//!   reuse speed-up of Ouroboros).
+
+pub mod churn;
+pub mod prefix;
+pub mod sizes;
+pub mod workgen;
+pub mod write_test;

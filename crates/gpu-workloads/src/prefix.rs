@@ -1,0 +1,139 @@
+//! The prefix-sum baseline — the canonical non-dynamic alternative.
+//!
+//! "The memory manager performance can then be compared to the canonical
+//! approach of using a prefix-sum plus allocation from the host" (§4.4.1).
+//! The original uses Thrust's `exclusive_scan`; this module provides a
+//! work-equivalent blocked parallel exclusive scan over the worker pool,
+//! followed by a single bulk reservation — one allocation for the entire
+//! launch, perfectly packed and coalesced.
+
+use std::time::{Duration, Instant};
+
+use gpumem_core::util::align_up;
+use gpumem_core::DevicePtr;
+
+/// Result of the baseline: one packed offset per thread plus the total.
+pub struct ScanAlloc {
+    /// Per-thread pointers into the single bulk allocation.
+    pub offsets: Vec<DevicePtr>,
+    /// Total bytes reserved.
+    pub total: u64,
+    /// Time spent scanning + reserving (the baseline's "allocation" time).
+    pub elapsed: Duration,
+}
+
+/// Alignment applied to each element, matching the managers' 16 B grain so
+/// the comparison is fair.
+pub const ELEM_ALIGN: u64 = 16;
+
+/// Runs the blocked parallel exclusive scan over `sizes` with `workers`
+/// threads and lays every element into a packed arena starting at `base`.
+pub fn scan_allocate(sizes: &[u64], base: u64, workers: usize) -> ScanAlloc {
+    let start = Instant::now();
+    let n = sizes.len();
+    if n == 0 {
+        return ScanAlloc { offsets: Vec::new(), total: 0, elapsed: start.elapsed() };
+    }
+    let workers = workers.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+
+    // Pass 1: per-block sums (parallel).
+    let mut block_sums = vec![0u64; workers];
+    std::thread::scope(|scope| {
+        for (b, sum_slot) in block_sums.iter_mut().enumerate() {
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
+            let sizes = &sizes[lo.min(n)..hi];
+            scope.spawn(move || {
+                *sum_slot = sizes.iter().map(|&s| align_up(s, ELEM_ALIGN)).sum();
+            });
+        }
+    });
+
+    // Scan of block sums (tiny, sequential).
+    let mut block_offsets = vec![0u64; workers];
+    let mut acc = 0u64;
+    for (b, &s) in block_sums.iter().enumerate() {
+        block_offsets[b] = acc;
+        acc += s;
+    }
+    let total = acc;
+
+    // Pass 2: per-block exclusive scan (parallel) into the output.
+    let mut offsets = vec![DevicePtr::NULL; n];
+    std::thread::scope(|scope| {
+        for (b, out) in offsets.chunks_mut(chunk).enumerate() {
+            let lo = b * chunk;
+            let sizes = &sizes[lo..lo + out.len()];
+            let mut cursor = base + block_offsets[b];
+            scope.spawn(move || {
+                for (slot, &s) in out.iter_mut().zip(sizes) {
+                    *slot = DevicePtr::new(cursor);
+                    cursor += align_up(s, ELEM_ALIGN);
+                }
+            });
+        }
+    });
+
+    ScanAlloc { offsets, total, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let r = scan_allocate(&[], 0, 4);
+        assert_eq!(r.total, 0);
+        assert!(r.offsets.is_empty());
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let sizes: Vec<u64> = (1..500u64).map(|i| (i * 37) % 300 + 1).collect();
+        let a = scan_allocate(&sizes, 0, 1);
+        let b = scan_allocate(&sizes, 0, 4);
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.offsets, b.offsets);
+    }
+
+    #[test]
+    fn offsets_are_packed_and_aligned() {
+        let sizes = vec![10u64, 20, 30, 40];
+        let r = scan_allocate(&sizes, 1024, 2);
+        assert_eq!(r.offsets[0].offset(), 1024);
+        assert_eq!(r.offsets[1].offset(), 1024 + 16);
+        assert_eq!(r.offsets[2].offset(), 1024 + 48);
+        assert_eq!(r.offsets[3].offset(), 1024 + 80);
+        assert_eq!(r.total, 16 + 32 + 32 + 48);
+        for p in &r.offsets {
+            assert!(p.is_aligned(ELEM_ALIGN));
+        }
+    }
+
+    #[test]
+    fn elements_never_overlap() {
+        let sizes: Vec<u64> = (0..1000u64).map(|i| i % 97 + 1).collect();
+        let r = scan_allocate(&sizes, 0, 8);
+        let mut spans: Vec<(u64, u64)> = r
+            .offsets
+            .iter()
+            .zip(&sizes)
+            .map(|(p, &s)| (p.offset(), s))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+        let last = spans.last().unwrap();
+        assert!(last.0 + last.1 <= r.total);
+    }
+
+    #[test]
+    fn more_workers_than_elements() {
+        let r = scan_allocate(&[8, 8], 0, 16);
+        assert_eq!(r.offsets.len(), 2);
+        assert_eq!(r.total, 32);
+    }
+}

@@ -1,0 +1,199 @@
+//! The work-generation test case (§4.4.1, Figures 11c/11d).
+//!
+//! "This test case emulates a real-world example of a set of threads
+//! producing work": each thread draws a size from a range, obtains memory
+//! for it, and writes its output. The dynamic-memory variant goes through a
+//! manager under test; the baseline performs the canonical prefix-sum +
+//! single bulk allocation.
+
+use std::time::Duration;
+
+use gpu_sim::{Device, PerThread};
+use gpumem_core::{DeviceAllocator, DevicePtr};
+
+use crate::prefix::scan_allocate;
+use crate::sizes::thread_size;
+
+/// Outcome of one work-generation run.
+pub struct WorkGenResult {
+    /// Wall-clock of the allocate+write kernel (and scan for the baseline).
+    pub elapsed: Duration,
+    /// Per-thread pointers (for validation / later freeing).
+    pub ptrs: Vec<DevicePtr>,
+    /// Threads whose allocation failed.
+    pub failures: u64,
+}
+
+/// Runs work generation through a memory manager: every thread allocates
+/// its size and writes its payload.
+pub fn run_managed(
+    alloc: &dyn DeviceAllocator,
+    device: &Device,
+    n_threads: u32,
+    seed: u64,
+    lo: u64,
+    hi: u64,
+) -> WorkGenResult {
+    let out = PerThread::<DevicePtr>::new(n_threads as usize);
+    let heap = alloc.heap();
+    let elapsed = device.launch(n_threads, |ctx| {
+        let size = thread_size(seed, ctx.thread_id, lo, hi);
+        match alloc.malloc(ctx, size) {
+            Ok(p) => {
+                heap.fill(p, size, (ctx.thread_id as u8) | 1);
+                out.set(ctx.thread_id as usize, p);
+            }
+            Err(_) => out.set(ctx.thread_id as usize, DevicePtr::NULL),
+        }
+    });
+    let ptrs = out.into_vec();
+    let failures = ptrs.iter().filter(|p| p.is_null()).count() as u64;
+    WorkGenResult { elapsed, ptrs, failures }
+}
+
+/// Frees everything a managed run produced (the deallocation phase timed
+/// separately by the benchmarks).
+pub fn free_all(
+    alloc: &dyn DeviceAllocator,
+    device: &Device,
+    ptrs: &[DevicePtr],
+) -> Duration {
+    device.launch(ptrs.len() as u32, |ctx| {
+        let p = ptrs[ctx.thread_id as usize];
+        if !p.is_null() {
+            // Benchmarks tolerate managers without free (Atomic baseline).
+            let _ = alloc.free(ctx, p);
+        }
+    })
+}
+
+/// Runs the prefix-sum baseline: host-side scan + one bulk reservation,
+/// then a write kernel over the packed layout.
+pub fn run_baseline(
+    device: &Device,
+    heap: &gpumem_core::DeviceHeap,
+    n_threads: u32,
+    seed: u64,
+    lo: u64,
+    hi: u64,
+) -> WorkGenResult {
+    let sizes: Vec<u64> = (0..n_threads).map(|t| thread_size(seed, t, lo, hi)).collect();
+    let scan = scan_allocate(&sizes, 0, device.workers());
+    assert!(
+        scan.total <= heap.len(),
+        "baseline demand {} exceeds heap {}",
+        scan.total,
+        heap.len()
+    );
+    let offsets = scan.offsets;
+    let write = device.launch(n_threads, |ctx| {
+        let size = thread_size(seed, ctx.thread_id, lo, hi);
+        heap.fill(offsets[ctx.thread_id as usize], size, (ctx.thread_id as u8) | 1);
+    });
+    WorkGenResult { elapsed: scan.elapsed + write, ptrs: offsets, failures: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alloc_atomic_for_tests::AtomicAlloc;
+    use gpu_sim::DeviceSpec;
+    use gpumem_core::DeviceHeap;
+    use std::sync::Arc;
+
+    // The workloads crate deliberately depends only on the core; tests use
+    // a local bump allocator equivalent to `alloc-atomic`.
+    mod alloc_atomic_for_tests {
+        use gpumem_core::util::align_up;
+        use gpumem_core::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        pub struct AtomicAlloc {
+            heap: Arc<DeviceHeap>,
+            top: AtomicU64,
+        }
+
+        impl AtomicAlloc {
+            pub fn with_capacity(len: u64) -> Self {
+                AtomicAlloc { heap: Arc::new(DeviceHeap::new(len)), top: AtomicU64::new(0) }
+            }
+        }
+
+        impl DeviceAllocator for AtomicAlloc {
+            fn info(&self) -> ManagerInfo {
+                ManagerInfo {
+                    family: "Atomic",
+                    variant: "",
+                    supports_free: false,
+                    warp_level_only: false,
+                    resizable: false,
+                    alignment: 16,
+                    max_native_size: u64::MAX,
+                    relays_large_to_cuda: false,
+                }
+            }
+            fn heap(&self) -> &DeviceHeap {
+                &self.heap
+            }
+            fn malloc(&self, _ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+                let sz = align_up(size.max(1), 16);
+                let off = self.top.fetch_add(sz, Ordering::Relaxed);
+                if off + sz > self.heap.len() {
+                    return Err(AllocError::OutOfMemory(size));
+                }
+                Ok(DevicePtr::new(off))
+            }
+            fn free(&self, _ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+                Err(AllocError::Unsupported("no free"))
+            }
+            fn register_footprint(&self) -> RegisterFootprint {
+                RegisterFootprint { malloc: 4, free: 0 }
+            }
+        }
+    }
+
+    fn device() -> Device {
+        Device::with_workers(DeviceSpec::titan_v(), 4)
+    }
+
+    #[test]
+    fn managed_run_allocates_for_every_thread() {
+        let a = AtomicAlloc::with_capacity(8 << 20);
+        let r = run_managed(&a, &device(), 5000, 1, 4, 64);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.ptrs.len(), 5000);
+        // Payload actually written: spot-check a few threads.
+        for t in [0usize, 999, 4999] {
+            let v = a.heap().read_u8(r.ptrs[t], 0);
+            assert_eq!(v, (t as u8) | 1);
+        }
+    }
+
+    #[test]
+    fn managed_run_reports_failures_on_exhaustion() {
+        let a = AtomicAlloc::with_capacity(16 * 1024);
+        let r = run_managed(&a, &device(), 10_000, 1, 64, 64);
+        assert!(r.failures > 0, "heap too small, failures expected");
+    }
+
+    #[test]
+    fn baseline_packs_and_writes() {
+        let heap = Arc::new(DeviceHeap::new(8 << 20));
+        let r = run_baseline(&device(), &heap, 5000, 1, 4, 64);
+        assert_eq!(r.failures, 0);
+        for t in [0usize, 2500, 4999] {
+            assert_eq!(heap.read_u8(r.ptrs[t], 0), (t as u8) | 1);
+        }
+        // Packed: strictly increasing offsets.
+        assert!(r.ptrs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn free_all_tolerates_no_free_managers() {
+        let a = AtomicAlloc::with_capacity(1 << 20);
+        let r = run_managed(&a, &device(), 100, 2, 16, 16);
+        let d = free_all(&a, &device(), &r.ptrs);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! A tour of the six Ouroboros variants (paper §2.10): how the page-based
+//! and chunk-based managers differ in chunk reuse, and what queue
+//! virtualization changes.
+//!
+//! ```text
+//! cargo run --release --example ouroboros_tour
+//! ```
+
+use gpumemsurvey::alloc_ouroboros::{OuroSC, OuroSP, OuroVAC, OuroVLP};
+use gpumemsurvey::prelude::*;
+
+fn main() {
+    let ctx = ThreadCtx::host();
+
+    // ------------------------------------------------------------------
+    // 1. Chunk reuse: the headline difference between -P and -C.
+    //    Allocate tiny pages, free them, then ask for a large page size.
+    // ------------------------------------------------------------------
+    println!("1. chunk reuse after freeing (paper: page-based \"lacks the");
+    println!("   reusability of chunks once they have been assigned\")\n");
+
+    let paged = OuroSP::with_capacity(4 << 20);
+    let p = paged.malloc(&ctx, 16).unwrap();
+    paged.free(&ctx, p).unwrap();
+    let before = paged.allocated_chunks();
+    let _big = paged.malloc(&ctx, 4096).unwrap();
+    println!(
+        "   Ouro-S-P: 16 B chunk stays bound to its size → {} new chunk(s) for 4 KiB",
+        paged.allocated_chunks() - before
+    );
+
+    let chunked = OuroSC::with_capacity(4 << 20);
+    let p = chunked.malloc(&ctx, 16).unwrap();
+    chunked.free(&ctx, p).unwrap();
+    let before = chunked.allocated_chunks();
+    let _big = chunked.malloc(&ctx, 4096).unwrap();
+    println!(
+        "   Ouro-S-C: empty chunk reclaimed for any purpose → {} new chunk(s) for 4 KiB\n",
+        chunked.allocated_chunks() - before
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Queue storage: static queues reserve capacity up front, the
+    //    virtualized queues borrow chunks only while entries exist.
+    // ------------------------------------------------------------------
+    println!("2. queue virtualization (storage follows occupancy)\n");
+    let va = OuroVAC::with_capacity(8 << 20);
+    let base = va.allocated_chunks();
+    // Free pages pile up in the 16 B queue: storage chunks get borrowed.
+    let ptrs: Vec<DevicePtr> = (0..4000).map(|_| va.malloc(&ctx, 16).unwrap()).collect();
+    for p in &ptrs {
+        va.free(&ctx, *p).unwrap();
+    }
+    println!(
+        "   Ouro-VA-C: {} chunks in use after 4000 alloc+free of 16 B \
+         (payload chunks recycled, queue storage on loan)",
+        va.allocated_chunks() - base
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Oversize relay: requests beyond the 8 KiB page range go to the
+    //    embedded CUDA-Allocator section; stack a second instance when a
+    //    different page range is needed.
+    // ------------------------------------------------------------------
+    println!("\n3. oversize relay\n");
+    let vl = OuroVLP::with_capacity(8 << 20);
+    let small = vl.malloc(&ctx, 512).unwrap();
+    let large = vl.malloc(&ctx, 64 * 1024).unwrap();
+    println!(
+        "   512 B page at {small}, 64 KiB relayed to the CUDA section at {large}"
+    );
+    vl.free(&ctx, small).unwrap();
+    vl.free(&ctx, large).unwrap();
+    println!("\nSee `alloc-ouroboros` crate docs for the full design notes.");
+}

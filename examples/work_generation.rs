@@ -1,0 +1,52 @@
+//! Work generation (the paper's §4.4.1 motivating scenario): a kernel whose
+//! threads each produce a variable amount of output, compared against the
+//! canonical prefix-sum + bulk-allocation baseline.
+//!
+//! ```text
+//! cargo run --release --example work_generation             # 4-64 B
+//! cargo run --release --example work_generation -- 4 4096   # 4-4096 B
+//! ```
+
+use gpumemsurvey::bench::registry::ManagerKind;
+use gpumemsurvey::bench::runners::{work_generation, work_generation_baseline, Bench};
+use gpumemsurvey::prelude::*;
+
+fn main() {
+    let args: Vec<u64> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let (lo, hi) = match args.as_slice() {
+        [lo, hi, ..] => (*lo, *hi),
+        _ => (4, 64),
+    };
+
+    let bench = Bench::new(Device::new(DeviceSpec::titan_v()));
+    let kinds = [
+        ManagerKind::ScatterAlloc,
+        ManagerKind::Halloc,
+        ManagerKind::OuroSP,
+        ManagerKind::OuroSC,
+        ManagerKind::CudaAllocator,
+        ManagerKind::RegEffCF,
+    ];
+
+    println!("work generation, {lo} B - {hi} B per thread");
+    print!("{:<10}", "threads");
+    print!("{:>12}", "Baseline");
+    for k in kinds {
+        print!("{:>16}", k.label());
+    }
+    println!();
+
+    for exp in (4..=14).step_by(2) {
+        let n = 1u32 << exp;
+        print!("{n:<10}");
+        let base = work_generation_baseline(&bench, n, lo, hi);
+        print!("{:>12.4}", base.elapsed.as_secs_f64() * 1e3);
+        for kind in kinds {
+            let c = work_generation(&bench, kind, n, lo, hi);
+            print!("{:>16.4}", c.elapsed.as_secs_f64() * 1e3);
+        }
+        println!();
+    }
+    println!("(milliseconds; lower is better — compare each column to Baseline)");
+}

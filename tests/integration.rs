@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: every manager driven through the full
+//! simulated-device stack (executor → allocator → heap → workloads).
+
+use gpumemsurvey::bench::registry::{ManagerKind, DEFAULT_KINDS};
+use gpumemsurvey::bench::runners;
+use gpumemsurvey::gpu_sim::PerThread;
+use gpumemsurvey::prelude::*;
+
+fn device() -> Device {
+    Device::with_workers(DeviceSpec::titan_v(), 4)
+}
+
+/// Every manager serves a full kernel of mixed-size allocations; payloads
+/// are written and verified, then everything is freed and reallocated.
+#[test]
+fn full_stack_mixed_kernel_every_manager() {
+    let device = device();
+    const N: u32 = 4096;
+    for kind in DEFAULT_KINDS {
+        let alloc = kind.create(128 << 20, device.spec().num_sms);
+        let heap = alloc.heap();
+        let ptrs = PerThread::<DevicePtr>::new(N as usize);
+        let sizes = PerThread::<u64>::new(N as usize);
+
+        device.launch(N, |ctx| {
+            let size = 16 + (ctx.thread_id as u64 % 64) * 16;
+            let p = alloc
+                .malloc(ctx, size)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            heap.fill(p, size, (ctx.thread_id % 251) as u8);
+            ptrs.set(ctx.thread_id as usize, p);
+            sizes.set(ctx.thread_id as usize, size);
+        });
+
+        // Host-side verification: payload intact, no overlap.
+        let ptrs = ptrs.into_vec();
+        let sizes = sizes.into_vec();
+        let mut spans: Vec<(u64, u64, u32)> = Vec::new();
+        for t in 0..N as usize {
+            assert_eq!(
+                heap.read_u8(ptrs[t], sizes[t] - 1),
+                (t as u32 % 251) as u8,
+                "{}: thread {t} payload corrupted",
+                kind.label()
+            );
+            spans.push((ptrs[t].offset(), sizes[t], t as u32));
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "{}: threads {} and {} overlap",
+                kind.label(),
+                w[0].2,
+                w[1].2
+            );
+        }
+
+        // Free phase (managers without free skip it).
+        if alloc.info().supports_free {
+            device.launch(N, |ctx| {
+                alloc
+                    .free(ctx, ptrs[ctx.thread_id as usize])
+                    .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            });
+            // Memory is reusable.
+            let p = alloc.malloc(&ThreadCtx::host(), 1024).unwrap();
+            assert!(!p.is_null());
+        }
+    }
+}
+
+/// The smoke helper the quickstart builds on must pass for every kind,
+/// including the warp-level-only FDGMalloc.
+#[test]
+fn smoke_all_kinds_including_fdg() {
+    for kind in gpumemsurvey::bench::registry::ALL_KINDS {
+        let alloc = kind.create(64 << 20, 80);
+        runners::smoke_test(alloc.as_ref())
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+    }
+}
+
+/// Warp-collective allocation works for every manager through the default
+/// or specialised `malloc_warp` path.
+#[test]
+fn warp_collective_allocation_every_manager() {
+    let device = device();
+    for kind in DEFAULT_KINDS {
+        let alloc = kind.create(64 << 20, device.spec().num_sms);
+        let ok = std::sync::atomic::AtomicU32::new(0);
+        device.launch_warps(128, |w| {
+            let sizes = [96u64; 32];
+            let mut out = [DevicePtr::NULL; 32];
+            if alloc.malloc_warp(w, &sizes, &mut out).is_ok()
+                && out.iter().all(|p| !p.is_null())
+            {
+                ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert_eq!(
+            ok.load(std::sync::atomic::Ordering::Relaxed),
+            128,
+            "{}",
+            kind.label()
+        );
+    }
+}
+
+/// Work generation against the prefix-sum baseline completes with zero
+/// failures for the paper's recommended managers.
+#[test]
+fn workgen_integration() {
+    let bench = runners::Bench::new(device());
+    for kind in [ManagerKind::ScatterAlloc, ManagerKind::Halloc, ManagerKind::OuroSP] {
+        let c = runners::work_generation(&bench, kind, 8192, 4, 64);
+        assert_eq!(c.failures, 0, "{}", kind.label());
+    }
+    let b = runners::work_generation_baseline(&bench, 8192, 4, 64);
+    assert_eq!(b.failures, 0);
+}
+
+/// Graph init → update → destroy across three managers, with content
+/// validation after churn.
+#[test]
+fn graph_lifecycle_integration() {
+    let device = device();
+    let csr = gpumemsurvey::dyn_graph::generate("coAuthorsCiteseer", 128, 3);
+    for kind in [ManagerKind::OuroVAC, ManagerKind::ScatterAlloc, ManagerKind::Halloc] {
+        let alloc = kind.create(256 << 20, device.spec().num_sms);
+        let (g, _) = gpumemsurvey::dyn_graph::DynGraph::init(alloc.as_ref(), &device, &csr);
+        assert_eq!(g.failures(), 0, "{}", kind.label());
+        let edges = gpumemsurvey::dyn_graph::focused_edges(csr.vertices(), 10_000, 20, 5);
+        g.insert_edges(&device, &edges);
+        assert_eq!(g.failures(), 0, "{}", kind.label());
+        assert_eq!(g.total_edges(), csr.edges() + 10_000, "{}", kind.label());
+        // Spot-check an untouched vertex's adjacency survived the churn.
+        let v = csr.vertices() - 1;
+        assert_eq!(g.adjacency(v)[..csr.degree(v) as usize], *csr.neighbors(v));
+        g.destroy(&device);
+    }
+}
+
+/// The fragmentation instrumentation sees the Atomic baseline as perfectly
+/// packed and every real manager at ≥ 1×.
+#[test]
+fn fragmentation_sanity_across_managers() {
+    let bench = runners::Bench::new(device());
+    let atomic = runners::fragmentation(&bench, ManagerKind::Atomic, 2048, 64, 0);
+    assert_eq!(atomic.initial.address_range, atomic.initial.baseline);
+    for kind in [ManagerKind::OuroSP, ManagerKind::Halloc, ManagerKind::RegEffC] {
+        let c = runners::fragmentation(&bench, kind, 2048, 64, 2);
+        assert!(
+            c.initial.expansion_factor() >= 0.99,
+            "{}: {}",
+            kind.label(),
+            c.initial.expansion_factor()
+        );
+        assert!(c.initial.allocations == 2048, "{}", kind.label());
+    }
+}

@@ -1,0 +1,203 @@
+//! Shape tests: coarse, robust assertions that the reproduction exhibits
+//! the *relative* behaviours the paper reports. These deliberately use wide
+//! margins (≥ 2-3×) so they hold on any host; EXPERIMENTS.md records the
+//! exact measured values.
+
+use std::time::Duration;
+
+use gpumemsurvey::bench::registry::ManagerKind;
+use gpumemsurvey::bench::runners::{self, Bench};
+use gpumemsurvey::gpu_workloads::write_test::WritePattern;
+use gpumemsurvey::prelude::*;
+
+fn bench() -> Bench {
+    let mut b = Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4));
+    b.iterations = 2;
+    b.cell_timeout = Duration::from_secs(30);
+    b
+}
+
+/// §4.2.1 / Fig. 9: for small thread-based allocations, the CUDA-Allocator
+/// model is consistently slower than ScatterAlloc and page-based Ouroboros,
+/// and its deallocation is the slowest in the field.
+#[cfg_attr(debug_assertions, ignore = "timing-ratio shape: run with --release")]
+#[test]
+fn cuda_allocator_is_outperformed_for_small_sizes() {
+    let b = bench();
+    let n = 10_000;
+    let cuda = runners::alloc_perf(&b, ManagerKind::CudaAllocator, n, 64, false);
+    let scatter = runners::alloc_perf(&b, ManagerKind::ScatterAlloc, n, 64, false);
+    let ouro = runners::alloc_perf(&b, ManagerKind::OuroVLP, n, 64, false);
+    // Free: CUDA clearly slowest (paper: "only approach with deallocation
+    // performance consistently above 1 ms").
+    let cuda_free = cuda.free.unwrap();
+    assert!(
+        cuda_free > scatter.free.unwrap() * 3,
+        "cuda free {cuda_free:?} vs scatter {:?}",
+        scatter.free.unwrap()
+    );
+    assert!(
+        cuda_free > ouro.free.unwrap() * 3,
+        "cuda free {cuda_free:?} vs ouroboros {:?}",
+        ouro.free.unwrap()
+    );
+}
+
+/// §4.2.1: the CUDA-Allocator model's characteristic spike right before its
+/// 2048 B unit split, with performance recovering after it.
+#[cfg_attr(debug_assertions, ignore = "timing-ratio shape: run with --release")]
+#[test]
+fn cuda_allocator_unit_split_at_2048() {
+    let b = bench();
+    let at_2048 = runners::alloc_perf(&b, ManagerKind::CudaAllocator, 10_000, 2048, false);
+    let at_4096 = runners::alloc_perf(&b, ManagerKind::CudaAllocator, 10_000, 4096, false);
+    let at_64 = runners::alloc_perf(&b, ManagerKind::CudaAllocator, 10_000, 64, false);
+    assert!(
+        at_2048.alloc > at_64.alloc * 2,
+        "staircase: 2048 B ({:?}) must dwarf 64 B ({:?})",
+        at_2048.alloc,
+        at_64.alloc
+    );
+    assert!(
+        at_4096.alloc < at_2048.alloc,
+        "past the split, the large path recovers: {:?} vs {:?}",
+        at_4096.alloc,
+        at_2048.alloc
+    );
+}
+
+/// §4.2.1: ScatterAlloc's steep drop once requests leave the single page
+/// (the search for contiguous free pages).
+#[cfg_attr(debug_assertions, ignore = "timing-ratio shape: run with --release")]
+#[test]
+fn scatteralloc_multipage_cliff() {
+    let b = bench();
+    let single = runners::alloc_perf(&b, ManagerKind::ScatterAlloc, 10_000, 2048, false);
+    let multi = runners::alloc_perf(&b, ManagerKind::ScatterAlloc, 10_000, 8192, false);
+    assert!(
+        multi.alloc > single.alloc * 3,
+        "multipage {:?} must be a cliff vs single-page {:?}",
+        multi.alloc,
+        single.alloc
+    );
+    // While page-based Ouroboros stays flat over the same boundary (paper:
+    // "considerably outperform all other approaches for larger sizes").
+    let ouro = runners::alloc_perf(&b, ManagerKind::OuroSP, 10_000, 8192, false);
+    assert!(
+        ouro.alloc < multi.alloc / 3,
+        "ouroboros {:?} must beat scatter {:?} at 8 KiB",
+        ouro.alloc,
+        multi.alloc
+    );
+}
+
+/// §4.3.1 / Fig. 11a: Ouroboros stays close to the packed baseline while
+/// the CUDA-Allocator model spans (nearly) its whole region.
+#[test]
+fn fragmentation_ordering() {
+    let b = bench();
+    let ouro = runners::fragmentation(&b, ManagerKind::OuroVAC, 10_000, 256, 2);
+    assert!(
+        ouro.initial.expansion_factor() < 3.0,
+        "ouroboros expansion {}",
+        ouro.initial.expansion_factor()
+    );
+    let cuda = runners::fragmentation(&b, ManagerKind::CudaAllocator, 256, 4096, 0);
+    // One small+large split already spans most of the heap in the model;
+    // with only large allocations the top-down layout dominates: range must
+    // vastly exceed demand.
+    assert!(
+        cuda.initial.expansion_factor() > ouro.initial.expansion_factor(),
+        "cuda {} vs ouro {}",
+        cuda.initial.expansion_factor(),
+        ouro.initial.expansion_factor()
+    );
+}
+
+/// §4.3.2 / Fig. 11b: Ouroboros reaches ≥ 95 % utilization; Halloc is held
+/// back by its CUDA section; the 16 B alignment floor shows below 16 B.
+#[test]
+fn oom_utilization_ordering() {
+    let b = bench();
+    let ouro = runners::oom(&b, ManagerKind::OuroSC, 64 << 20, 1024);
+    assert!(ouro.utilization > 0.9, "ouroboros OOM utilization {}", ouro.utilization);
+    let halloc = runners::oom(&b, ManagerKind::Halloc, 64 << 20, 1024);
+    assert!(
+        halloc.utilization < ouro.utilization,
+        "halloc {} must trail ouroboros {} (reserved CUDA section)",
+        halloc.utilization,
+        ouro.utilization
+    );
+    // Sub-16 B requests burn the 16 B minimum: utilization ratio ~size/16.
+    let tiny = runners::oom(&b, ManagerKind::OuroSC, 64 << 20, 4);
+    assert!(
+        tiny.utilization < 0.5,
+        "4 B allocations cannot beat the 16 B grain: {}",
+        tiny.utilization
+    );
+}
+
+/// §4.4.1 / Fig. 11c: for small per-thread outputs at moderate thread
+/// counts, the recommended managers beat the prefix-sum baseline.
+#[cfg_attr(debug_assertions, ignore = "timing-ratio shape: run with --release")]
+#[test]
+fn workgen_beats_baseline_at_moderate_counts() {
+    let b = bench();
+    let n = 4096;
+    let base = runners::work_generation_baseline(&b, n, 4, 64);
+    for kind in [ManagerKind::ScatterAlloc, ManagerKind::OuroSP, ManagerKind::Halloc] {
+        let c = runners::work_generation(&b, kind, n, 4, 64);
+        assert_eq!(c.failures, 0);
+        assert!(
+            c.elapsed < base.elapsed * 4,
+            "{} ({:?}) should be in the baseline's ballpark ({:?}) or better",
+            kind.label(),
+            c.elapsed,
+            base.elapsed
+        );
+    }
+}
+
+/// §4.4.2 / Fig. 11e: well-packed allocators stay close to the coalesced
+/// baseline; Reg-Eff's unaligned headers cost extra transactions.
+#[test]
+fn write_coalescing_ordering() {
+    let b = bench();
+    let n = 1 << 14;
+    let pattern = WritePattern::Uniform { bytes: 32 };
+    let ouro = runners::write_performance(&b, ManagerKind::OuroSP, n, pattern);
+    let regeff = runners::write_performance(&b, ManagerKind::RegEffC, n, pattern);
+    assert!(ouro.relative_cost < 1.5, "ouroboros rel cost {}", ouro.relative_cost);
+    assert!(
+        regeff.relative_cost > ouro.relative_cost,
+        "Reg-Eff ({}) must coalesce worse than Ouroboros ({})",
+        regeff.relative_cost,
+        ouro.relative_cost
+    );
+}
+
+/// §4.1: register-footprint proxy ordering — Reg-Eff least, CUDA close,
+/// Halloc/ScatterAlloc around 40 for malloc, Ouroboros at/above them,
+/// XMalloc's malloc the outlier, everyone's free modest.
+#[test]
+fn register_footprint_ordering() {
+    let fp = |k: ManagerKind| k.create(64 << 20, 80).register_footprint();
+    let regeff = fp(ManagerKind::RegEffCF);
+    let cuda = fp(ManagerKind::CudaAllocator);
+    let scatter = fp(ManagerKind::ScatterAlloc);
+    let halloc = fp(ManagerKind::Halloc);
+    let ouro_c = fp(ManagerKind::OuroSC);
+    let ouro_p = fp(ManagerKind::OuroSP);
+    let xmalloc = fp(ManagerKind::XMalloc);
+
+    assert!(regeff.malloc < cuda.malloc);
+    assert!(cuda.malloc < scatter.malloc);
+    assert!((30..=50).contains(&scatter.malloc));
+    assert!((30..=50).contains(&halloc.malloc));
+    assert!(ouro_c.malloc > ouro_p.malloc, "chunked carries more state");
+    assert!(xmalloc.malloc > 2 * ouro_c.malloc, "XMalloc is the outlier");
+    for f in [regeff.free, cuda.free, scatter.free, halloc.free, ouro_p.free, xmalloc.free]
+    {
+        assert!(f <= 30, "free footprints stay modest: {f}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests: allocator invariants under arbitrary operation
+//! sequences, for every evaluated manager.
+//!
+//! The model: a random interleaving of `Malloc(size)` and `Free(i)` (freeing
+//! the i-th oldest live allocation). After every step the live set must
+//! satisfy:
+//!
+//! 1. no two live allocations overlap;
+//! 2. every pointer is in bounds (`ptr + size ≤ heap.len()`);
+//! 3. every pointer satisfies the manager's declared alignment;
+//! 4. OOM is an error return, never corruption — and after freeing
+//!    everything, allocation succeeds again.
+
+use proptest::prelude::*;
+
+use gpumemsurvey::bench::registry::ManagerKind;
+use gpumemsurvey::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc(u64),
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u64..9000).prop_map(Op::Malloc),
+        2 => (0usize..64).prop_map(Op::Free),
+    ]
+}
+
+fn check_invariants(kind: ManagerKind, ops: &[Op]) -> Result<(), TestCaseError> {
+    let alloc = kind.create(32 << 20, 80);
+    let info = alloc.info();
+    let ctx = ThreadCtx::host();
+    // (ptr, size) of live allocations, oldest first.
+    let mut live: Vec<(DevicePtr, u64)> = Vec::new();
+
+    for op in ops {
+        match *op {
+            Op::Malloc(size) => match alloc.malloc(&ctx, size) {
+                Ok(p) => {
+                    prop_assert_ne!(p, DevicePtr::NULL);
+                    prop_assert!(
+                        p.offset() + size <= alloc.heap().len(),
+                        "{}: out of bounds: {:?}+{}",
+                        info.label(),
+                        p,
+                        size
+                    );
+                    prop_assert!(
+                        p.is_aligned(info.alignment),
+                        "{}: misaligned: {:?} (declared {})",
+                        info.label(),
+                        p,
+                        info.alignment
+                    );
+                    // Overlap check against the live set.
+                    for &(q, qs) in &live {
+                        let disjoint =
+                            p.offset() + size <= q.offset() || q.offset() + qs <= p.offset();
+                        prop_assert!(
+                            disjoint,
+                            "{}: overlap: {:?}+{} vs {:?}+{}",
+                            info.label(),
+                            p,
+                            size,
+                            q,
+                            qs
+                        );
+                    }
+                    live.push((p, size));
+                }
+                Err(AllocError::OutOfMemory(_)) => {} // legitimate under churn
+                Err(e) => prop_assert!(false, "{}: unexpected error {e}", info.label()),
+            },
+            Op::Free(i) => {
+                if !live.is_empty() && info.supports_free {
+                    let (p, _) = live.remove(i % live.len());
+                    let r = alloc.free(&ctx, p);
+                    prop_assert!(r.is_ok(), "{}: free failed: {r:?}", info.label());
+                }
+            }
+        }
+    }
+
+    // Drain and verify the manager recovers.
+    if info.supports_free {
+        for (p, _) in live.drain(..) {
+            alloc.free(&ctx, p).expect("draining valid pointers");
+        }
+        prop_assert!(
+            alloc.malloc(&ctx, 64).is_ok(),
+            "{}: cannot allocate after full drain",
+            info.label()
+        );
+    }
+    Ok(())
+}
+
+macro_rules! allocator_properties {
+    ($($name:ident => $kind:expr),+ $(,)?) => {
+        $(
+            proptest! {
+                #![proptest_config(ProptestConfig {
+                    cases: 24,
+                    max_shrink_iters: 200,
+                    .. ProptestConfig::default()
+                })]
+                #[test]
+                fn $name(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+                    check_invariants($kind, &ops)?;
+                }
+            }
+        )+
+    };
+}
+
+allocator_properties! {
+    props_cuda_allocator => ManagerKind::CudaAllocator,
+    props_xmalloc => ManagerKind::XMalloc,
+    props_scatteralloc => ManagerKind::ScatterAlloc,
+    props_regeff_c => ManagerKind::RegEffC,
+    props_regeff_cf => ManagerKind::RegEffCF,
+    props_regeff_cm => ManagerKind::RegEffCM,
+    props_regeff_cfm => ManagerKind::RegEffCFM,
+    props_halloc => ManagerKind::Halloc,
+    props_ouro_s_p => ManagerKind::OuroSP,
+    props_ouro_s_c => ManagerKind::OuroSC,
+    props_ouro_va_p => ManagerKind::OuroVAP,
+    props_ouro_va_c => ManagerKind::OuroVAC,
+    props_ouro_vl_p => ManagerKind::OuroVLP,
+    props_ouro_vl_c => ManagerKind::OuroVLC,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// The prefix-sum baseline equals a sequential fold for any input.
+    #[test]
+    fn prefix_scan_matches_sequential(sizes in proptest::collection::vec(1u64..5000, 0..300)) {
+        use gpumemsurvey::gpu_workloads::prefix::{scan_allocate, ELEM_ALIGN};
+        let r = scan_allocate(&sizes, 0, 4);
+        let mut acc = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert_eq!(r.offsets[i].offset(), acc);
+            acc += gpumemsurvey::core::util::align_up(s, ELEM_ALIGN);
+        }
+        prop_assert_eq!(r.total, acc);
+    }
+
+    /// The coalescing model is monotone: spreading a warp's pointers apart
+    /// never reduces the transaction count.
+    #[test]
+    fn access_model_monotone_in_stride(stride_a in 4u64..64, extra in 1u64..128) {
+        use gpumemsurvey::gpu_sim::access::warp_transactions;
+        let stride_b = stride_a + extra;
+        let a: Vec<DevicePtr> = (0..32).map(|i| DevicePtr::new(i * stride_a)).collect();
+        let b: Vec<DevicePtr> = (0..32).map(|i| DevicePtr::new(i * stride_b)).collect();
+        prop_assert!(warp_transactions(&a, 4) <= warp_transactions(&b, 4));
+    }
+
+    /// Address-range tracking equals the trivial min/max computation.
+    #[test]
+    fn address_range_matches_minmax(
+        entries in proptest::collection::vec((0u64..1_000_000, 1u64..512), 1..100)
+    ) {
+        use gpumemsurvey::core::frag::AddressRange;
+        let mut r = AddressRange::new();
+        for &(off, size) in &entries {
+            r.record(DevicePtr::new(off), size);
+        }
+        let lo = entries.iter().map(|&(o, _)| o).min().unwrap();
+        let hi = entries.iter().map(|&(o, s)| o + s).max().unwrap();
+        prop_assert_eq!(r.range(), hi - lo);
+        prop_assert_eq!(r.count(), entries.len() as u64);
+    }
+
+    /// Device RNG ranges always respect their bounds.
+    #[test]
+    fn device_rng_bounds(seed in any::<u64>(), lo in 1u64..1000, span in 0u64..9000) {
+        let mut rng = gpumemsurvey::core::util::DeviceRng::new(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let v = rng.range_u64(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+}
