@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use gpumem_core::util::align_up;
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx,
 };
 
 /// Alignment of returned pointers — 16 B, the framework-wide expectation.
@@ -26,6 +26,7 @@ pub const ALIGNMENT: u64 = 16;
 pub struct AtomicAlloc {
     heap: Arc<DeviceHeap>,
     offset: AtomicU64,
+    metrics: Metrics,
 }
 
 /// Locals live in `malloc` (register proxy; see `gpumem_core::regs`).
@@ -40,7 +41,13 @@ struct MallocFrame {
 impl AtomicAlloc {
     /// Creates a baseline manager over the whole `heap`.
     pub fn new(heap: Arc<DeviceHeap>) -> Self {
-        AtomicAlloc { heap, offset: AtomicU64::new(0) }
+        AtomicAlloc { heap, offset: AtomicU64::new(0), metrics: Metrics::disabled() }
+    }
+
+    /// Attaches a contention-observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Convenience constructor: makes its own heap of `len` bytes.
@@ -56,24 +63,21 @@ impl AtomicAlloc {
 
 impl DeviceAllocator for AtomicAlloc {
     fn info(&self) -> ManagerInfo {
-        ManagerInfo {
-            family: "Atomic",
-            variant: "",
-            supports_free: false,
-            warp_level_only: false,
-            resizable: false,
-            alignment: ALIGNMENT,
-            max_native_size: u64::MAX,
-            relays_large_to_cuda: false,
-        }
+        ManagerInfo::builder("Atomic")
+            .supports_free(false)
+            .alignment(ALIGNMENT)
+            .instrumented(true)
+            .build()
     }
 
     fn heap(&self) -> &DeviceHeap {
         &self.heap
     }
 
-    fn malloc(&self, _ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+    fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
         if size == 0 {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(0));
         }
         let aligned = align_up(size, ALIGNMENT);
@@ -81,17 +85,27 @@ impl DeviceAllocator for AtomicAlloc {
         if offset + aligned > self.heap.len() {
             // NOTE: like the original baseline, the offset is not rolled
             // back — once exhausted, the manager stays exhausted.
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::OutOfMemory(size));
         }
+        // The baseline has no retry loop at all — record the perfect op so
+        // its histogram anchors the bottom of every contention plot.
+        self.metrics.record_retries(ctx.sm, 0);
         Ok(DevicePtr::new(offset))
     }
 
-    fn free(&self, _ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+    fn free(&self, ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        self.metrics.tick(ctx.sm, Counter::FreeFailures);
         Err(AllocError::Unsupported("Atomic baseline has no deallocation"))
     }
 
     fn register_footprint(&self) -> RegisterFootprint {
         RegisterFootprint::from_frames(std::mem::size_of::<MallocFrame>(), 0)
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 }
 

@@ -29,16 +29,16 @@
 //!
 //! Several other managers in the survey forward requests here (Halloc for
 //! > 3 KiB, FDGMalloc for warp headers and oversize requests, Ouroboros for
-//! oversize requests), so the model supports operating on a *sub-region* of
-//! a shared heap via [`CudaAllocModel::with_region`].
+//! > oversize requests), so the model supports operating on a *sub-region* of
+//! > a shared heap via [`CudaAllocModel::with_region`].
 
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use gpumem_core::util::{align_up, next_pow2};
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx,
 };
 
 mod state;
@@ -68,6 +68,7 @@ pub struct CudaAllocModel {
     base: u64,
     len: u64,
     state: Mutex<State>,
+    metrics: Metrics,
 }
 
 /// Locals live in `malloc` (register proxy).
@@ -110,15 +111,39 @@ impl CudaAllocModel {
     /// # Panics
     /// Panics if the region is not 16-byte aligned or out of bounds.
     pub fn with_region(heap: Arc<DeviceHeap>, base: u64, len: u64) -> Self {
-        assert!(base % 16 == 0 && len % 16 == 0, "region must be 16-byte aligned");
+        assert!(
+            base.is_multiple_of(16) && len.is_multiple_of(16),
+            "region must be 16-byte aligned"
+        );
         assert!(base + len <= heap.len(), "region exceeds heap");
         assert!(len >= UNIT, "region too small for the CUDA model");
-        CudaAllocModel { heap, base, len, state: Mutex::new(State::new(base, len)) }
+        CudaAllocModel {
+            heap,
+            base,
+            len,
+            state: Mutex::new(State::new(base, len)),
+            metrics: Metrics::disabled(),
+        }
     }
 
     /// Convenience constructor: creates its own heap of `len` bytes.
     pub fn with_capacity(len: u64) -> Self {
         Self::new(Arc::new(DeviceHeap::new(len)))
+    }
+
+    /// Attaches a contention-observability handle (builder style). Managers
+    /// that embed this model pass a [`Metrics::relay`] clone so the outer
+    /// call is accounted once while inner walk costs still accumulate.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// In-place variant of [`CudaAllocModel::with_metrics`] for managers
+    /// that embed this model as a field (Halloc, FDGMalloc) and wire it up
+    /// after construction.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     fn class_index(size: u64) -> usize {
@@ -132,48 +157,49 @@ impl CudaAllocModel {
 
     /// Bytes still unclaimed between the two bump frontiers (diagnostics).
     pub fn remaining(&self) -> u64 {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         st.large_top.saturating_sub(st.small_bump)
     }
 }
 
 impl DeviceAllocator for CudaAllocModel {
     fn info(&self) -> ManagerInfo {
-        ManagerInfo {
-            family: "CUDA-Allocator",
-            variant: "",
-            supports_free: true,
-            warp_level_only: false,
-            resizable: false,
-            alignment: 16,
-            max_native_size: u64::MAX,
-            relays_large_to_cuda: false,
-        }
+        ManagerInfo::builder("CUDA-Allocator").instrumented(true).build()
     }
 
     fn heap(&self) -> &DeviceHeap {
         &self.heap
     }
 
-    fn malloc(&self, _ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+    fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
         if size == 0 {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(0));
         }
         if size + HEADER > self.len {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(size));
         }
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if size <= SMALL_LIMIT {
             // Consistency walk (see `State::units`): the modelled
             // serialized bookkeeping that makes this allocator's cost grow
-            // with its allocation history.
+            // with its allocation history. Every registry entry visited is
+            // one probe step.
+            self.metrics.add(ctx.sm, Counter::ProbeSteps, st.units_len() as u64 + 1);
             std::hint::black_box(st.validate_units());
             let idx = Self::class_index(size);
             let header = match st.pop_class(idx) {
                 Some(h) => h,
                 None => {
-                    st.carve_unit(idx, Self::class_bytes(idx))
-                        .ok_or(AllocError::OutOfMemory(size))?;
+                    match st.carve_unit(idx, Self::class_bytes(idx)) {
+                        Some(()) => {}
+                        None => {
+                            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+                            return Err(AllocError::OutOfMemory(size));
+                        }
+                    }
                     st.pop_class(idx).expect("carve_unit populates the class")
                 }
             };
@@ -182,33 +208,49 @@ impl DeviceAllocator for CudaAllocModel {
             Ok(DevicePtr::new(header + HEADER))
         } else {
             let need = align_up(size, 16) + HEADER;
-            let header = st.alloc_large(need).ok_or(AllocError::OutOfMemory(size))?;
+            // The first-fit walk visits at most every free region.
+            self.metrics.add(ctx.sm, Counter::ListHops, st.large_free_len() as u64);
+            let header = match st.alloc_large(need) {
+                Some(h) => h,
+                None => {
+                    self.metrics.tick(ctx.sm, Counter::MallocFailures);
+                    return Err(AllocError::OutOfMemory(size));
+                }
+            };
             self.heap.store_u32(header, MAGIC_LARGE);
             self.heap.store_u64(header + 8, need);
             Ok(DevicePtr::new(header + HEADER))
         }
     }
 
-    fn free(&self, _ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        let fail = |e: AllocError| {
+            self.metrics.tick(ctx.sm, Counter::FreeFailures);
+            Err(e)
+        };
         if ptr.is_null() || ptr.offset() < self.base + HEADER {
-            return Err(AllocError::InvalidPointer);
+            return fail(AllocError::InvalidPointer);
         }
         let header = ptr.offset() - HEADER;
         if header >= self.base + self.len {
-            return Err(AllocError::InvalidPointer);
+            return fail(AllocError::InvalidPointer);
         }
         let magic = self.heap.load_u32(header);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         match magic {
             MAGIC_SMALL => {
                 let idx = self.heap.load_u32(header + 4) as usize;
                 if idx >= state::NUM_CLASSES {
-                    return Err(AllocError::InvalidPointer);
+                    return fail(AllocError::InvalidPointer);
                 }
                 // The model's heavyweight-deallocation component: a bounded
-                // double-free validation scan of the class free stack.
+                // double-free validation scan of the class free stack. Every
+                // stack entry inside the window is one hop.
+                let scan = st.class_depth(idx).min(VALIDATION_WINDOW) as u64;
+                self.metrics.add(ctx.sm, Counter::ListHops, scan);
                 if st.class_contains(idx, header, VALIDATION_WINDOW) {
-                    return Err(AllocError::InvalidPointer);
+                    return fail(AllocError::InvalidPointer);
                 }
                 self.heap.store_u32(header, MAGIC_FREE);
                 st.push_class(idx, header);
@@ -217,10 +259,11 @@ impl DeviceAllocator for CudaAllocModel {
             MAGIC_LARGE => {
                 let need = self.heap.load_u64(header + 8);
                 self.heap.store_u32(header, MAGIC_FREE);
+                self.metrics.add(ctx.sm, Counter::ListHops, st.large_free_len() as u64);
                 st.free_large(header, need);
                 Ok(())
             }
-            _ => Err(AllocError::InvalidPointer),
+            _ => fail(AllocError::InvalidPointer),
         }
     }
 
@@ -229,6 +272,10 @@ impl DeviceAllocator for CudaAllocModel {
             std::mem::size_of::<MallocFrame>(),
             std::mem::size_of::<FreeFrame>(),
         )
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 }
 

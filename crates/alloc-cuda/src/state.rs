@@ -70,7 +70,7 @@ impl State {
         // survey observes that the CUDA-Allocator "always reports back the
         // maximum possible range, which might suggest that it starts
         // allocating from both ends of its memory region" (§4.3.1).
-        let base = if self.units.len() % 2 == 0 {
+        let base = if self.units.len().is_multiple_of(2) {
             let b = self.small_bump;
             self.small_bump += unit;
             b
@@ -79,10 +79,7 @@ impl State {
             self.large_top
         };
         let start = self.units.len().saturating_sub(UNIT_SCAN_WINDOW);
-        debug_assert!(
-            !self.units[start..].contains(&base),
-            "carve produced a duplicate unit base"
-        );
+        debug_assert!(!self.units[start..].contains(&base), "carve produced a duplicate unit base");
         let _ = start;
         self.units.push(base);
         let footprint = class_bytes + HEADER;
@@ -165,10 +162,22 @@ impl State {
         acc
     }
 
-    /// Number of distinct free large regions (test hook).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Number of distinct free large regions (test hook and the upper bound
+    /// on the first-fit walk length — the model's `list_hops` source).
     pub fn large_free_len(&self) -> usize {
         self.large_free.len()
+    }
+
+    /// Number of carved units — the length of every [`State::validate_units`]
+    /// walk (the model's `probe_steps` source).
+    pub fn units_len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Depth of one class free stack — bounds the double-free scan in
+    /// [`State::class_contains`].
+    pub fn class_depth(&self, class_idx: usize) -> usize {
+        self.class_free[class_idx].len()
     }
 }
 

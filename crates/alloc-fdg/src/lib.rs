@@ -34,8 +34,8 @@ use std::sync::{Arc, Mutex};
 use alloc_cuda::CudaAllocModel;
 use gpumem_core::util::align_up;
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx, WarpCtx,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx, WarpCtx,
 };
 
 /// SuperBlock payload size — the largest request served without forwarding.
@@ -89,6 +89,7 @@ pub struct FdgMalloc {
     heap: Arc<DeviceHeap>,
     cuda: CudaAllocModel,
     shards: Vec<Mutex<HashMap<u32, WarpState>>>,
+    metrics: Metrics,
 }
 
 impl FdgMalloc {
@@ -100,6 +101,29 @@ impl FdgMalloc {
             heap,
             cuda,
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attaches a contention-observability handle. The embedded
+    /// CUDA-Allocator shares the counters through [`Metrics::relay`], so
+    /// SuperBlock pulls and forwarded requests contribute structural
+    /// counters without double-counting `malloc_calls`/`free_calls`.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.cuda.set_metrics(metrics.relay());
+        self.metrics = metrics;
+        self
+    }
+
+    /// Locks the warp's shard, counting a `queue_spins` event when the
+    /// fast-path `try_lock` loses to another warp hashed onto the shard.
+    fn lock_shard(&self, sm: u32, warp: u32) -> std::sync::MutexGuard<'_, HashMap<u32, WarpState>> {
+        match self.shard(warp).try_lock() {
+            Ok(g) => g,
+            Err(_) => {
+                self.metrics.tick(sm, Counter::QueueSpins);
+                self.shard(warp).lock().unwrap()
+            }
         }
     }
 
@@ -128,12 +152,7 @@ impl FdgMalloc {
 
     /// Registers an allocation (SuperBlock or forwarded) in the warp's
     /// in-heap list chain.
-    fn register(
-        &self,
-        ctx: &ThreadCtx,
-        st: &mut WarpState,
-        entry: u64,
-    ) -> Result<(), AllocError> {
+    fn register(&self, ctx: &ThreadCtx, st: &mut WarpState, entry: u64) -> Result<(), AllocError> {
         if st.lists.is_empty() || st.newest_len == LIST_CAPACITY {
             // "These lists are of fixed size and are replaced once full."
             let list = self.cuda.malloc(ctx, LIST_RECORD_BYTES)?;
@@ -176,18 +195,40 @@ impl FdgMalloc {
     }
 }
 
+impl FdgMalloc {
+    fn malloc_inner(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        if size == 0 {
+            return Err(AllocError::UnsupportedSize(0));
+        }
+        let rounded = align_up(size, 16);
+        let mut shard = self.lock_shard(ctx.sm, ctx.warp);
+        if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(ctx.warp) {
+            let st = self.init_state(ctx)?;
+            e.insert(st);
+        }
+        let st = shard.get_mut(&ctx.warp).expect("just inserted");
+        if rounded > SUPERBLOCK_BYTES {
+            // "If the total requested size per warp is larger than the
+            // maximum SuperBlock size, then the request is forwarded to the
+            // CUDA-Allocator."
+            self.metrics.tick(ctx.sm, Counter::OomFallbacks);
+            let ptr = self.cuda.malloc(ctx, rounded)?;
+            self.register(ctx, st, ptr.offset() | FORWARDED_BIT)?;
+            return Ok(ptr);
+        }
+        self.bump(ctx, st, rounded)
+    }
+}
+
 impl DeviceAllocator for FdgMalloc {
     fn info(&self) -> ManagerInfo {
-        ManagerInfo {
-            family: "FDGMalloc",
-            variant: "",
-            supports_free: false,
-            warp_level_only: true,
-            resizable: false,
-            alignment: 16,
-            max_native_size: SUPERBLOCK_BYTES,
-            relays_large_to_cuda: true,
-        }
+        ManagerInfo::builder("FDGMalloc")
+            .supports_free(false)
+            .warp_level_only(true)
+            .max_native_size(SUPERBLOCK_BYTES)
+            .relays_large_to_cuda(true)
+            .instrumented(true)
+            .build()
     }
 
     fn heap(&self) -> &DeviceHeap {
@@ -195,28 +236,17 @@ impl DeviceAllocator for FdgMalloc {
     }
 
     fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
-        if size == 0 {
-            return Err(AllocError::UnsupportedSize(0));
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
+        let r = self.malloc_inner(ctx, size);
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
         }
-        let rounded = align_up(size, 16);
-        let mut shard = self.shard(ctx.warp).lock().unwrap();
-        if !shard.contains_key(&ctx.warp) {
-            let st = self.init_state(ctx)?;
-            shard.insert(ctx.warp, st);
-        }
-        let st = shard.get_mut(&ctx.warp).expect("just inserted");
-        if rounded > SUPERBLOCK_BYTES {
-            // "If the total requested size per warp is larger than the
-            // maximum SuperBlock size, then the request is forwarded to the
-            // CUDA-Allocator."
-            let ptr = self.cuda.malloc(ctx, rounded)?;
-            self.register(ctx, st, ptr.offset() | FORWARDED_BIT)?;
-            return Ok(ptr);
-        }
-        self.bump(ctx, st, rounded)
+        r
     }
 
-    fn free(&self, _ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+    fn free(&self, ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        self.metrics.tick(ctx.sm, Counter::FreeFailures);
         Err(AllocError::Unsupported(
             "FDGMalloc has no per-allocation free; use free_warp_all (tidyUp)",
         ))
@@ -235,22 +265,23 @@ impl DeviceAllocator for FdgMalloc {
         for (&size, slot) in sizes.iter().zip(out.iter_mut()) {
             *slot = self.malloc(&leader, size)?;
         }
+        // All lanes were combined into back-to-back leader requests.
+        self.metrics.add(warp.sm, Counter::WarpCoalesced, sizes.len() as u64);
         Ok(())
     }
 
     /// `tidyUp`: releases every SuperBlock, forwarded allocation, list
     /// record and the WarpHeader of this warp.
     fn free_warp_all(&self, warp: &WarpCtx) -> Result<(), AllocError> {
-        let mut shard = self.shard(warp.warp).lock().unwrap();
+        let mut shard = self.lock_shard(warp.sm, warp.warp);
         let st = shard.remove(&warp.warp).ok_or(AllocError::InvalidPointer)?;
         let ctx = warp.leader();
+        let mut hops = 0u64;
         for (li, list) in st.lists.iter().enumerate() {
-            let entries = if li + 1 == st.lists.len() {
-                st.newest_len
-            } else {
-                LIST_CAPACITY
-            };
+            let entries = if li + 1 == st.lists.len() { st.newest_len } else { LIST_CAPACITY };
+            hops += 1;
             for e in 0..entries {
+                hops += 1;
                 let raw = self.heap.load_u64(list.offset() + 16 + e as u64 * 8);
                 let ptr = DevicePtr::new(raw & !FORWARDED_BIT);
                 self.cuda.free(&ctx, ptr)?;
@@ -258,11 +289,17 @@ impl DeviceAllocator for FdgMalloc {
             self.cuda.free(&ctx, *list)?;
         }
         self.cuda.free(&ctx, st.header)?;
+        // tidyUp walks the whole SuperBlock_List chain.
+        self.metrics.add(warp.sm, Counter::ListHops, hops);
         Ok(())
     }
 
     fn register_footprint(&self) -> RegisterFootprint {
         RegisterFootprint::from_frames(std::mem::size_of::<MallocFrame>(), 0)
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 }
 

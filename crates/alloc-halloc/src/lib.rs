@@ -31,8 +31,8 @@ use std::sync::Arc;
 
 use alloc_cuda::CudaAllocModel;
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx, WarpCtx,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx, WarpCtx,
 };
 
 pub mod slab;
@@ -40,9 +40,8 @@ pub mod slab;
 use slab::{Slab, CLASS_FREE};
 
 /// Size classes: powers of two and 3·2ᵏ, 16 B … 3072 B.
-pub const CLASSES: [u64; 17] = [
-    16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096,
-];
+pub const CLASSES: [u64; 17] =
+    [16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096];
 /// Requests above this are relayed to the CUDA-Allocator model.
 pub const MAX_BLOCK: u64 = 3072;
 /// Head replacement threshold (fill %·10 — the paper's 83.5 %).
@@ -80,6 +79,7 @@ pub struct Halloc {
     /// Start of the CUDA-Allocator section.
     cuda_base: u64,
     cuda: CudaAllocModel,
+    metrics: Metrics,
 }
 
 /// Locals live in `malloc` (register proxy): hash state, slab cursors,
@@ -141,8 +141,7 @@ impl Halloc {
         assert!(n_slabs >= 1, "heap too small for one slab");
         let cuda_base = n_slabs as u64 * cfg.slab_bytes;
         let max_blocks = (cfg.slab_bytes / CLASSES[0]) as u32;
-        let cuda =
-            CudaAllocModel::with_region(Arc::clone(&heap), cuda_base, len - cuda_base);
+        let cuda = CudaAllocModel::with_region(Arc::clone(&heap), cuda_base, len - cuda_base);
         Halloc {
             heap,
             cfg,
@@ -151,7 +150,18 @@ impl Halloc {
             free_hint: AtomicU32::new(0),
             cuda_base,
             cuda,
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attaches a contention-observability handle. The embedded
+    /// CUDA-Allocator section shares the counters through
+    /// [`Metrics::relay`], so relayed large requests contribute structural
+    /// counters without double-counting `malloc_calls`/`free_calls`.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.cuda.set_metrics(metrics.relay());
+        self.metrics = metrics;
+        self
     }
 
     /// Convenience constructor owning its heap.
@@ -172,7 +182,7 @@ impl Halloc {
     /// between chunk sizes, sparse slabs can switch between block sizes…
     /// busy slabs (>60 %) are normally not used during head search, except
     /// when no other blocks are available anymore.")
-    fn find_head(&self, class_idx: usize, allow_busy: bool) -> Option<u32> {
+    fn find_head(&self, class_idx: usize, allow_busy: bool, probes: &mut u64) -> Option<u32> {
         let blocks = self.blocks_per_slab(class_idx);
         let n = self.slabs.len() as u32;
         let start = self.free_hint.fetch_add(1, Ordering::Relaxed) % n;
@@ -180,6 +190,7 @@ impl Halloc {
         for i in 0..n {
             let s = (start + i) % n;
             let slab = &self.slabs[s as usize];
+            *probes += 1;
             if slab.class.load(Ordering::Acquire) == class_idx as u32
                 && slab.fill_pct(blocks) < BUSY_PCT
             {
@@ -189,6 +200,7 @@ impl Halloc {
         // Pass 2: claim a free slab.
         for i in 0..n {
             let s = (start + i) % n;
+            *probes += 1;
             if self.slabs[s as usize].try_assign(class_idx as u32, blocks) {
                 return Some(s);
             }
@@ -198,6 +210,7 @@ impl Halloc {
             for i in 0..n {
                 let s = (start + i) % n;
                 let slab = &self.slabs[s as usize];
+                *probes += 1;
                 if slab.class.load(Ordering::Acquire) == class_idx as u32
                     && slab.fill_pct(blocks) < 100
                 {
@@ -209,14 +222,29 @@ impl Halloc {
     }
 
     /// Reserves `want` blocks of `class_idx` on some slab; returns
-    /// `(slab_idx, granted)`.
-    fn reserve_blocks(&self, class_idx: usize, want: u32) -> Result<(u32, u32), AllocError> {
+    /// `(slab_idx, granted)`. Head-search slab scans feed `probe_steps`,
+    /// lost counter CASes and head-replacement rounds feed `cas_retries`.
+    fn reserve_blocks(
+        &self,
+        sm: u32,
+        class_idx: usize,
+        want: u32,
+    ) -> Result<(u32, u32), AllocError> {
         let blocks = self.blocks_per_slab(class_idx);
         let head_cell = &self.heads[class_idx];
+        let (mut probes, mut retries) = (0u64, 0u64);
+        let flush = |probes: u64, retries: u64| {
+            self.metrics.add(sm, Counter::ProbeSteps, probes);
+            self.metrics.add(sm, Counter::CasRetries, retries);
+            self.metrics.record_retries(sm, retries);
+        };
         for attempt in 0..self.slabs.len() * 2 + 4 {
+            if attempt > 0 {
+                retries += 1;
+            }
             let mut head = head_cell.load(Ordering::Acquire);
             if head == NO_HEAD || head as usize >= self.slabs.len() {
-                match self.find_head(class_idx, attempt > 0) {
+                match self.find_head(class_idx, attempt > 0, &mut probes) {
                     Some(s) => {
                         let _ = head_cell.compare_exchange(
                             head,
@@ -232,6 +260,7 @@ impl Halloc {
                         // slab was just claimed. Retry within the bounded
                         // loop; persistent failure is a real out-of-memory.
                         if attempt + 1 == self.slabs.len() * 2 + 4 {
+                            flush(probes, retries);
                             return Err(AllocError::OutOfMemory(CLASSES[class_idx]));
                         }
                         std::hint::spin_loop();
@@ -242,7 +271,7 @@ impl Halloc {
             let slab = &self.slabs[head as usize];
             // The head may have been reassigned to another class meanwhile.
             if slab.class.load(Ordering::Acquire) == class_idx as u32 {
-                let granted = slab.reserve_many(blocks, want);
+                let granted = slab.reserve_many_with(blocks, want, &mut retries);
                 if granted > 0 {
                     // Post-reservation validation: between the class check
                     // and the reservation the slab may have been freed and
@@ -260,7 +289,7 @@ impl Halloc {
                     }
                     // Early head replacement at 83.5 % fill.
                     if slab.fill_pct(blocks) * 10 > HEAD_REPLACE_PCT10 {
-                        if let Some(s) = self.find_head(class_idx, false) {
+                        if let Some(s) = self.find_head(class_idx, false, &mut probes) {
                             let _ = head_cell.compare_exchange(
                                 head,
                                 s,
@@ -269,12 +298,14 @@ impl Halloc {
                             );
                         }
                     }
+                    flush(probes, retries);
                     return Ok((head, granted));
                 }
             }
             // Full or stolen: drop this head and retry.
             let _ = head_cell.compare_exchange(head, NO_HEAD, Ordering::AcqRel, Ordering::Relaxed);
         }
+        flush(probes, retries);
         Err(AllocError::OutOfMemory(CLASSES[class_idx]))
     }
 
@@ -282,40 +313,27 @@ impl Halloc {
         let base = slab_idx as u64 * self.cfg.slab_bytes;
         DevicePtr::new(base + block as u64 * CLASSES[class_idx])
     }
-}
 
-impl DeviceAllocator for Halloc {
-    fn info(&self) -> ManagerInfo {
-        ManagerInfo {
-            family: "Halloc",
-            variant: "",
-            supports_free: true,
-            warp_level_only: false,
-            resizable: false,
-            alignment: 8, // class 24 B blocks land on 8-byte boundaries
-            max_native_size: MAX_BLOCK,
-            relays_large_to_cuda: true,
-        }
-    }
-
-    fn heap(&self) -> &DeviceHeap {
-        &self.heap
-    }
-
-    fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+    fn malloc_inner(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
         if size == 0 {
             return Err(AllocError::UnsupportedSize(0));
         }
         if size > MAX_BLOCK {
             // "Allocations larger than 3 KiB are relayed to the
             // CUDA-Allocator."
+            self.metrics.tick(ctx.sm, Counter::OomFallbacks);
             return self.cuda.malloc(ctx, size);
         }
         let class_idx = Self::class_index(size).expect("size <= MAX_BLOCK");
-        let (slab_idx, _) = self.reserve_blocks(class_idx, 1)?;
+        let (slab_idx, _) = self.reserve_blocks(ctx.sm, class_idx, 1)?;
         let blocks = self.blocks_per_slab(class_idx);
         let slab = &self.slabs[slab_idx as usize];
-        match slab.claim_bit(blocks, ctx.scatter_hash()) {
+        let (mut probes, mut lost) = (0u64, 0u64);
+        let claimed = slab.claim_bit_with(blocks, ctx.scatter_hash(), &mut probes, &mut lost);
+        self.metrics.add(ctx.sm, Counter::ProbeSteps, probes);
+        self.metrics.add(ctx.sm, Counter::CasRetries, lost);
+        self.metrics.record_retries(ctx.sm, lost);
+        match claimed {
             Some(block) => Ok(self.block_ptr(slab_idx, class_idx, block)),
             None => {
                 slab.unreserve(1);
@@ -324,7 +342,7 @@ impl DeviceAllocator for Halloc {
         }
     }
 
-    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+    fn free_inner(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
         if ptr.is_null() || ptr.offset() >= self.heap.len() {
             return Err(AllocError::InvalidPointer);
         }
@@ -340,7 +358,7 @@ impl DeviceAllocator for Halloc {
         let class_idx = class as usize;
         let base = slab_idx as u64 * self.cfg.slab_bytes;
         let delta = ptr.offset() - base;
-        if delta % CLASSES[class_idx] != 0 {
+        if !delta.is_multiple_of(CLASSES[class_idx]) {
             return Err(AllocError::InvalidPointer);
         }
         let block = (delta / CLASSES[class_idx]) as u32;
@@ -363,13 +381,15 @@ impl DeviceAllocator for Halloc {
         Ok(())
     }
 
-    /// Warp-aggregated allocation: lanes of the same class share one
-    /// counter update through the leader.
-    fn malloc_warp(
+    /// Warp-aggregated allocation body: lanes of the same class share one
+    /// counter update through the leader. `served_total` counts the lanes
+    /// actually served so the trait wrapper can account partial failures.
+    fn malloc_warp_inner(
         &self,
         warp: &WarpCtx,
         sizes: &[u64],
         out: &mut [DevicePtr],
+        served_total: &mut u64,
     ) -> Result<(), AllocError> {
         debug_assert_eq!(sizes.len(), out.len());
         // Group lanes by class (CLASSES.len() groups max; tiny fixed array).
@@ -380,7 +400,9 @@ impl DeviceAllocator for Halloc {
                 return Err(AllocError::UnsupportedSize(0));
             }
             if size > MAX_BLOCK {
+                self.metrics.tick(warp.sm, Counter::OomFallbacks);
                 out[first] = self.cuda.malloc(&warp.lane(first as u32), size)?;
+                *served_total += 1;
                 remaining.remove(0);
                 continue;
             }
@@ -397,15 +419,19 @@ impl DeviceAllocator for Halloc {
             let mut todo = group.len() as u32;
             let mut cursor = 0usize;
             while todo > 0 {
-                let (slab_idx, granted) = self.reserve_blocks(class_idx, todo)?;
+                let (slab_idx, granted) = self.reserve_blocks(warp.sm, class_idx, todo)?;
                 let blocks = self.blocks_per_slab(class_idx);
                 let slab = &self.slabs[slab_idx as usize];
+                let (mut probes, mut lost) = (0u64, 0u64);
                 let mut served = 0;
                 for g in 0..granted {
                     let lane = group[cursor];
-                    match slab
-                        .claim_bit(blocks, warp.lane(lane as u32).scatter_hash())
-                    {
+                    match slab.claim_bit_with(
+                        blocks,
+                        warp.lane(lane as u32).scatter_hash(),
+                        &mut probes,
+                        &mut lost,
+                    ) {
                         Some(block) => {
                             out[lane] = self.block_ptr(slab_idx, class_idx, block);
                             cursor += 1;
@@ -417,6 +443,12 @@ impl DeviceAllocator for Halloc {
                         }
                     }
                 }
+                self.metrics.add(warp.sm, Counter::ProbeSteps, probes);
+                self.metrics.add(warp.sm, Counter::CasRetries, lost);
+                self.metrics.record_retries(warp.sm, lost);
+                // One leader counter update covered all `served` lanes.
+                self.metrics.add(warp.sm, Counter::WarpCoalesced, served as u64);
+                *served_total += served as u64;
                 todo -= served;
                 if served == 0 {
                     return Err(AllocError::Contention("Halloc warp aggregation"));
@@ -426,12 +458,66 @@ impl DeviceAllocator for Halloc {
         }
         Ok(())
     }
+}
+
+impl DeviceAllocator for Halloc {
+    fn info(&self) -> ManagerInfo {
+        ManagerInfo::builder("Halloc")
+            .alignment(8) // class 24 B blocks land on 8-byte boundaries
+            .max_native_size(MAX_BLOCK)
+            .relays_large_to_cuda(true)
+            .instrumented(true)
+            .build()
+    }
+
+    fn heap(&self) -> &DeviceHeap {
+        &self.heap
+    }
+
+    fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
+        let r = self.malloc_inner(ctx, size);
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+        }
+        r
+    }
+
+    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        let r = self.free_inner(ctx, ptr);
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::FreeFailures);
+        }
+        r
+    }
+
+    /// Warp-aggregated allocation: lanes of the same class share one
+    /// counter update through the leader.
+    fn malloc_warp(
+        &self,
+        warp: &WarpCtx,
+        sizes: &[u64],
+        out: &mut [DevicePtr],
+    ) -> Result<(), AllocError> {
+        self.metrics.add(warp.sm, Counter::MallocCalls, sizes.len() as u64);
+        let mut served = 0u64;
+        let r = self.malloc_warp_inner(warp, sizes, out, &mut served);
+        if r.is_err() {
+            self.metrics.add(warp.sm, Counter::MallocFailures, sizes.len() as u64 - served);
+        }
+        r
+    }
 
     fn register_footprint(&self) -> RegisterFootprint {
         RegisterFootprint::from_frames(
             std::mem::size_of::<MallocFrame>(),
             std::mem::size_of::<FreeFrame>(),
         )
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 }
 
@@ -476,11 +562,7 @@ mod tests {
         let a = small();
         let p1 = a.malloc(&ctx(), 64).unwrap();
         let p2 = a.malloc(&ctx(), 64).unwrap();
-        assert_eq!(
-            p1.offset() / (1 << 20),
-            p2.offset() / (1 << 20),
-            "same head slab"
-        );
+        assert_eq!(p1.offset() / (1 << 20), p2.offset() / (1 << 20), "same head slab");
     }
 
     #[test]
@@ -495,10 +577,7 @@ mod tests {
     fn large_requests_relay_to_cuda_section() {
         let a = small();
         let p = a.malloc(&ctx(), 100_000).unwrap();
-        assert!(
-            p.offset() >= a.cuda_base,
-            "large allocation must live in the CUDA section"
-        );
+        assert!(p.offset() >= a.cuda_base, "large allocation must live in the CUDA section");
         a.free(&ctx(), p).unwrap();
     }
 
@@ -524,16 +603,10 @@ mod tests {
         let a = small();
         assert_eq!(a.free(&ctx(), DevicePtr::NULL), Err(AllocError::InvalidPointer));
         // Unassigned slab.
-        assert_eq!(
-            a.free(&ctx(), DevicePtr::new(3 << 20)),
-            Err(AllocError::InvalidPointer)
-        );
+        assert_eq!(a.free(&ctx(), DevicePtr::new(3 << 20)), Err(AllocError::InvalidPointer));
         // Misaligned within an assigned slab.
         let p = a.malloc(&ctx(), 64).unwrap();
-        assert_eq!(
-            a.free(&ctx(), DevicePtr::new(p.offset() + 8)),
-            Err(AllocError::InvalidPointer)
-        );
+        assert_eq!(a.free(&ctx(), DevicePtr::new(p.offset() + 8)), Err(AllocError::InvalidPointer));
     }
 
     #[test]
@@ -565,8 +638,7 @@ mod tests {
         let a = small();
         // 1 MiB slab of 1024 B blocks = 1024 blocks; allocate 2500 so the
         // head must be replaced at least twice.
-        let ptrs: Vec<DevicePtr> =
-            (0..2500).map(|_| a.malloc(&ctx(), 1024).unwrap()).collect();
+        let ptrs: Vec<DevicePtr> = (0..2500).map(|_| a.malloc(&ctx(), 1024).unwrap()).collect();
         let mut slabs: Vec<u64> = ptrs.iter().map(|p| p.offset() >> 20).collect();
         slabs.sort_unstable();
         slabs.dedup();
@@ -580,8 +652,7 @@ mod tests {
     fn warp_aggregated_malloc_mixed_classes() {
         let a = small();
         let w = WarpCtx { warp: 0, block: 0, sm: 0 };
-        let sizes: Vec<u64> =
-            (0..32).map(|i| if i % 2 == 0 { 64 } else { 256 }).collect();
+        let sizes: Vec<u64> = (0..32).map(|i| if i % 2 == 0 { 64 } else { 256 }).collect();
         let mut out = [DevicePtr::NULL; 32];
         a.malloc_warp(&w, &sizes, &mut out).unwrap();
         let mut spans: Vec<(u64, u64)> = out

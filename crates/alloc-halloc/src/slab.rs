@@ -44,7 +44,12 @@ impl Slab {
     pub fn try_assign(&self, class_idx: u32, blocks: u32) -> bool {
         if self
             .class
-            .compare_exchange(CLASS_FREE, class_idx | 0x8000_0000, Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(
+                CLASS_FREE,
+                class_idx | 0x8000_0000,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
             .is_err()
         {
             return false;
@@ -75,6 +80,14 @@ impl Slab {
     /// "only the leader increments and broadcasts the results… up to 32×
     /// less atomics"). Returns how many were granted.
     pub fn reserve_many(&self, blocks: u32, want: u32) -> u32 {
+        let mut retries = 0;
+        self.reserve_many_with(blocks, want, &mut retries)
+    }
+
+    /// [`Slab::reserve_many`] that also counts lost counter CASes into
+    /// `retries` (the `cas_retries` source of the contention-observability
+    /// layer — every loser of the shared counter update retries here).
+    pub fn reserve_many_with(&self, blocks: u32, want: u32, retries: &mut u64) -> u32 {
         let mut cur = self.count.load(Ordering::Acquire);
         loop {
             if cur >= blocks {
@@ -88,7 +101,10 @@ impl Slab {
                 Ordering::Acquire,
             ) {
                 Ok(_) => return granted,
-                Err(actual) => cur = actual,
+                Err(actual) => {
+                    *retries += 1;
+                    cur = actual;
+                }
             }
         }
     }
@@ -101,6 +117,22 @@ impl Slab {
     /// Finds and claims a free bit using the hashed traversal of Figure 5.
     /// The caller must hold a reservation. Returns the block index.
     pub fn claim_bit(&self, blocks: u32, hash: u64) -> Option<u32> {
+        let (mut probes, mut lost) = (0, 0);
+        self.claim_bit_with(blocks, hash, &mut probes, &mut lost)
+    }
+
+    /// [`Slab::claim_bit`] that also counts bitmap words visited into
+    /// `probes` and lost `fetch_or` bit claims into `lost` (the
+    /// `probe_steps`/`cas_retries` sources of the contention-observability
+    /// layer — the hashed sweep the paper says stays fast "as long as <85 %
+    /// of the blocks are allocated").
+    pub fn claim_bit_with(
+        &self,
+        blocks: u32,
+        hash: u64,
+        probes: &mut u64,
+        lost: &mut u64,
+    ) -> Option<u32> {
         let n_words = blocks.div_ceil(32) as u64;
         let start = hash % n_words;
         let step = STEP_PRIMES[(hash >> 32) as usize % STEP_PRIMES.len()];
@@ -112,6 +144,7 @@ impl Slab {
                 (i - n_words) as usize
             };
             let word = &self.bitmap[w];
+            *probes += 1;
             loop {
                 let v = word.load(Ordering::Acquire);
                 let free = !v;
@@ -122,12 +155,16 @@ impl Slab {
                 if word.fetch_or(1 << bit, Ordering::AcqRel) & (1 << bit) == 0 {
                     return Some(w as u32 * 32 + bit);
                 }
+                *lost += 1;
             }
         }
         None
     }
 
     /// Clears a block bit; `Err` on double free. Returns the previous count.
+    /// The unit error carries no detail on purpose — the caller maps it onto
+    /// its own error type.
+    #[allow(clippy::result_unit_err)]
     pub fn release_bit(&self, block: u32) -> Result<u32, ()> {
         let w = (block / 32) as usize;
         let bit = block % 32;
@@ -150,10 +187,7 @@ impl Slab {
     /// Attempts to return an empty slab to the free pool ("marking a slab
     /// as free, which takes more time").
     pub fn try_free(&self) -> bool {
-        if self
-            .count
-            .compare_exchange(0, COUNT_LOCK, Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
+        if self.count.compare_exchange(0, COUNT_LOCK, Ordering::AcqRel, Ordering::Acquire).is_err()
         {
             return false;
         }

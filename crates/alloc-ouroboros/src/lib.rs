@@ -31,14 +31,14 @@
 //! allocation sizes" — see the `ouroboros_tour` example in the facade
 //! crate.)
 
-use std::sync::Arc;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use alloc_cuda::CudaAllocModel;
 use gpumem_core::util::next_pow2;
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx,
 };
 
 pub mod pool;
@@ -63,6 +63,7 @@ pub struct Ouroboros<Q: IndexQueue, const CHUNKED: bool> {
     queues: Box<[Q]>,
     cuda_base: u64,
     cuda: CudaAllocModel,
+    metrics: Metrics,
 }
 
 /// `Ouro-S-P`: standard queues, page-based.
@@ -163,7 +164,19 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
             queues: (0..NUM_CLASSES).map(|_| Q::create(capacity_hint)).collect(),
             cuda_base,
             cuda,
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attaches a contention-observability handle. The embedded
+    /// CUDA-Allocator section shares the counters through
+    /// [`Metrics::relay`], so relayed oversize requests contribute
+    /// structural counters without double-counting
+    /// `malloc_calls`/`free_calls`.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.cuda.set_metrics(metrics.relay());
+        self.metrics = metrics;
+        self
     }
 
     /// Convenience constructor owning its heap.
@@ -202,12 +215,15 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
     /// Carves a fresh chunk for `class_idx`; returns the pointer to its
     /// first page after queueing the rest (page-based) or the chunk itself
     /// (chunk-based).
-    fn carve(&self, class_idx: usize) -> Result<DevicePtr, AllocError> {
+    fn carve(&self, sm: u32, class_idx: usize) -> Result<DevicePtr, AllocError> {
         let pages = Self::pages_per_chunk(class_idx);
-        let chunk = self
-            .pool
-            .acquire(class_idx as u32)
-            .ok_or(AllocError::OutOfMemory(Self::page_size(class_idx)))?;
+        let mut spins = 0u64;
+        let chunk = match self.pool.acquire(class_idx as u32) {
+            Some(c) => c,
+            None => {
+                return Err(AllocError::OutOfMemory(Self::page_size(class_idx)));
+            }
+        };
         let meta = self.pool.meta(chunk);
         meta.reset_bits();
         let took = meta.set_used(0);
@@ -217,13 +233,14 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
             if pages > 1 {
                 // Ignore Full/OutOfChunks: the chunk resurfaces through the
                 // free path's has-free transition.
-                let _ = self.queues[class_idx].enqueue(&self.pool, &self.heap, chunk);
+                let _ =
+                    self.queues[class_idx].enqueue_with(&self.pool, &self.heap, chunk, &mut spins);
             }
         } else {
             for slot in 1..pages {
                 let code = chunk * CODE_STRIDE + slot;
                 if self.queues[class_idx]
-                    .enqueue(&self.pool, &self.heap, code)
+                    .enqueue_with(&self.pool, &self.heap, code, &mut spins)
                     .is_err()
                 {
                     // Static-queue capacity drawback (§2.10): pages beyond
@@ -232,13 +249,20 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
                 }
             }
         }
+        self.metrics.add(sm, Counter::QueueSpins, spins);
         Ok(self.page_ptr(chunk, class_idx, 0))
     }
 
-    fn malloc_paged(&self, class_idx: usize) -> Result<DevicePtr, AllocError> {
+    fn malloc_paged(&self, sm: u32, class_idx: usize) -> Result<DevicePtr, AllocError> {
         let limit = self.pool.chunks() as u64 * Self::pages_per_chunk(class_idx) as u64 + 64;
+        let (mut spins, mut retries) = (0u64, 0u64);
+        let flush = |spins: u64, retries: u64| {
+            self.metrics.add(sm, Counter::QueueSpins, spins);
+            self.metrics.add(sm, Counter::CasRetries, retries);
+            self.metrics.record_retries(sm, retries);
+        };
         for _ in 0..limit {
-            match self.queues[class_idx].dequeue(&self.pool, &self.heap) {
+            match self.queues[class_idx].dequeue_with(&self.pool, &self.heap, &mut spins) {
                 Some(code) => {
                     let chunk = code / CODE_STRIDE;
                     let slot = code % CODE_STRIDE;
@@ -246,26 +270,49 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
                     if meta.class.load(Ordering::Acquire) != class_idx as u32
                         || !meta.set_used(slot)
                     {
+                        retries += 1;
                         continue; // stale/duplicate entry
                     }
+                    flush(spins, retries);
                     return Ok(self.page_ptr(chunk, class_idx, slot));
                 }
-                None => return self.carve(class_idx),
+                None => {
+                    // An unsuccessful dequeue is a queue-retry iteration:
+                    // the device code re-spins the queue after expansion.
+                    spins += 1;
+                    flush(spins, retries);
+                    return self.carve(sm, class_idx);
+                }
             }
         }
+        flush(spins, retries);
         Err(AllocError::Contention("Ouroboros page queue"))
     }
 
-    fn malloc_chunked(&self, class_idx: usize) -> Result<DevicePtr, AllocError> {
+    fn malloc_chunked(&self, sm: u32, class_idx: usize) -> Result<DevicePtr, AllocError> {
         let pages = Self::pages_per_chunk(class_idx);
         let limit = self.pool.chunks() as u64 * 2 + 64;
+        let (mut spins, mut retries) = (0u64, 0u64);
+        let flush = |spins: u64, retries: u64| {
+            self.metrics.add(sm, Counter::QueueSpins, spins);
+            self.metrics.add(sm, Counter::CasRetries, retries);
+            self.metrics.record_retries(sm, retries);
+        };
         for _ in 0..limit {
-            let chunk = match self.queues[class_idx].dequeue(&self.pool, &self.heap) {
-                Some(c) => c,
-                None => return self.carve(class_idx),
-            };
+            let chunk =
+                match self.queues[class_idx].dequeue_with(&self.pool, &self.heap, &mut spins) {
+                    Some(c) => c,
+                    None => {
+                        // As in the paged path: an empty dequeue re-spins
+                        // the queue after the expansion.
+                        spins += 1;
+                        flush(spins, retries);
+                        return self.carve(sm, class_idx);
+                    }
+                };
             let meta = self.pool.meta(chunk);
             if meta.class.load(Ordering::Acquire) != class_idx as u32 {
+                retries += 1;
                 continue; // reclaimed & reused elsewhere
             }
             // Stage 1: reserve a page on the chunk.
@@ -281,10 +328,14 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
                     Ordering::Acquire,
                 ) {
                     Ok(_) => break true,
-                    Err(actual) => c = actual,
+                    Err(actual) => {
+                        retries += 1;
+                        c = actual;
+                    }
                 }
             };
             if !reserved {
+                retries += 1;
                 continue;
             }
             // Post-reservation validation: the chunk may have been
@@ -293,6 +344,7 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
             // CAS requires a full free count).
             if meta.class.load(Ordering::Acquire) != class_idx as u32 {
                 meta.free_pages.fetch_add(1, Ordering::AcqRel);
+                retries += 1;
                 continue;
             }
             // Stage 2: claim a concrete page bit.
@@ -312,16 +364,90 @@ impl<Q: IndexQueue, const CHUNKED: bool> Ouroboros<Q, CHUNKED> {
                         slot = Some(w * 32 + bit);
                         break 'words;
                     }
+                    retries += 1;
                 }
             }
             let slot = slot.expect("reservation guarantees a free page bit");
             // Two-stage design: hand the chunk back if it still has room.
             if c - 1 > 0 {
-                let _ = self.queues[class_idx].enqueue(&self.pool, &self.heap, chunk);
+                let _ =
+                    self.queues[class_idx].enqueue_with(&self.pool, &self.heap, chunk, &mut spins);
             }
+            flush(spins, retries);
             return Ok(self.page_ptr(chunk, class_idx, slot));
         }
+        flush(spins, retries);
         Err(AllocError::Contention("Ouroboros chunk queue"))
+    }
+
+    fn malloc_inner(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        if size == 0 {
+            return Err(AllocError::UnsupportedSize(0));
+        }
+        if size > MAX_PAGE {
+            // "Larger allocations are relayed to the CUDA-Allocator."
+            self.metrics.tick(ctx.sm, Counter::OomFallbacks);
+            return self.cuda.malloc(ctx, size);
+        }
+        let class_idx = Self::class_index(size);
+        if CHUNKED {
+            self.malloc_chunked(ctx.sm, class_idx)
+        } else {
+            self.malloc_paged(ctx.sm, class_idx)
+        }
+    }
+
+    fn free_inner(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+        if ptr.is_null() || ptr.offset() >= self.heap.len() {
+            return Err(AllocError::InvalidPointer);
+        }
+        if ptr.offset() >= self.cuda_base {
+            return self.cuda.free(ctx, ptr);
+        }
+        let chunk = (ptr.offset() / CHUNK_BYTES) as u32;
+        let meta = self.pool.meta(chunk);
+        let class = meta.class.load(Ordering::Acquire);
+        if class as usize >= NUM_CLASSES {
+            return Err(AllocError::InvalidPointer);
+        }
+        let class_idx = class as usize;
+        let ps = Self::page_size(class_idx);
+        let within = ptr.offset() - self.pool.chunk_base(chunk);
+        if !within.is_multiple_of(ps) {
+            return Err(AllocError::InvalidPointer);
+        }
+        let slot = (within / ps) as u32;
+        if !meta.clear_used(slot) {
+            return Err(AllocError::InvalidPointer);
+        }
+        let mut spins = 0u64;
+        if CHUNKED {
+            let pages = Self::pages_per_chunk(class_idx);
+            let prev = meta.free_pages.fetch_add(1, Ordering::AcqRel);
+            if prev == 0 {
+                // Chunk regained free pages: put it back in circulation.
+                let _ =
+                    self.queues[class_idx].enqueue_with(&self.pool, &self.heap, chunk, &mut spins);
+            } else if prev + 1 == pages {
+                // Fully free: reclaim for arbitrary reuse.
+                if meta
+                    .free_pages
+                    .compare_exchange(pages, COUNT_LOCK, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.pool.release(chunk);
+                } else {
+                    // Lost the reclaim race to a concurrent malloc.
+                    self.metrics.tick(ctx.sm, Counter::CasRetries);
+                }
+            }
+        } else {
+            // Page-based: the page simply goes back to its size's queue.
+            let code = chunk * CODE_STRIDE + slot;
+            let _ = self.queues[class_idx].enqueue_with(&self.pool, &self.heap, code, &mut spins);
+        }
+        self.metrics.add(ctx.sm, Counter::QueueSpins, spins);
+        Ok(())
     }
 
     /// Chunks the bump frontier has handed out (diagnostics).
@@ -348,16 +474,13 @@ impl<Q: IndexQueue, const CHUNKED: bool> DeviceAllocator for Ouroboros<Q, CHUNKE
             _ => "?",
         };
         debug_assert_eq!(variant, Self::variant());
-        ManagerInfo {
-            family: "Ouroboros",
-            variant,
-            supports_free: true,
-            warp_level_only: false,
-            resizable: true,
-            alignment: 16,
-            max_native_size: MAX_PAGE,
-            relays_large_to_cuda: true,
-        }
+        ManagerInfo::builder("Ouroboros")
+            .variant(variant)
+            .resizable(true)
+            .max_native_size(MAX_PAGE)
+            .relays_large_to_cuda(true)
+            .instrumented(true)
+            .build()
     }
 
     fn heap(&self) -> &DeviceHeap {
@@ -365,65 +488,21 @@ impl<Q: IndexQueue, const CHUNKED: bool> DeviceAllocator for Ouroboros<Q, CHUNKE
     }
 
     fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
-        if size == 0 {
-            return Err(AllocError::UnsupportedSize(0));
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
+        let r = self.malloc_inner(ctx, size);
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
         }
-        if size > MAX_PAGE {
-            return self.cuda.malloc(ctx, size);
-        }
-        let class_idx = Self::class_index(size);
-        if CHUNKED {
-            self.malloc_chunked(class_idx)
-        } else {
-            self.malloc_paged(class_idx)
-        }
+        r
     }
 
     fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
-        if ptr.is_null() || ptr.offset() >= self.heap.len() {
-            return Err(AllocError::InvalidPointer);
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        let r = self.free_inner(ctx, ptr);
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::FreeFailures);
         }
-        if ptr.offset() >= self.cuda_base {
-            return self.cuda.free(ctx, ptr);
-        }
-        let chunk = (ptr.offset() / CHUNK_BYTES) as u32;
-        let meta = self.pool.meta(chunk);
-        let class = meta.class.load(Ordering::Acquire);
-        if class as usize >= NUM_CLASSES {
-            return Err(AllocError::InvalidPointer);
-        }
-        let class_idx = class as usize;
-        let ps = Self::page_size(class_idx);
-        let within = ptr.offset() - self.pool.chunk_base(chunk);
-        if within % ps != 0 {
-            return Err(AllocError::InvalidPointer);
-        }
-        let slot = (within / ps) as u32;
-        if !meta.clear_used(slot) {
-            return Err(AllocError::InvalidPointer);
-        }
-        if CHUNKED {
-            let pages = Self::pages_per_chunk(class_idx);
-            let prev = meta.free_pages.fetch_add(1, Ordering::AcqRel);
-            if prev == 0 {
-                // Chunk regained free pages: put it back in circulation.
-                let _ = self.queues[class_idx].enqueue(&self.pool, &self.heap, chunk);
-            } else if prev + 1 == pages {
-                // Fully free: reclaim for arbitrary reuse.
-                if meta
-                    .free_pages
-                    .compare_exchange(pages, COUNT_LOCK, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    self.pool.release(chunk);
-                }
-            }
-        } else {
-            // Page-based: the page simply goes back to its size's queue.
-            let code = chunk * CODE_STRIDE + slot;
-            let _ = self.queues[class_idx].enqueue(&self.pool, &self.heap, code);
-        }
-        Ok(())
+        r
     }
 
     fn grow(&self, additional: u64) -> Result<(), AllocError> {
@@ -441,6 +520,10 @@ impl<Q: IndexQueue, const CHUNKED: bool> DeviceAllocator for Ouroboros<Q, CHUNKE
             std::mem::size_of::<MallocFramePaged>()
         };
         RegisterFootprint::from_frames(malloc_frame, std::mem::size_of::<FreeFrame>())
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 }
 
@@ -572,10 +655,7 @@ mod tests {
         assert_eq!(a.free(&ctx(), DevicePtr::NULL), Err(AllocError::InvalidPointer));
         assert_eq!(a.free(&ctx(), DevicePtr::new(0)), Err(AllocError::InvalidPointer));
         let p = a.malloc(&ctx(), 64).unwrap();
-        assert_eq!(
-            a.free(&ctx(), DevicePtr::new(p.offset() + 8)),
-            Err(AllocError::InvalidPointer)
-        );
+        assert_eq!(a.free(&ctx(), DevicePtr::new(p.offset() + 8)), Err(AllocError::InvalidPointer));
     }
 
     #[test]
@@ -637,9 +717,7 @@ mod tests {
                             a.free(&c, p).unwrap();
                         }
                     }
-                    live.into_iter()
-                        .map(|(p, s)| (p.offset(), next_pow2(s)))
-                        .collect::<Vec<_>>()
+                    live.into_iter().map(|(p, s)| (p.offset(), next_pow2(s))).collect::<Vec<_>>()
                 }));
             }
             let mut all: Vec<(u64, u64)> =

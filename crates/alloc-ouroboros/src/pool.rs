@@ -54,8 +54,7 @@ impl ChunkMeta {
     /// Clears page `slot`; `false` on double free.
     pub fn clear_used(&self, slot: u32) -> bool {
         let w = (slot / 32) as usize;
-        self.bits[w].fetch_and(!(1 << (slot % 32)), Ordering::AcqRel) & (1 << (slot % 32))
-            != 0
+        self.bits[w].fetch_and(!(1 << (slot % 32)), Ordering::AcqRel) & (1 << (slot % 32)) != 0
     }
 
     /// Resets all usage bits (reclaim path; caller holds the lock sentinel).
@@ -112,12 +111,7 @@ impl ChunkPool {
                 return 0;
             }
             let new = cur.saturating_add(add).min(self.chunks);
-            match self.active.compare_exchange(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.active.compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return new - cur,
                 Err(actual) => cur = actual,
             }

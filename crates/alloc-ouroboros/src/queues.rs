@@ -45,10 +45,32 @@ pub trait IndexQueue: Send + Sync {
         Self: Sized;
 
     /// Enqueues `v`.
-    fn enqueue(&self, pool: &ChunkPool, heap: &DeviceHeap, v: u32) -> Result<(), QueueError>;
+    fn enqueue(&self, pool: &ChunkPool, heap: &DeviceHeap, v: u32) -> Result<(), QueueError> {
+        let mut spins = 0;
+        self.enqueue_with(pool, heap, v, &mut spins)
+    }
+
+    /// [`IndexQueue::enqueue`] that also counts retry iterations — lost
+    /// ticket CASes (standard) or spin-lock busy turns (virtualized) — into
+    /// `spins` (the `queue_spins` source of the contention-observability
+    /// layer).
+    fn enqueue_with(
+        &self,
+        pool: &ChunkPool,
+        heap: &DeviceHeap,
+        v: u32,
+        spins: &mut u64,
+    ) -> Result<(), QueueError>;
 
     /// Dequeues the oldest entry.
-    fn dequeue(&self, pool: &ChunkPool, heap: &DeviceHeap) -> Option<u32>;
+    fn dequeue(&self, pool: &ChunkPool, heap: &DeviceHeap) -> Option<u32> {
+        let mut spins = 0;
+        self.dequeue_with(pool, heap, &mut spins)
+    }
+
+    /// [`IndexQueue::dequeue`] with the same spin accounting as
+    /// [`IndexQueue::enqueue_with`].
+    fn dequeue_with(&self, pool: &ChunkPool, heap: &DeviceHeap, spins: &mut u64) -> Option<u32>;
 
     /// Approximate occupancy.
     fn len(&self) -> usize;
@@ -113,7 +135,13 @@ impl IndexQueue for StandardQueue {
         }
     }
 
-    fn enqueue(&self, _pool: &ChunkPool, _heap: &DeviceHeap, v: u32) -> Result<(), QueueError> {
+    fn enqueue_with(
+        &self,
+        _pool: &ChunkPool,
+        _heap: &DeviceHeap,
+        v: u32,
+        spins: &mut u64,
+    ) -> Result<(), QueueError> {
         let mut tail = self.tail.load(Ordering::Relaxed);
         loop {
             let idx = (tail & self.mask) as usize;
@@ -132,17 +160,21 @@ impl IndexQueue for StandardQueue {
                         self.seq[idx].store(tail + 1 - idx as u64, Ordering::Release);
                         return Ok(());
                     }
-                    Err(actual) => tail = actual,
+                    Err(actual) => {
+                        *spins += 1;
+                        tail = actual;
+                    }
                 }
             } else if seq < tail {
                 return Err(QueueError::Full);
             } else {
+                *spins += 1;
                 tail = self.tail.load(Ordering::Relaxed);
             }
         }
     }
 
-    fn dequeue(&self, _pool: &ChunkPool, _heap: &DeviceHeap) -> Option<u32> {
+    fn dequeue_with(&self, _pool: &ChunkPool, _heap: &DeviceHeap, spins: &mut u64) -> Option<u32> {
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             let idx = (head & self.mask) as usize;
@@ -156,15 +188,18 @@ impl IndexQueue for StandardQueue {
                 ) {
                     Ok(_) => {
                         let v = self.val[idx].load(Ordering::Relaxed);
-                        self.seq[idx]
-                            .store(head + self.mask + 1 - idx as u64, Ordering::Release);
+                        self.seq[idx].store(head + self.mask + 1 - idx as u64, Ordering::Release);
                         return Some(v);
                     }
-                    Err(actual) => head = actual,
+                    Err(actual) => {
+                        *spins += 1;
+                        head = actual;
+                    }
                 }
             } else if seq <= head {
                 return None;
             } else {
+                *spins += 1;
                 head = self.head.load(Ordering::Relaxed);
             }
         }
@@ -193,12 +228,14 @@ impl Spin {
         Spin { flag: AtomicBool::new(false) }
     }
 
-    fn lock(&self) -> SpinGuard<'_> {
+    /// Acquires the lock, counting busy turns into `spins`.
+    fn lock_counted(&self, spins: &mut u64) -> SpinGuard<'_> {
         while self
             .flag
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
+            *spins += 1;
             std::hint::spin_loop();
         }
         SpinGuard { spin: self }
@@ -262,8 +299,14 @@ impl IndexQueue for VirtArrayQueue {
         }
     }
 
-    fn enqueue(&self, pool: &ChunkPool, heap: &DeviceHeap, v: u32) -> Result<(), QueueError> {
-        let _g = self.lock.lock();
+    fn enqueue_with(
+        &self,
+        pool: &ChunkPool,
+        heap: &DeviceHeap,
+        v: u32,
+        spins: &mut u64,
+    ) -> Result<(), QueueError> {
+        let _g = self.lock.lock_counted(spins);
         // SAFETY: lock held.
         let st = unsafe { &mut *self.state.get() };
         if st.back - st.front >= Self::virtual_capacity() {
@@ -283,8 +326,8 @@ impl IndexQueue for VirtArrayQueue {
         Ok(())
     }
 
-    fn dequeue(&self, pool: &ChunkPool, heap: &DeviceHeap) -> Option<u32> {
-        let _g = self.lock.lock();
+    fn dequeue_with(&self, pool: &ChunkPool, heap: &DeviceHeap, spins: &mut u64) -> Option<u32> {
+        let _g = self.lock.lock_counted(spins);
         // SAFETY: lock held.
         let st = unsafe { &mut *self.state.get() };
         if st.front == st.back {
@@ -300,8 +343,7 @@ impl IndexQueue for VirtArrayQueue {
         // Release the storage chunk once the front leaves it (and the back
         // is not still writing into it).
         if st.front % VA_ENTRIES_PER_CHUNK == 0 || st.front == st.back {
-            let back_slot = ((st.back % Self::virtual_capacity()) / VA_ENTRIES_PER_CHUNK)
-                as usize;
+            let back_slot = ((st.back % Self::virtual_capacity()) / VA_ENTRIES_PER_CHUNK) as usize;
             let front_done = st.front % VA_ENTRIES_PER_CHUNK == 0;
             if front_done && slot != back_slot {
                 pool.release(chunk);
@@ -365,8 +407,14 @@ impl IndexQueue for VirtLinkedQueue {
         }
     }
 
-    fn enqueue(&self, pool: &ChunkPool, heap: &DeviceHeap, v: u32) -> Result<(), QueueError> {
-        let _g = self.lock.lock();
+    fn enqueue_with(
+        &self,
+        pool: &ChunkPool,
+        heap: &DeviceHeap,
+        v: u32,
+        spins: &mut u64,
+    ) -> Result<(), QueueError> {
+        let _g = self.lock.lock_counted(spins);
         // SAFETY: lock held.
         let st = unsafe { &mut *self.state.get() };
         if st.back_chunk == NO_STORAGE || st.back_idx == VL_ENTRIES_PER_CHUNK {
@@ -388,8 +436,8 @@ impl IndexQueue for VirtLinkedQueue {
         Ok(())
     }
 
-    fn dequeue(&self, pool: &ChunkPool, heap: &DeviceHeap) -> Option<u32> {
-        let _g = self.lock.lock();
+    fn dequeue_with(&self, pool: &ChunkPool, heap: &DeviceHeap, spins: &mut u64) -> Option<u32> {
+        let _g = self.lock.lock_counted(spins);
         // SAFETY: lock held.
         let st = unsafe { &mut *self.state.get() };
         if st.len == 0 {
@@ -433,10 +481,7 @@ mod tests {
     use std::sync::Arc;
 
     fn env(chunks: u32) -> (Arc<DeviceHeap>, ChunkPool) {
-        (
-            Arc::new(DeviceHeap::new(chunks as u64 * CHUNK_BYTES)),
-            ChunkPool::new(chunks),
-        )
+        (Arc::new(DeviceHeap::new(chunks as u64 * CHUNK_BYTES)), ChunkPool::new(chunks))
     }
 
     fn fifo_roundtrip<Q: IndexQueue>() {

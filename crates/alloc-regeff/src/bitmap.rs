@@ -58,7 +58,7 @@ impl ChunkStarts {
     /// one-stop validity check for untrusted `next` pointers.
     #[inline]
     pub fn check(&self, offset: u64) -> bool {
-        if offset % GRANULE != 0 || offset / GRANULE >= self.granules {
+        if !offset.is_multiple_of(GRANULE) || offset / GRANULE >= self.granules {
             return false;
         }
         let (w, bit) = self.split_index(offset);

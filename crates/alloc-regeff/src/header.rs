@@ -83,12 +83,9 @@ impl HeaderCodec for TwoWord {
 
     fn write(heap: &DeviceHeap, chunk: u64, hdr: ChunkHeader) {
         debug_assert_eq!(hdr.next % Self::ALIGN, 0);
-        heap.atomic_u32(chunk + 4)
-            .store((hdr.next / Self::ALIGN) as u32, Ordering::Release);
-        heap.atomic_u32(chunk).store(
-            if hdr.allocated { FLAG_ALLOCATED } else { FLAG_FREE },
-            Ordering::Release,
-        );
+        heap.atomic_u32(chunk + 4).store((hdr.next / Self::ALIGN) as u32, Ordering::Release);
+        heap.atomic_u32(chunk)
+            .store(if hdr.allocated { FLAG_ALLOCATED } else { FLAG_FREE }, Ordering::Release);
     }
 
     fn try_claim(heap: &DeviceHeap, chunk: u64) -> bool {
@@ -119,10 +116,7 @@ impl HeaderCodec for Fused {
 
     fn read(heap: &DeviceHeap, chunk: u64) -> ChunkHeader {
         let w = heap.atomic_u32(chunk).load(Ordering::Acquire);
-        ChunkHeader {
-            allocated: w & 1 != 0,
-            next: ((w >> 1) as u64) * Self::ALIGN,
-        }
+        ChunkHeader { allocated: w & 1 != 0, next: ((w >> 1) as u64) * Self::ALIGN }
     }
 
     fn write(heap: &DeviceHeap, chunk: u64, hdr: ChunkHeader) {
@@ -234,7 +228,7 @@ mod tests {
     fn header_sizes() {
         assert_eq!(TwoWord::SIZE, 8);
         assert_eq!(Fused::SIZE, 4);
-        assert!(Fused::FUSED && !TwoWord::FUSED);
+        const { assert!(Fused::FUSED && !TwoWord::FUSED) };
     }
 
     #[test]

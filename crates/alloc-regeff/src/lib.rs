@@ -37,8 +37,8 @@ use std::sync::Arc;
 
 use gpumem_core::util::{align_down, align_up};
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx,
 };
 
 pub mod bitmap;
@@ -62,6 +62,7 @@ pub struct RegEff<H: HeaderCodec, const MULTI: bool> {
     starts: ChunkStarts,
     /// Roving start offsets: one entry (single) or one per SM (multi).
     offsets: Box<[AtomicU64]>,
+    metrics: Metrics,
     _codec: PhantomData<H>,
 }
 
@@ -104,7 +105,7 @@ impl<H: HeaderCodec, const MULTI: bool> RegEff<H, MULTI> {
     /// offsets for the multi variants (ignored by the single variants).
     pub fn new(heap: Arc<DeviceHeap>, num_sms: u32) -> Self {
         let region_len = heap.len();
-        assert!(region_len % 8 == 0);
+        assert!(region_len.is_multiple_of(8));
         assert!(
             region_len / 8 < (1 << 31),
             "Reg-Eff headers encode next-offsets in 31 bits of 8-byte units"
@@ -141,6 +142,7 @@ impl<H: HeaderCodec, const MULTI: bool> RegEff<H, MULTI> {
             region_len,
             starts,
             offsets: offsets.into_boxed_slice(),
+            metrics: Metrics::disabled(),
             _codec: PhantomData,
         }
     }
@@ -148,6 +150,20 @@ impl<H: HeaderCodec, const MULTI: bool> RegEff<H, MULTI> {
     /// Convenience constructor owning its heap.
     pub fn with_capacity(len: u64, num_sms: u32) -> Self {
         Self::new(Arc::new(DeviceHeap::new(len)), num_sms)
+    }
+
+    /// Attaches a contention-observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Publishes one walk's contention tally: list hops, lost claims and the
+    /// retry histogram sample.
+    fn flush_walk(&self, sm: u32, hops: u64, lost: u64) {
+        self.metrics.add(sm, Counter::ListHops, hops);
+        self.metrics.add(sm, Counter::CasRetries, lost);
+        self.metrics.record_retries(sm, lost);
     }
 
     fn presplit(base: u64, len: u64, out: &mut Vec<u64>) {
@@ -190,16 +206,11 @@ impl<H: HeaderCodec, const MULTI: bool> RegEff<H, MULTI> {
 
 impl<H: HeaderCodec, const MULTI: bool> DeviceAllocator for RegEff<H, MULTI> {
     fn info(&self) -> ManagerInfo {
-        ManagerInfo {
-            family: "Reg-Eff",
-            variant: Self::variant_name(),
-            supports_free: true,
-            warp_level_only: false,
-            resizable: false,
-            alignment: if H::FUSED { 4 } else { 8 },
-            max_native_size: u64::MAX,
-            relays_large_to_cuda: false,
-        }
+        ManagerInfo::builder("Reg-Eff")
+            .variant(Self::variant_name())
+            .alignment(if H::FUSED { 4 } else { 8 })
+            .instrumented(true)
+            .build()
     }
 
     fn heap(&self) -> &DeviceHeap {
@@ -207,11 +218,14 @@ impl<H: HeaderCodec, const MULTI: bool> DeviceAllocator for RegEff<H, MULTI> {
     }
 
     fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
         if size == 0 {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(0));
         }
         let need = align_up(size + H::SIZE, 8);
         if need > self.region_len {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(size));
         }
         let slot = if MULTI { (ctx.sm as usize) % self.offsets.len() } else { 0 };
@@ -222,77 +236,100 @@ impl<H: HeaderCodec, const MULTI: bool> DeviceAllocator for RegEff<H, MULTI> {
         }
         let mut traversed = 0u64;
         let mut strikes = 0u32;
+        // Contention tally of this one walk: every chunk header inspected is
+        // a list hop; validation resets and lost claims are CAS losses.
+        let mut hops = 0u64;
+        let mut lost = 0u64;
         loop {
             if traversed >= 2 * self.region_len {
+                self.flush_walk(ctx.sm, hops, lost);
+                self.metrics.tick(ctx.sm, Counter::MallocFailures);
                 return Err(AllocError::OutOfMemory(size));
             }
+            hops += 1;
             let hdr = H::read(&self.heap, cur);
             // Validate the link before trusting anything else in the header:
             // a merge may have recycled `cur` under us.
             if !(hdr.next == 0 || self.starts.check(hdr.next)) || hdr.next == cur {
                 strikes += 1;
+                lost += 1;
                 if strikes > MAX_STRIKES {
+                    self.flush_walk(ctx.sm, hops, lost);
+                    self.metrics.tick(ctx.sm, Counter::MallocFailures);
                     return Err(AllocError::Contention("Reg-Eff list walk"));
                 }
                 cur = 0;
                 continue;
             }
             let extent = self.extent(cur, hdr.next);
-            if !hdr.allocated && extent >= need && H::try_claim(&self.heap, cur) {
-                // Post-claim validation: `cur` must still be a live chunk
-                // (the claim could have landed on recycled payload bytes).
-                if !self.starts.check(cur) {
-                    H::release(&self.heap, cur);
-                    strikes += 1;
-                    if strikes > MAX_STRIKES {
-                        return Err(AllocError::Contention("Reg-Eff claim validation"));
+            if !hdr.allocated && extent >= need {
+                if H::try_claim(&self.heap, cur) {
+                    // Post-claim validation: `cur` must still be a live chunk
+                    // (the claim could have landed on recycled payload bytes).
+                    if !self.starts.check(cur) {
+                        H::release(&self.heap, cur);
+                        strikes += 1;
+                        lost += 1;
+                        if strikes > MAX_STRIKES {
+                            self.flush_walk(ctx.sm, hops, lost);
+                            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+                            return Err(AllocError::Contention("Reg-Eff claim validation"));
+                        }
+                        cur = 0;
+                        continue;
                     }
-                    cur = 0;
-                    continue;
+                    // Re-read under ownership: the chunk may have shrunk
+                    // since the optimistic read.
+                    let owned = H::read(&self.heap, cur);
+                    let extent = self.extent(cur, owned.next);
+                    if extent < need {
+                        H::release(&self.heap, cur);
+                        traversed += extent;
+                        cur = if owned.next == 0 { 0 } else { owned.next };
+                        continue;
+                    }
+                    // Split when the leftover is worth keeping.
+                    if extent - need >= SPLIT_MIN {
+                        let leftover = cur + need;
+                        H::write(
+                            &self.heap,
+                            leftover,
+                            ChunkHeader { allocated: false, next: owned.next },
+                        );
+                        self.starts.set(leftover);
+                        H::set_next(&self.heap, cur, leftover);
+                        self.offsets[slot].store(leftover, Ordering::Relaxed);
+                    } else {
+                        self.offsets[slot]
+                            .store(if owned.next == 0 { 0 } else { owned.next }, Ordering::Relaxed);
+                    }
+                    self.flush_walk(ctx.sm, hops, lost);
+                    return Ok(DevicePtr::new(cur + H::SIZE));
                 }
-                // Re-read under ownership: the chunk may have shrunk since
-                // the optimistic read.
-                let owned = H::read(&self.heap, cur);
-                let extent = self.extent(cur, owned.next);
-                if extent < need {
-                    H::release(&self.heap, cur);
-                    traversed += extent;
-                    cur = if owned.next == 0 { 0 } else { owned.next };
-                    continue;
-                }
-                // Split when the leftover is worth keeping.
-                if extent - need >= SPLIT_MIN {
-                    let leftover = cur + need;
-                    H::write(
-                        &self.heap,
-                        leftover,
-                        ChunkHeader { allocated: false, next: owned.next },
-                    );
-                    self.starts.set(leftover);
-                    H::set_next(&self.heap, cur, leftover);
-                    self.offsets[slot].store(leftover, Ordering::Relaxed);
-                } else {
-                    self.offsets[slot]
-                        .store(if owned.next == 0 { 0 } else { owned.next }, Ordering::Relaxed);
-                }
-                return Ok(DevicePtr::new(cur + H::SIZE));
+                // A free-looking chunk another thread claimed first.
+                lost += 1;
             }
             traversed += extent;
             cur = if hdr.next == 0 { 0 } else { hdr.next };
         }
     }
 
-    fn free(&self, _ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        let fail = |e: AllocError| {
+            self.metrics.tick(ctx.sm, Counter::FreeFailures);
+            Err(e)
+        };
         if ptr.is_null() || ptr.offset() < H::SIZE {
-            return Err(AllocError::InvalidPointer);
+            return fail(AllocError::InvalidPointer);
         }
         let chunk = ptr.offset() - H::SIZE;
         if !self.starts.check(chunk) {
-            return Err(AllocError::InvalidPointer);
+            return fail(AllocError::InvalidPointer);
         }
         let hdr = H::read(&self.heap, chunk);
         if !hdr.allocated {
-            return Err(AllocError::InvalidPointer);
+            return fail(AllocError::InvalidPointer);
         }
         // Try to merge with the physically-next chunk: lock it so no other
         // thread can use it (paper: "This entails trying to allocate the
@@ -318,6 +355,10 @@ impl<H: HeaderCodec, const MULTI: bool> DeviceAllocator for RegEff<H, MULTI> {
             std::mem::size_of::<MallocFrame>(),
             std::mem::size_of::<FreeFrame>(),
         )
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 }
 
@@ -422,10 +463,7 @@ mod tests {
     #[test]
     fn oversize_rejected() {
         let a = RegEffC::with_capacity(HEAP, 80);
-        assert!(matches!(
-            a.malloc(&ctx(), HEAP * 2),
-            Err(AllocError::UnsupportedSize(_))
-        ));
+        assert!(matches!(a.malloc(&ctx(), HEAP * 2), Err(AllocError::UnsupportedSize(_))));
     }
 
     #[test]
@@ -510,12 +548,7 @@ mod tests {
             handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();
         for w in all.windows(2) {
-            assert!(
-                w[0].0 + w[0].1 <= w[1].0,
-                "concurrent overlap: {:?} vs {:?}",
-                w[0],
-                w[1]
-            );
+            assert!(w[0].0 + w[0].1 <= w[1].0, "concurrent overlap: {:?} vs {:?}", w[0], w[1]);
         }
     }
 

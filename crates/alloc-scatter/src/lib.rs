@@ -27,15 +27,15 @@ use std::sync::{Arc, Mutex};
 
 use gpumem_core::util::align_up;
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx,
 };
 
 pub mod page;
 
 use page::{
-    free_on_page, try_alloc_on_page, try_reset_page, PageAlloc, PageLayout, PageMeta,
-    CS_FREE, CS_MULTI_BODY, CS_MULTI_HEAD, CS_SETUP,
+    free_on_page, try_alloc_on_page_with, try_reset_page, PageAlloc, PageLayout, PageMeta,
+    PageStats, CS_FREE, CS_MULTI_BODY, CS_MULTI_HEAD, CS_SETUP,
 };
 
 /// Size-scatter hash constant (`k_S`).
@@ -94,6 +94,7 @@ pub struct ScatterAlloc {
     /// Serialises the consecutive-page search of the multi-page area; holds
     /// the next-fit cursor (relative page index into the multi area).
     multi_lock: Mutex<usize>,
+    metrics: Metrics,
 }
 
 /// Locals live in `malloc` (register proxy): the hashed page walk keeps the
@@ -157,11 +158,8 @@ impl ScatterAlloc {
         let sb_bytes = cfg.page_size as u64 * cfg.pages_per_superblock as u64;
         let total_sbs = (len / sb_bytes) as u32;
         assert!(total_sbs >= 1, "heap smaller than one Super Block");
-        let multi_sbs = if total_sbs >= 2 {
-            (total_sbs / cfg.multipage_share_div).max(1)
-        } else {
-            0
-        };
+        let multi_sbs =
+            if total_sbs >= 2 { (total_sbs / cfg.multipage_share_div).max(1) } else { 0 };
         let small_cap = total_sbs - multi_sbs;
         assert!(small_cap >= 1, "no Super Blocks left for small allocations");
         let total_pages = (len / cfg.page_size as u64) as usize;
@@ -180,7 +178,14 @@ impl ScatterAlloc {
             sb_pages: (0..small_cap).map(|_| AtomicU32::new(0)).collect(),
             region_full: (0..regions).map(|_| AtomicU32::new(0)).collect(),
             multi_lock: Mutex::new(0),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attaches a contention-observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Creates ScatterAlloc that initially manages only `initial_sbs` Super
@@ -225,6 +230,11 @@ impl ScatterAlloc {
         let pages_per_sb = self.cfg.pages_per_superblock as u64;
         let hash = size.wrapping_mul(K_SIZE).wrapping_add(ctx.sm as u64 * K_MP);
         let in_page_hash = ctx.scatter_hash();
+        // Contention tally of this one operation: every page visited by the
+        // probe walk is a probe step (so the counter is never zero for a
+        // served request); page-level bit searches and lost CAS attempts
+        // accumulate in `stats`.
+        let mut stats = PageStats::default();
 
         let sbs = self.small_sbs.load(Ordering::Acquire);
         let mut sb = self.active_sb.load(Ordering::Acquire) % sbs;
@@ -234,12 +244,8 @@ impl ScatterAlloc {
             let fill = self.sb_pages[sb as usize].load(Ordering::Relaxed);
             if fill * 100 > self.cfg.pages_per_superblock * self.cfg.sb_advance_fill_pct {
                 let next = (sb + 1) % sbs;
-                let _ = self.active_sb.compare_exchange(
-                    sb,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                );
+                let _ =
+                    self.active_sb.compare_exchange(sb, next, Ordering::AcqRel, Ordering::Relaxed);
                 sb = next;
             }
         }
@@ -253,24 +259,22 @@ impl ScatterAlloc {
                 // Region rejection: skip a full region wholesale.
                 let region = self.region_of(page);
                 let region_start = region * self.cfg.region_pages as usize;
-                if self.region_full[region].load(Ordering::Relaxed)
-                    >= self.cfg.region_pages
-                {
+                if self.region_full[region].load(Ordering::Relaxed) >= self.cfg.region_pages {
                     // Jump to the end of this region (bounded by the SB).
-                    let skip = (region_start + self.cfg.region_pages as usize) as u64
-                        - page as u64;
+                    let skip = (region_start + self.cfg.region_pages as usize) as u64 - page as u64;
                     probe += skip.max(1);
                     continue;
                 }
-                let claimed_before =
-                    self.meta.chunk_size[page].load(Ordering::Relaxed) == CS_FREE;
-                match try_alloc_on_page(
+                let claimed_before = self.meta.chunk_size[page].load(Ordering::Relaxed) == CS_FREE;
+                stats.probe_steps += 1;
+                match try_alloc_on_page_with(
                     &self.heap,
                     &self.meta,
                     page,
                     self.page_base(page),
                     layout,
                     in_page_hash,
+                    &mut stats,
                 ) {
                     PageAlloc::Success { chunk_idx, made_full } => {
                         if claimed_before {
@@ -279,8 +283,8 @@ impl ScatterAlloc {
                         if made_full {
                             self.region_full[region].fetch_add(1, Ordering::AcqRel);
                         }
-                        let off =
-                            self.page_base(page) + layout.chunk_offset(chunk_idx);
+                        let off = self.page_base(page) + layout.chunk_offset(chunk_idx);
+                        self.flush_stats(ctx.sm, stats);
                         return Ok(DevicePtr::new(off));
                     }
                     PageAlloc::Mismatch | PageAlloc::Full => probe += 1,
@@ -288,19 +292,23 @@ impl ScatterAlloc {
             }
             // Super Block exhausted for this size: move to the next.
             let next = (sb + 1) % sbs;
-            let _ = self.active_sb.compare_exchange(
-                sb,
-                next,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            );
+            let _ = self.active_sb.compare_exchange(sb, next, Ordering::AcqRel, Ordering::Relaxed);
             sb = next;
         }
+        self.flush_stats(ctx.sm, stats);
         Err(AllocError::OutOfMemory(size))
     }
 
+    /// Publishes one operation's contention tally (probe walk + CAS losses
+    /// + the retry histogram sample).
+    fn flush_stats(&self, sm: u32, stats: PageStats) {
+        self.metrics.add(sm, Counter::ProbeSteps, stats.probe_steps);
+        self.metrics.add(sm, Counter::CasRetries, stats.cas_retries);
+        self.metrics.record_retries(sm, stats.cas_retries);
+    }
+
     /// The reserved-area multi-page path for requests larger than a page.
-    fn malloc_multi(&self, size: u64) -> Result<DevicePtr, AllocError> {
+    fn malloc_multi(&self, sm: u32, size: u64) -> Result<DevicePtr, AllocError> {
         let pages_needed = size.div_ceil(self.cfg.page_size as u64) as usize;
         if pages_needed > self.multi_pages {
             return Err(AllocError::UnsupportedSize(size));
@@ -310,7 +318,8 @@ impl ScatterAlloc {
         // linear: the paper attributes ScatterAlloc's "steep drop in
         // performance at around 2048 B" to this search for contiguous free
         // pages, and the cost growing with the number of multi-page
-        // allocations is part of the measured shape.
+        // allocations is part of the measured shape. Every page inspected
+        // is one probe step.
         let mut run = 0usize;
         for i in 0..self.multi_pages {
             let page = self.multi_first_page + i;
@@ -323,12 +332,14 @@ impl ScatterAlloc {
                     for p in head + 1..=page {
                         self.meta.chunk_size[p].store(CS_MULTI_BODY, Ordering::Release);
                     }
+                    self.metrics.add(sm, Counter::ProbeSteps, i as u64 + 1);
                     return Ok(DevicePtr::new(self.page_base(head)));
                 }
             } else {
                 run = 0;
             }
         }
+        self.metrics.add(sm, Counter::ProbeSteps, self.multi_pages as u64);
         Err(AllocError::OutOfMemory(size))
     }
 
@@ -348,16 +359,7 @@ impl ScatterAlloc {
 
 impl DeviceAllocator for ScatterAlloc {
     fn info(&self) -> ManagerInfo {
-        ManagerInfo {
-            family: "ScatterAlloc",
-            variant: "",
-            supports_free: true,
-            warp_level_only: false,
-            resizable: true,
-            alignment: 16,
-            max_native_size: u64::MAX,
-            relays_large_to_cuda: false,
-        }
+        ManagerInfo::builder("ScatterAlloc").resizable(true).instrumented(true).build()
     }
 
     fn heap(&self) -> &DeviceHeap {
@@ -365,17 +367,61 @@ impl DeviceAllocator for ScatterAlloc {
     }
 
     fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
-        if size == 0 {
-            return Err(AllocError::UnsupportedSize(0));
-        }
-        if size <= self.max_single_page() {
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
+        let r = if size == 0 {
+            Err(AllocError::UnsupportedSize(0))
+        } else if size <= self.max_single_page() {
             self.malloc_small(ctx, size)
         } else {
-            self.malloc_multi(size)
+            self.malloc_multi(ctx.sm, size)
+        };
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+        }
+        r
+    }
+
+    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        let r = self.free_inner(ptr);
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::FreeFailures);
+        }
+        r
+    }
+
+    fn grow(&self, additional: u64) -> Result<(), AllocError> {
+        let sb_bytes = self.cfg.page_size as u64 * self.cfg.pages_per_superblock as u64;
+        let add_sbs = (additional.div_ceil(sb_bytes)) as u32;
+        let mut cur = self.small_sbs.load(Ordering::Acquire);
+        loop {
+            if cur >= self.small_sb_capacity {
+                return Err(AllocError::OutOfMemory(additional));
+            }
+            let new = (cur + add_sbs).min(self.small_sb_capacity);
+            match self.small_sbs.compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
         }
     }
 
-    fn free(&self, _ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+    fn register_footprint(&self) -> RegisterFootprint {
+        RegisterFootprint::from_frames(
+            std::mem::size_of::<MallocFrame>(),
+            std::mem::size_of::<FreeFrame>(),
+        )
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+}
+
+impl ScatterAlloc {
+    /// Pointer-validated deallocation (call accounting lives in the trait
+    /// wrapper).
+    fn free_inner(&self, ptr: DevicePtr) -> Result<(), AllocError> {
         if ptr.is_null() || ptr.offset() >= self.heap.len() {
             return Err(AllocError::InvalidPointer);
         }
@@ -397,7 +443,7 @@ impl DeviceAllocator for ScatterAlloc {
                     return Err(AllocError::InvalidPointer);
                 }
                 let delta = ptr.offset() - base;
-                if delta % cs as u64 != 0 {
+                if !delta.is_multiple_of(cs as u64) {
                     return Err(AllocError::InvalidPointer);
                 }
                 let chunk_idx = (delta / cs as u64) as u32;
@@ -423,34 +469,6 @@ impl DeviceAllocator for ScatterAlloc {
                 Ok(())
             }
         }
-    }
-
-    fn grow(&self, additional: u64) -> Result<(), AllocError> {
-        let sb_bytes = self.cfg.page_size as u64 * self.cfg.pages_per_superblock as u64;
-        let add_sbs = (additional.div_ceil(sb_bytes)) as u32;
-        let mut cur = self.small_sbs.load(Ordering::Acquire);
-        loop {
-            if cur >= self.small_sb_capacity {
-                return Err(AllocError::OutOfMemory(additional));
-            }
-            let new = (cur + add_sbs).min(self.small_sb_capacity);
-            match self.small_sbs.compare_exchange(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return Ok(()),
-                Err(actual) => cur = actual,
-            }
-        }
-    }
-
-    fn register_footprint(&self) -> RegisterFootprint {
-        RegisterFootprint::from_frames(
-            std::mem::size_of::<MallocFrame>(),
-            std::mem::size_of::<FreeFrame>(),
-        )
     }
 }
 
@@ -532,16 +550,10 @@ mod tests {
         let a = alloc();
         assert_eq!(a.free(&ctx(), DevicePtr::NULL), Err(AllocError::InvalidPointer));
         assert_eq!(a.free(&ctx(), DevicePtr::new(40)), Err(AllocError::InvalidPointer));
-        assert_eq!(
-            a.free(&ctx(), DevicePtr::new(HEAP + 4096)),
-            Err(AllocError::InvalidPointer)
-        );
+        assert_eq!(a.free(&ctx(), DevicePtr::new(HEAP + 4096)), Err(AllocError::InvalidPointer));
         // In-bounds but mid-chunk pointer on a live page.
         let p = a.malloc(&ctx(), 64).unwrap();
-        assert_eq!(
-            a.free(&ctx(), DevicePtr::new(p.offset() + 8)),
-            Err(AllocError::InvalidPointer)
-        );
+        assert_eq!(a.free(&ctx(), DevicePtr::new(p.offset() + 8)), Err(AllocError::InvalidPointer));
     }
 
     #[test]
@@ -597,11 +609,8 @@ mod tests {
     fn oom_recovers_after_free() {
         let a = ScatterAlloc::with_capacity(4 << 20);
         let mut ptrs = Vec::new();
-        loop {
-            match a.malloc(&ctx(), 1024) {
-                Ok(p) => ptrs.push(p),
-                Err(_) => break,
-            }
+        while let Ok(p) = a.malloc(&ctx(), 1024) {
+            ptrs.push(p);
         }
         for p in ptrs.drain(..) {
             a.free(&ctx(), p).unwrap();
@@ -695,7 +704,11 @@ mod mp_timing {
             ptrs.push(a.malloc(&ctx, 8192).unwrap());
         }
         eprintln!("10k x 8192 sequential: {:?}", t.elapsed());
-        eprintln!("first={:?} last={:?} multi_first_byte={}",
-            ptrs[0], ptrs[9999], a.multi_first_page as u64 * 4096);
+        eprintln!(
+            "first={:?} last={:?} multi_first_byte={}",
+            ptrs[0],
+            ptrs[9999],
+            a.multi_first_page as u64 * 4096
+        );
     }
 }

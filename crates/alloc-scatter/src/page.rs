@@ -45,7 +45,7 @@ pub struct PageLayout {
 impl PageLayout {
     /// Computes the layout for `chunk_size` on a page of `page_size` bytes.
     pub fn new(chunk_size: u32, page_size: u32) -> Self {
-        debug_assert!(chunk_size % 16 == 0 && chunk_size > 0);
+        debug_assert!(chunk_size.is_multiple_of(16) && chunk_size > 0);
         debug_assert!(chunk_size <= page_size);
         let naive = (page_size / chunk_size).min(MAX_CHUNKS);
         if naive <= 32 {
@@ -102,6 +102,17 @@ impl PageMeta {
     }
 }
 
+/// Contention tally of one page-level operation, fed into the
+/// contention-observability layer by the caller.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageStats {
+    /// Lost CAS attempts: chunk-size claims, count reservations and usage
+    /// bit claims that another thread won first.
+    pub cas_retries: u64,
+    /// Bit-search steps: usage-word loads and group probes.
+    pub probe_steps: u64,
+}
+
 /// Outcome of a page-level allocation attempt.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PageAlloc {
@@ -127,6 +138,21 @@ pub fn try_alloc_on_page(
     layout: PageLayout,
     hash: u64,
 ) -> PageAlloc {
+    let mut stats = PageStats::default();
+    try_alloc_on_page_with(heap, meta, page_idx, page_base, layout, hash, &mut stats)
+}
+
+/// [`try_alloc_on_page`] that also tallies lost CAS attempts and bit-search
+/// steps into `stats`.
+pub fn try_alloc_on_page_with(
+    heap: &DeviceHeap,
+    meta: &PageMeta,
+    page_idx: usize,
+    page_base: u64,
+    layout: PageLayout,
+    hash: u64,
+    stats: &mut PageStats,
+) -> PageAlloc {
     // Claim-or-match the chunk size.
     let cs_meta = &meta.chunk_size[page_idx];
     let current = cs_meta.load(Ordering::Acquire);
@@ -143,6 +169,7 @@ pub fn try_alloc_on_page(
                 cs_meta.store(layout.chunk_size, Ordering::Release);
             }
             Err(actual) => {
+                stats.cas_retries += 1;
                 if actual != layout.chunk_size {
                     return PageAlloc::Mismatch;
                 }
@@ -162,7 +189,10 @@ pub fn try_alloc_on_page(
         }
         match count.compare_exchange_weak(c, c + 1, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => break,
-            Err(actual) => c = actual,
+            Err(actual) => {
+                stats.cas_retries += 1;
+                c = actual;
+            }
         }
     }
     let made_full = c + 1 == layout.chunks;
@@ -178,9 +208,9 @@ pub fn try_alloc_on_page(
 
     // Find and set a free bit.
     let found = if layout.table_bytes == 0 {
-        find_bit_single(&meta.usage[page_idx], layout, hash)
+        find_bit_single(&meta.usage[page_idx], layout, hash, stats)
     } else {
-        find_bit_hierarchical(heap, &meta.usage[page_idx], page_base, layout, hash)
+        find_bit_hierarchical(heap, &meta.usage[page_idx], page_base, layout, hash, stats)
     };
     match found {
         Some(idx) => PageAlloc::Success { chunk_idx: idx, made_full },
@@ -213,9 +243,23 @@ fn init_page(
 }
 
 /// Bit search in the single first-level word (≤ 32 chunks).
-fn find_bit_single(usage: &AtomicU32, layout: PageLayout, hash: u64) -> Option<u32> {
+fn find_bit_single(
+    usage: &AtomicU32,
+    layout: PageLayout,
+    hash: u64,
+    stats: &mut PageStats,
+) -> Option<u32> {
     let start = (hash % layout.chunks as u64) as u32;
+    // First attempt is blind at the hashed spot, as in ScatterAlloc's
+    // published kernel: atomicOr first, then inspect the returned mask.
+    // A hash collision with any earlier allocation is a lost claim.
+    stats.probe_steps += 1;
+    if usage.fetch_or(1 << start, Ordering::AcqRel) & (1 << start) == 0 {
+        return Some(start);
+    }
+    stats.cas_retries += 1;
     for _ in 0..64 {
+        stats.probe_steps += 1;
         let w = usage.load(Ordering::Acquire);
         let free = !w;
         if free == 0 {
@@ -225,6 +269,7 @@ fn find_bit_single(usage: &AtomicU32, layout: PageLayout, hash: u64) -> Option<u
         if usage.fetch_or(1 << bit, Ordering::AcqRel) & (1 << bit) == 0 {
             return Some(bit);
         }
+        stats.cas_retries += 1;
     }
     None
 }
@@ -237,16 +282,31 @@ fn find_bit_hierarchical(
     page_base: u64,
     layout: PageLayout,
     hash: u64,
+    stats: &mut PageStats,
 ) -> Option<u32> {
     let groups = layout.groups();
     let start_group = (hash % groups as u64) as u32;
     for probe in 0..groups * 2 {
+        stats.probe_steps += 1;
         let g = (start_group + probe) % groups;
         if first_level.load(Ordering::Acquire) & (1 << g) != 0 {
             continue; // group marked full
         }
         let word = heap.atomic_u32(page_base + g as u64 * 4);
+        // Blind attempt at the hashed in-word spot (invalid trailing bits
+        // are pre-set, so a stray spot simply loses).
+        let spot = (hash >> 5) as u32 % 32;
+        stats.probe_steps += 1;
+        let prev = word.fetch_or(1 << spot, Ordering::AcqRel);
+        if prev & (1 << spot) == 0 {
+            if (prev | (1 << spot)) == u32::MAX {
+                first_level.fetch_or(1 << g, Ordering::AcqRel);
+            }
+            return Some(g * 32 + spot);
+        }
+        stats.cas_retries += 1;
         for _ in 0..32 {
+            stats.probe_steps += 1;
             let w = word.load(Ordering::Acquire);
             let free = !w;
             if free == 0 {
@@ -261,6 +321,7 @@ fn find_bit_hierarchical(
                 }
                 return Some(g * 32 + bit);
             }
+            stats.cas_retries += 1;
         }
     }
     None
@@ -277,6 +338,8 @@ fn pick_bit(free: u32, start: u32) -> u32 {
 }
 
 /// Frees chunk `chunk_idx` on `page_idx`. Returns the page's new count.
+/// `Err(())` flags a double free; the caller maps it onto its own error type.
+#[allow(clippy::result_unit_err)]
 pub fn free_on_page(
     heap: &DeviceHeap,
     meta: &PageMeta,
@@ -303,10 +366,7 @@ pub fn free_on_page(
         meta.usage[page_idx].fetch_and(!(1 << g), Ordering::AcqRel);
     }
     let prev_count = meta.count[page_idx].fetch_sub(1, Ordering::AcqRel);
-    Ok(FreeOutcome {
-        was_full: prev_count == layout.chunks,
-        now_empty: prev_count == 1,
-    })
+    Ok(FreeOutcome { was_full: prev_count == layout.chunks, now_empty: prev_count == 1 })
 }
 
 /// What a page-level free did, for region/SB bookkeeping.
@@ -323,10 +383,7 @@ pub struct FreeOutcome {
 /// freed again"). Returns whether the reset won.
 pub fn try_reset_page(meta: &PageMeta, page_idx: usize) -> bool {
     let count = &meta.count[page_idx];
-    if count
-        .compare_exchange(0, COUNT_LOCK, Ordering::AcqRel, Ordering::Acquire)
-        .is_err()
-    {
+    if count.compare_exchange(0, COUNT_LOCK, Ordering::AcqRel, Ordering::Acquire).is_err() {
         return false;
     }
     // Exclusive: nobody can allocate (count ≥ chunks) until we release.
@@ -395,9 +452,7 @@ mod tests {
         let (heap, meta) = setup(2);
         let l = PageLayout::new(512, PAGE);
         let r = try_alloc_on_page(&heap, &meta, 0, 0, l, 3);
-        let PageAlloc::Success { chunk_idx, made_full } = r else {
-            panic!("{r:?}")
-        };
+        let PageAlloc::Success { chunk_idx, made_full } = r else { panic!("{r:?}") };
         assert!(!made_full);
         assert_eq!(chunk_idx, 3, "hash seeds the bit position");
         let out = free_on_page(&heap, &meta, 0, 0, l, chunk_idx).unwrap();
@@ -429,10 +484,7 @@ mod tests {
         let (heap, meta) = setup(1);
         let l1 = PageLayout::new(256, PAGE);
         let l2 = PageLayout::new(512, PAGE);
-        assert!(matches!(
-            try_alloc_on_page(&heap, &meta, 0, 0, l1, 0),
-            PageAlloc::Success { .. }
-        ));
+        assert!(matches!(try_alloc_on_page(&heap, &meta, 0, 0, l1, 0), PageAlloc::Success { .. }));
         assert_eq!(try_alloc_on_page(&heap, &meta, 0, 0, l2, 0), PageAlloc::Mismatch);
     }
 
@@ -477,8 +529,7 @@ mod tests {
     fn double_free_detected_on_page() {
         let (heap, meta) = setup(1);
         let l = PageLayout::new(512, PAGE);
-        let PageAlloc::Success { chunk_idx, .. } =
-            try_alloc_on_page(&heap, &meta, 0, 0, l, 0)
+        let PageAlloc::Success { chunk_idx, .. } = try_alloc_on_page(&heap, &meta, 0, 0, l, 0)
         else {
             panic!()
         };
@@ -490,8 +541,7 @@ mod tests {
     fn reset_returns_page_to_free_state() {
         let (heap, meta) = setup(1);
         let l = PageLayout::new(256, PAGE);
-        let PageAlloc::Success { chunk_idx, .. } =
-            try_alloc_on_page(&heap, &meta, 0, 0, l, 5)
+        let PageAlloc::Success { chunk_idx, .. } = try_alloc_on_page(&heap, &meta, 0, 0, l, 5)
         else {
             panic!()
         };
@@ -500,10 +550,7 @@ mod tests {
         assert!(try_reset_page(&meta, 0));
         // The page now accepts a different chunk size.
         let l2 = PageLayout::new(1024, PAGE);
-        assert!(matches!(
-            try_alloc_on_page(&heap, &meta, 0, 0, l2, 0),
-            PageAlloc::Success { .. }
-        ));
+        assert!(matches!(try_alloc_on_page(&heap, &meta, 0, 0, l2, 0), PageAlloc::Success { .. }));
     }
 
     #[test]

@@ -42,6 +42,14 @@ impl FifoArray {
     /// fixed-capacity property XMalloc's free path depends on — a full
     /// first-level buffer sends the block back to its Superblock instead).
     pub fn push(&self, value: u64) -> bool {
+        let mut spins = 0;
+        self.push_with(value, &mut spins)
+    }
+
+    /// [`FifoArray::push`] that also counts slot spins — every re-try after
+    /// a lost ticket CAS or a stale slot observation — into `spins` (the
+    /// `queue_spins` source of the contention-observability layer).
+    pub fn push_with(&self, value: u64, spins: &mut u64) -> bool {
         let mut tail = self.tail.load(Ordering::Relaxed);
         loop {
             let idx = (tail & self.mask) as usize;
@@ -59,12 +67,16 @@ impl FifoArray {
                         self.seq[idx].store(tail + 1, Ordering::Release);
                         return true;
                     }
-                    Err(actual) => tail = actual,
+                    Err(actual) => {
+                        *spins += 1;
+                        tail = actual;
+                    }
                 }
             } else if seq < tail {
                 // Slot still holds an element a consumer has not taken: full.
                 return false;
             } else {
+                *spins += 1;
                 tail = self.tail.load(Ordering::Relaxed);
             }
         }
@@ -72,6 +84,13 @@ impl FifoArray {
 
     /// Attempts to dequeue; `None` when empty.
     pub fn pop(&self) -> Option<u64> {
+        let mut spins = 0;
+        self.pop_with(&mut spins)
+    }
+
+    /// [`FifoArray::pop`] that counts slot spins into `spins` (see
+    /// [`FifoArray::push_with`]).
+    pub fn pop_with(&self, spins: &mut u64) -> Option<u64> {
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             let idx = (head & self.mask) as usize;
@@ -88,11 +107,15 @@ impl FifoArray {
                         self.seq[idx].store(head + self.mask + 1, Ordering::Release);
                         return Some(v);
                     }
-                    Err(actual) => head = actual,
+                    Err(actual) => {
+                        *spins += 1;
+                        head = actual;
+                    }
                 }
             } else if seq <= head {
                 return None; // empty
             } else {
+                *spins += 1;
                 head = self.head.load(Ordering::Relaxed);
             }
         }

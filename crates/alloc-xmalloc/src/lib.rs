@@ -35,8 +35,8 @@ use std::sync::Arc;
 
 use gpumem_core::util::{align_up, next_pow2};
 use gpumem_core::{
-    AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
-    ThreadCtx, WarpCtx, WARP_SIZE,
+    AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
+    RegisterFootprint, ThreadCtx, WarpCtx, WARP_SIZE,
 };
 
 pub mod fifo;
@@ -70,6 +70,7 @@ pub struct XMalloc {
     first_level: [FifoArray; CLASSES.len()],
     /// Second-level buffer: free Superblock payload offsets.
     second_level: FifoArray,
+    metrics: Metrics,
 }
 
 /// Locals live in `malloc` — the coalescing machinery keeps per-lane sizes,
@@ -123,12 +124,44 @@ impl XMalloc {
             mblocks,
             first_level: std::array::from_fn(|_| FifoArray::new(FIRST_LEVEL_CAP)),
             second_level: FifoArray::new(SECOND_LEVEL_CAP),
+            metrics: Metrics::disabled(),
         }
     }
 
     /// Convenience constructor owning its heap.
     pub fn with_capacity(len: u64) -> Self {
         Self::new(Arc::new(DeviceHeap::new(len)))
+    }
+
+    /// Attaches a contention-observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// FIFO pop with the op's slot spins recorded as `queue_spins`.
+    fn pop_counted(&self, sm: u32, q: &FifoArray) -> Option<u64> {
+        let mut spins = 0;
+        let r = q.pop_with(&mut spins);
+        self.metrics.add(sm, Counter::QueueSpins, spins);
+        r
+    }
+
+    /// FIFO push with the op's slot spins recorded as `queue_spins`.
+    fn push_counted(&self, sm: u32, q: &FifoArray, value: u64) -> bool {
+        let mut spins = 0;
+        let r = q.push_with(value, &mut spins);
+        self.metrics.add(sm, Counter::QueueSpins, spins);
+        r
+    }
+
+    /// Memoryblock-heap allocation with the first-fit walk recorded as
+    /// `list_hops`.
+    fn mblock_alloc_counted(&self, sm: u32, payload: u64) -> Option<u64> {
+        let mut hops = 0;
+        let r = self.mblocks.alloc_with(&self.heap, payload, &mut hops);
+        self.metrics.add(sm, Counter::ListHops, hops);
+        r
     }
 
     fn class_index(size: u64) -> usize {
@@ -144,7 +177,7 @@ impl XMalloc {
 
     /// Splits a fresh/recycled Superblock for `class_idx` and returns one
     /// Basicblock, pushing the rest into the first-level buffer.
-    fn carve_superblock(&self, sb: u64, class_idx: usize) -> u64 {
+    fn carve_superblock(&self, sm: u32, sb: u64, class_idx: usize) -> u64 {
         let class = CLASSES[class_idx];
         let stride = class + ITEM_HDR;
         let n = ((SB_PAYLOAD - 16) / stride) as u32;
@@ -159,7 +192,7 @@ impl XMalloc {
         for i in 1..n {
             let bb = first_bb + i as u64 * stride;
             self.write_item_header(bb, MAGIC_ITEM, class_idx as u32, sb);
-            if !self.first_level[class_idx].push(bb) {
+            if !self.push_counted(sm, &self.first_level[class_idx], bb) {
                 // Buffer full: these blocks count as returned to the SB.
                 returned_to_sb += 1;
             }
@@ -171,77 +204,46 @@ impl XMalloc {
         first_bb
     }
 
-    fn malloc_small(&self, class_idx: usize) -> Result<DevicePtr, AllocError> {
+    fn malloc_small(&self, sm: u32, class_idx: usize) -> Result<DevicePtr, AllocError> {
         // Fast path: first-level buffer.
-        if let Some(bb) = self.first_level[class_idx].pop() {
+        if let Some(bb) = self.pop_counted(sm, &self.first_level[class_idx]) {
             return Ok(DevicePtr::new(bb + ITEM_HDR));
         }
         // Refill: second-level buffer, then the Memoryblock heap.
-        let sb = match self.second_level.pop() {
+        let sb = match self.pop_counted(sm, &self.second_level) {
             Some(sb) => sb,
             None => self
-                .mblocks
-                .alloc(&self.heap, SB_PAYLOAD)
+                .mblock_alloc_counted(sm, SB_PAYLOAD)
                 .ok_or(AllocError::OutOfMemory(CLASSES[class_idx]))?,
         };
-        let bb = self.carve_superblock(sb, class_idx);
+        let bb = self.carve_superblock(sm, sb, class_idx);
         Ok(DevicePtr::new(bb + ITEM_HDR))
     }
 
-    fn malloc_large(&self, size: u64) -> Result<DevicePtr, AllocError> {
-        let mp = self
-            .mblocks
-            .alloc(&self.heap, size + ITEM_HDR)
-            .ok_or(AllocError::OutOfMemory(size))?;
+    fn malloc_large(&self, sm: u32, size: u64) -> Result<DevicePtr, AllocError> {
+        let mp =
+            self.mblock_alloc_counted(sm, size + ITEM_HDR).ok_or(AllocError::OutOfMemory(size))?;
         self.write_item_header(mp, MAGIC_LARGE, 0, 0);
         Ok(DevicePtr::new(mp + ITEM_HDR))
     }
 
     /// Returns a Basicblock to its parent Superblock; reclaims the
     /// Superblock once every Basicblock is home.
-    fn return_to_superblock(&self, sb: u64) {
+    fn return_to_superblock(&self, sm: u32, sb: u64) {
         debug_assert_eq!(self.heap.load_u32(sb), MAGIC_SB);
         let total = self.heap.load_u32(sb + 8);
         let prev = self.heap.atomic_u32(sb + 4).fetch_add(1, Ordering::AcqRel);
         if prev + 1 == total {
             // All Basicblocks returned: recycle the Superblock.
-            if !self.second_level.push(sb) {
+            if !self.push_counted(sm, &self.second_level, sb) {
                 let _ = self.mblocks.free(&self.heap, sb);
             }
         }
     }
-}
 
-impl DeviceAllocator for XMalloc {
-    fn info(&self) -> ManagerInfo {
-        ManagerInfo {
-            family: "XMalloc",
-            variant: "",
-            supports_free: true,
-            warp_level_only: false,
-            resizable: false,
-            alignment: 16,
-            max_native_size: u64::MAX,
-            relays_large_to_cuda: false,
-        }
-    }
-
-    fn heap(&self) -> &DeviceHeap {
-        &self.heap
-    }
-
-    fn malloc(&self, _ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
-        if size == 0 {
-            return Err(AllocError::UnsupportedSize(0));
-        }
-        if size <= *CLASSES.last().unwrap() {
-            self.malloc_small(Self::class_index(size))
-        } else {
-            self.malloc_large(size)
-        }
-    }
-
-    fn free(&self, _ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+    /// The three-level deallocation of Figure 1 (call accounting lives in
+    /// the trait wrapper).
+    fn free_inner(&self, sm: u32, ptr: DevicePtr) -> Result<(), AllocError> {
         if ptr.is_null() || ptr.offset() < ITEM_HDR || ptr.offset() >= self.heap.len() {
             return Err(AllocError::InvalidPointer);
         }
@@ -256,15 +258,14 @@ impl DeviceAllocator for XMalloc {
                 {
                     return Err(AllocError::InvalidPointer);
                 }
-                if !self.first_level[class_idx].push(item) {
-                    self.return_to_superblock(sb);
+                if !self.push_counted(sm, &self.first_level[class_idx], item) {
+                    self.return_to_superblock(sm, sb);
                 }
                 Ok(())
             }
-            MAGIC_LARGE => self
-                .mblocks
-                .free(&self.heap, item)
-                .map_err(|()| AllocError::InvalidPointer),
+            MAGIC_LARGE => {
+                self.mblocks.free(&self.heap, item).map_err(|()| AllocError::InvalidPointer)
+            }
             MAGIC_CITEM => {
                 let back = self.heap.load_u32(item + 4) as u64;
                 if back > item {
@@ -288,6 +289,40 @@ impl DeviceAllocator for XMalloc {
             _ => Err(AllocError::InvalidPointer),
         }
     }
+}
+
+impl DeviceAllocator for XMalloc {
+    fn info(&self) -> ManagerInfo {
+        ManagerInfo::builder("XMalloc").instrumented(true).build()
+    }
+
+    fn heap(&self) -> &DeviceHeap {
+        &self.heap
+    }
+
+    fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        self.metrics.tick(ctx.sm, Counter::MallocCalls);
+        let r = if size == 0 {
+            Err(AllocError::UnsupportedSize(0))
+        } else if size <= *CLASSES.last().unwrap() {
+            self.malloc_small(ctx.sm, Self::class_index(size))
+        } else {
+            self.malloc_large(ctx.sm, size)
+        };
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+        }
+        r
+    }
+
+    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+        self.metrics.tick(ctx.sm, Counter::FreeCalls);
+        let r = self.free_inner(ctx.sm, ptr);
+        if r.is_err() {
+            self.metrics.tick(ctx.sm, Counter::FreeFailures);
+        }
+        r
+    }
 
     /// SIMD-width coalescing: all lane requests become one Memoryblock with
     /// a live-lane counter.
@@ -301,21 +336,17 @@ impl DeviceAllocator for XMalloc {
         if sizes.is_empty() {
             return Ok(());
         }
-        let total: u64 =
-            16 + sizes.iter().map(|&s| align_up(s.max(1), 16) + ITEM_HDR).sum::<u64>();
-        match self.mblocks.alloc(&self.heap, total) {
+        let total: u64 = 16 + sizes.iter().map(|&s| align_up(s.max(1), 16) + ITEM_HDR).sum::<u64>();
+        match self.mblock_alloc_counted(warp.sm, total) {
             Some(cblock) => {
+                self.metrics.add(warp.sm, Counter::MallocCalls, sizes.len() as u64);
+                self.metrics.add(warp.sm, Counter::WarpCoalesced, sizes.len() as u64);
                 self.heap.store_u32(cblock, MAGIC_CBLK);
                 self.heap.store_u32(cblock + 4, sizes.len() as u32);
                 self.heap.store_u64(cblock + 8, total);
                 let mut cursor = cblock + 16;
                 for (&size, slot) in sizes.iter().zip(out.iter_mut()) {
-                    self.write_item_header(
-                        cursor,
-                        MAGIC_CITEM,
-                        (cursor - cblock) as u32,
-                        cblock,
-                    );
+                    self.write_item_header(cursor, MAGIC_CITEM, (cursor - cblock) as u32, cblock);
                     *slot = DevicePtr::new(cursor + ITEM_HDR);
                     cursor += align_up(size.max(1), 16) + ITEM_HDR;
                 }
@@ -336,6 +367,10 @@ impl DeviceAllocator for XMalloc {
             std::mem::size_of::<MallocFrame>(),
             std::mem::size_of::<FreeFrame>(),
         )
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 }
 
@@ -437,14 +472,12 @@ mod tests {
         let stride = 2048 + ITEM_HDR;
         let per_sb = ((SB_PAYLOAD - 16) / stride) as usize; // 7
         let n = per_sb * 3;
-        let ptrs: Vec<DevicePtr> =
-            (0..n).map(|_| a.malloc(&ctx(), 2048).unwrap()).collect();
+        let ptrs: Vec<DevicePtr> = (0..n).map(|_| a.malloc(&ctx(), 2048).unwrap()).collect();
         for p in &ptrs {
             a.free(&ctx(), *p).unwrap();
         }
         // Allocate again — everything must still work (recycled SBs).
-        let again: Vec<DevicePtr> =
-            (0..n).map(|_| a.malloc(&ctx(), 2048).unwrap()).collect();
+        let again: Vec<DevicePtr> = (0..n).map(|_| a.malloc(&ctx(), 2048).unwrap()).collect();
         assert_eq!(again.len(), n);
     }
 

@@ -55,7 +55,7 @@ fn set_prev_size(heap: &DeviceHeap, block: u64, s: u64) {
 impl MBlockHeap {
     /// Initialises the segment list: one all-covering free Memoryblock.
     pub fn new(heap: &DeviceHeap, base: u64, len: u64) -> Self {
-        assert!(base % 16 == 0 && len % 16 == 0 && len > HDR);
+        assert!(base.is_multiple_of(16) && len.is_multiple_of(16) && len > HDR);
         assert!(base + len <= heap.len());
         set_magic(heap, base, MAGIC_FREE);
         set_size(heap, base, len);
@@ -65,11 +65,21 @@ impl MBlockHeap {
 
     /// Allocates `payload` bytes; returns the payload offset (16-aligned).
     pub fn alloc(&self, heap: &DeviceHeap, payload: u64) -> Option<u64> {
+        let mut hops = 0;
+        self.alloc_with(heap, payload, &mut hops)
+    }
+
+    /// [`MBlockHeap::alloc`] that also counts first-fit traversal hops —
+    /// one per Memoryblock visited — into `hops` (the `list_hops` source of
+    /// the contention-observability layer; this walk is the slowness the
+    /// paper attributes to XMalloc's heap layer).
+    pub fn alloc_with(&self, heap: &DeviceHeap, payload: u64, hops: &mut u64) -> Option<u64> {
         let need = align_up(payload, 16) + HDR;
         let _g = self.lock.lock().unwrap();
         let end = self.base + self.len;
         let mut block = self.base;
         while block < end {
+            *hops += 1;
             let bsize = size(heap, block);
             debug_assert!(bsize >= HDR && block + bsize <= end, "corrupt memoryblock list");
             if magic(heap, block) == MAGIC_FREE && bsize >= need {
@@ -94,7 +104,9 @@ impl MBlockHeap {
     }
 
     /// Frees a payload offset previously returned by [`MBlockHeap::alloc`],
-    /// merging with free physical neighbours.
+    /// merging with free physical neighbours. `Err(())` flags an invalid or
+    /// doubly freed offset; the caller maps it onto its own error type.
+    #[allow(clippy::result_unit_err)]
     pub fn free(&self, heap: &DeviceHeap, payload: u64) -> Result<(), ()> {
         if payload < self.base + HDR || payload >= self.base + self.len {
             return Err(());

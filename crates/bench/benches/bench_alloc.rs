@@ -25,13 +25,9 @@ fn bench_thread_alloc(c: &mut Criterion) {
         ManagerKind::XMalloc,
     ] {
         for size in [16u64, 256, 4096] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), size),
-                &size,
-                |b, &size| {
-                    b.iter(|| alloc_perf(&bench, kind, 2048, size, false));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), size), &size, |b, &size| {
+                b.iter(|| alloc_perf(&bench, kind, 2048, size, false));
+            });
         }
     }
     group.finish();

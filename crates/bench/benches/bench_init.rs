@@ -19,7 +19,7 @@ fn bench_init(c: &mut Criterion) {
         group.bench_function(kind.label(), |b| {
             b.iter_batched(
                 || Arc::new(DeviceHeap::new(128 << 20)),
-                |heap| kind.create_on(heap, bench.device.spec().num_sms),
+                |heap| kind.builder().heap_shared(heap).sms(bench.device.spec().num_sms).build(),
                 criterion::BatchSize::LargeInput,
             );
         });

@@ -20,13 +20,9 @@ fn bench_mixed(c: &mut Criterion) {
         ManagerKind::OuroSC,
     ] {
         for upper in [64u64, 1024, 8192] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), upper),
-                &upper,
-                |b, &upper| {
-                    b.iter(|| mixed_perf(&bench, kind, 2048, upper));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), upper), &upper, |b, &upper| {
+                b.iter(|| mixed_perf(&bench, kind, 2048, upper));
+            });
         }
     }
     group.finish();

@@ -71,8 +71,13 @@ impl Default for Opts {
 
 fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
     let mut opts = Opts::default();
-    let cmd = args.first().cloned().ok_or_else(usage)?;
+    let mut cmd = args.first().cloned().ok_or_else(usage)?;
     let mut i = 1;
+    // `repro --report contention` is sugar for `repro contention`.
+    if cmd == "--report" {
+        cmd = args.get(1).cloned().ok_or_else(|| "missing report name".to_string())?;
+        i = 2;
+    }
     let next = |i: &mut usize| -> Result<String, String> {
         *i += 1;
         args.get(*i - 1).cloned().ok_or_else(|| "missing option value".to_string())
@@ -84,39 +89,28 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
             "-t" => opts.kinds = ManagerKind::parse_selector(&next(&mut i)?)?,
             "--device" => {
                 let name = next(&mut i)?;
-                opts.device = DeviceSpec::by_name(&name)
-                    .ok_or_else(|| format!("unknown device: {name}"))?;
+                opts.device =
+                    DeviceSpec::by_name(&name).ok_or_else(|| format!("unknown device: {name}"))?;
             }
             "--num" => opts.num = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--warp" => opts.warp = true,
             "--dense" => opts.dense = true,
-            "--max-exp" => {
-                opts.max_exp = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--max-exp" => opts.max_exp = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--range" => {
                 let r = next(&mut i)?;
-                let (lo, hi) = r
-                    .split_once('-')
-                    .ok_or_else(|| format!("range must be LO-HI: {r}"))?;
+                let (lo, hi) =
+                    r.split_once('-').ok_or_else(|| format!("range must be LO-HI: {r}"))?;
                 opts.range = (
                     lo.parse().map_err(|e| format!("{e}"))?,
                     hi.parse().map_err(|e| format!("{e}"))?,
                 );
             }
-            "--iter" => {
-                opts.iterations = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
-            }
-            "--timeout" => {
-                opts.timeout = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--iter" => opts.iterations = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--timeout" => opts.timeout = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--cycles" => opts.cycles = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--edges" => opts.edges = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--scale-div" => {
-                opts.scale_div = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
-            }
-            "--oom-heap" => {
-                opts.oom_heap_mb = next(&mut i)?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--scale-div" => opts.scale_div = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--oom-heap" => opts.oom_heap_mb = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--out" => opts.out = PathBuf::from(next(&mut i)?),
             other => return Err(format!("unknown option: {other}\n{}", usage())),
         }
@@ -125,7 +119,8 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|check|all> [options]\n\
+    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|check|all> [options]\n\
+     (`repro --report contention` is an alias for `repro contention`)\n\
      options: -t SELECTOR --device D --num N --warp --dense --max-exp E --range LO-HI\n\
      --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB --out DIR"
         .to_string()
@@ -160,6 +155,7 @@ fn main() {
         "graph-init" => graph_init(&opts),
         "graph-update" => graph_update(&opts),
         "churn" => churn(&opts),
+        "contention" => contention(&opts),
         "check" => check(&opts),
         "all" => run_all(opts),
         other => {
@@ -201,6 +197,8 @@ fn run_all(mut opts: Opts) {
     graph_init(&opts);
     println!("== Figure 11g: graph updates ==");
     graph_update(&opts);
+    println!("== Contention report ==");
+    contention(&opts);
     println!("done; results in {}", opts.out.display());
 }
 
@@ -230,13 +228,30 @@ fn clone_opts(o: &Opts) -> Opts {
 
 fn table1(opts: &Opts) {
     let mut csv = Csv::new([
-        "ref", "name", "year", "availability", "build", "variants", "needs_cuda_alloc",
-        "general_purpose", "results", "stable", "evaluated_here",
+        "ref",
+        "name",
+        "year",
+        "availability",
+        "build",
+        "variants",
+        "needs_cuda_alloc",
+        "general_purpose",
+        "results",
+        "stable",
+        "evaluated_here",
     ]);
     println!(
-        "{:<6}{:<16}{:<6}{:<10}{:<8}{:<9}{:<10}{:<9}{:<8}{:<7}{}",
-        "ref", "name", "year", "avail", "build", "variants", "cuda-dep", "general",
-        "results", "stable", "evaluated"
+        "{:<6}{:<16}{:<6}{:<10}{:<8}{:<9}{:<10}{:<9}{:<8}{:<7}evaluated",
+        "ref",
+        "name",
+        "year",
+        "avail",
+        "build",
+        "variants",
+        "cuda-dep",
+        "general",
+        "results",
+        "stable"
     );
     for r in SURVEY_TABLE {
         println!(
@@ -276,13 +291,7 @@ fn init(opts: &Opts) {
     println!("{:<16}{:>12}{:>14}{:>12}", "manager", "init_ms", "malloc_regs", "free_regs");
     for &kind in &opts.kinds {
         let c = runners::init_performance(&bench, kind, 256 << 20);
-        println!(
-            "{:<16}{:>12}{:>14}{:>12}",
-            c.manager,
-            ms(c.init),
-            c.malloc_regs,
-            c.free_regs
-        );
+        println!("{:<16}{:>12}{:>14}{:>12}", c.manager, ms(c.init), c.malloc_regs, c.free_regs);
         csv.row([
             c.manager.to_string(),
             ms(c.init),
@@ -325,11 +334,7 @@ fn fig9(opts: &Opts) {
         }
         println!("  {} done{}", kind.label(), if skipping { " (timed out)" } else { "" });
     }
-    save(
-        csv,
-        opts,
-        &format!("alloc_{mode}_{}_{}.csv", opts.num, opts.device.name),
-    );
+    save(csv, opts, &format!("alloc_{mode}_{}_{}.csv", opts.num, opts.device.name));
 }
 
 fn mixed(opts: &Opts) {
@@ -381,9 +386,8 @@ fn scaling(opts: &Opts) {
 
 fn frag(opts: &Opts) {
     let bench = bench_of(opts);
-    let mut csv = Csv::new([
-        "manager", "size", "address_range", "baseline", "expansion", "max_range_cycles",
-    ]);
+    let mut csv =
+        Csv::new(["manager", "size", "address_range", "baseline", "expansion", "max_range_cycles"]);
     for &kind in &opts.kinds {
         for &size in &[4u64, 16, 64, 256, 1024, 4096, 8192] {
             let c = runners::fragmentation(&bench, kind, opts.num, size, opts.cycles);
@@ -439,12 +443,7 @@ fn workgen(opts: &Opts) {
         for e in 0..=opts.max_exp {
             let n = 1u32 << e;
             let c = runners::work_generation(&bench, kind, n, lo, hi);
-            csv.row([
-                c.manager.to_string(),
-                n.to_string(),
-                ms(c.elapsed),
-                c.failures.to_string(),
-            ]);
+            csv.row([c.manager.to_string(), n.to_string(), ms(c.elapsed), c.failures.to_string()]);
         }
         println!("  {} done", kind.label());
     }
@@ -502,8 +501,7 @@ fn graph_init(opts: &Opts) {
 
 fn graph_update(opts: &Opts) {
     let bench = bench_of(opts);
-    let mut csv =
-        Csv::new(["manager", "graph", "scenario", "edges", "elapsed_ms", "failures"]);
+    let mut csv = Csv::new(["manager", "graph", "scenario", "edges", "elapsed_ms", "failures"]);
     for name in dyn_graph::GRAPH_NAMES {
         let csr = dyn_graph::generate(name, opts.scale_div, bench.seed);
         for &kind in &opts.kinds {
@@ -532,13 +530,23 @@ fn graph_update(opts: &Opts) {
 fn churn(opts: &Opts) {
     let bench = bench_of(opts);
     let mut csv = Csv::new(["manager", "cycles", "first_alloc_ms", "last_alloc_ms", "slowdown"]);
-    println!("{:<16}{:>10}{:>16}{:>16}{:>10}", "manager", "cycles", "first_ms", "last_ms", "slowdown");
+    println!(
+        "{:<16}{:>10}{:>16}{:>16}{:>10}",
+        "manager", "cycles", "first_ms", "last_ms", "slowdown"
+    );
     for &kind in &opts.kinds {
-        let alloc = kind.create(
-            gpumem_bench::runners::heap_for(opts.num, 256),
-            opts.device.num_sms,
+        let alloc = kind
+            .builder()
+            .heap(gpumem_bench::runners::heap_for(opts.num, 256))
+            .sms(opts.device.num_sms)
+            .build();
+        let r = gpu_workloads::churn::run(
+            alloc.as_ref(),
+            &bench.device,
+            opts.num,
+            256,
+            opts.cycles.max(8),
         );
-        let r = gpu_workloads::churn::run(alloc.as_ref(), &bench.device, opts.num, 256, opts.cycles.max(8));
         let first = r.cycles.first().map(|(a, _)| a.as_secs_f64() * 1e3).unwrap_or(0.0);
         let last = r.cycles.last().map(|(a, _)| a.as_secs_f64() * 1e3).unwrap_or(0.0);
         println!(
@@ -558,6 +566,81 @@ fn churn(opts: &Opts) {
         ]);
     }
     save(csv, opts, "churn.csv");
+}
+
+/// Contention report: per-manager counter activity of a `--num`-thread
+/// alloc/free run (default 10 000 threads, 16 B), with the metrics-off
+/// wall-clock alongside so the observability overhead is visible.
+fn contention(opts: &Opts) {
+    let bench = bench_of(opts);
+    let size = 16u64;
+    let mut csv = Csv::new([
+        "manager",
+        "threads",
+        "size",
+        "observed_ms",
+        "baseline_ms",
+        "overhead",
+        "malloc_calls",
+        "malloc_failures",
+        "free_calls",
+        "free_failures",
+        "cas_retries",
+        "probe_steps",
+        "queue_spins",
+        "list_hops",
+        "oom_fallbacks",
+        "warp_coalesced",
+    ]);
+    println!(
+        "{:<16}{:>9}{:>9}{:>9}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
+        "manager",
+        "obs_ms",
+        "base_ms",
+        "ovhd",
+        "cas_retry",
+        "probe_step",
+        "queue_spin",
+        "list_hop",
+        "oom_fall",
+        "coalesced"
+    );
+    for &kind in &opts.kinds {
+        let c = runners::contention_profile(&bench, kind, opts.num, size);
+        let s = &c.counters;
+        println!(
+            "{:<16}{:>9}{:>9}{:>8.2}x{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
+            c.manager,
+            ms(c.observed),
+            ms(c.baseline),
+            c.overhead_factor(),
+            s.cas_retries(),
+            s.probe_steps(),
+            s.queue_spins(),
+            s.list_hops(),
+            s.oom_fallbacks(),
+            s.warp_coalesced(),
+        );
+        csv.row([
+            c.manager.to_string(),
+            c.num.to_string(),
+            c.size.to_string(),
+            ms(c.observed),
+            ms(c.baseline),
+            format!("{:.3}", c.overhead_factor()),
+            s.malloc_calls().to_string(),
+            s.malloc_failures().to_string(),
+            s.free_calls().to_string(),
+            s.free_failures().to_string(),
+            s.cas_retries().to_string(),
+            s.probe_steps().to_string(),
+            s.queue_spins().to_string(),
+            s.list_hops().to_string(),
+            s.oom_fallbacks().to_string(),
+            s.warp_coalesced().to_string(),
+        ]);
+    }
+    save(csv, opts, &format!("contention_{}_{}.csv", opts.num, opts.device.name));
 }
 
 /// Validates a finished run's CSVs against the paper's qualitative shapes.

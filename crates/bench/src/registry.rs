@@ -2,9 +2,12 @@
 //!
 //! Mirrors the artifact's selection syntax: each approach is picked by the
 //! first letter of its name and chained with `+` (`-t o+s+h+c+r+x`,
-//! Appendix A.6). Every kind constructs through one call, so any test case
-//! can run against any manager.
+//! Appendix A.6) — see [`ManagerSelection`]. Every kind constructs through
+//! one [`ManagerBuilder`], so any test case can run against any manager,
+//! with or without the contention-observability layer attached.
 
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
 use alloc_atomic::AtomicAlloc;
@@ -15,7 +18,7 @@ use alloc_ouroboros::{OuroSC, OuroSP, OuroVAC, OuroVAP, OuroVLC, OuroVLP};
 use alloc_regeff::{RegEffC, RegEffCF, RegEffCFM, RegEffCM};
 use alloc_scatter::ScatterAlloc;
 use alloc_xmalloc::XMalloc;
-use gpumem_core::{DeviceAllocator, DeviceHeap};
+use gpumem_core::{DeviceAllocator, DeviceHeap, Metrics};
 
 /// Every manager variant the framework can instantiate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -42,15 +45,42 @@ use ManagerKind::*;
 
 /// All kinds, in the paper's Figure 8 plot order.
 pub const ALL_KINDS: [ManagerKind; 16] = [
-    OuroSP, OuroSC, OuroVAP, OuroVAC, OuroVLP, OuroVLC, ScatterAlloc, Halloc,
-    CudaAllocator, XMalloc, RegEffC, RegEffCF, RegEffCM, RegEffCFM, FDGMalloc, Atomic,
+    OuroSP,
+    OuroSC,
+    OuroVAP,
+    OuroVAC,
+    OuroVLP,
+    OuroVLC,
+    ScatterAlloc,
+    Halloc,
+    CudaAllocator,
+    XMalloc,
+    RegEffC,
+    RegEffCF,
+    RegEffCM,
+    RegEffCFM,
+    FDGMalloc,
+    Atomic,
 ];
 
 /// The default evaluation set: the paper's `-t o+s+h+c+r+x` plus the Atomic
 /// baseline (FDGMalloc is opt-in, as in the paper's final evaluation).
 pub const DEFAULT_KINDS: [ManagerKind; 15] = [
-    OuroSP, OuroSC, OuroVAP, OuroVAC, OuroVLP, OuroVLC, ScatterAlloc, Halloc,
-    CudaAllocator, XMalloc, RegEffC, RegEffCF, RegEffCM, RegEffCFM, Atomic,
+    OuroSP,
+    OuroSC,
+    OuroVAP,
+    OuroVAC,
+    OuroVLP,
+    OuroVLC,
+    ScatterAlloc,
+    Halloc,
+    CudaAllocator,
+    XMalloc,
+    RegEffC,
+    RegEffCF,
+    RegEffCM,
+    RegEffCFM,
+    Atomic,
 ];
 
 impl ManagerKind {
@@ -105,43 +135,196 @@ impl ManagerKind {
         matches!(self, FDGMalloc)
     }
 
+    /// The Appendix A.6 selector letter this kind answers to.
+    pub fn selector_letter(&self) -> char {
+        match self {
+            OuroSP | OuroSC | OuroVAP | OuroVAC | OuroVLP | OuroVLC => 'o',
+            ScatterAlloc => 's',
+            Halloc => 'h',
+            CudaAllocator => 'c',
+            RegEffC | RegEffCF | RegEffCM | RegEffCFM => 'r',
+            XMalloc => 'x',
+            FDGMalloc => 'f',
+            Atomic => 'a',
+        }
+    }
+
+    /// Starts a [`ManagerBuilder`] for this kind. This is the one
+    /// construction path; defaults are a fresh 64 MiB heap, 80 SMs, and
+    /// metrics disabled.
+    pub fn builder(self) -> ManagerBuilder {
+        ManagerBuilder {
+            kind: self,
+            heap: HeapSource::Fresh(DEFAULT_HEAP_BYTES),
+            sms: DEFAULT_SMS,
+            metrics: false,
+        }
+    }
+
     /// Instantiates the manager over a fresh heap of `heap_bytes`
     /// (`num_sms` feeds the SM-scattering variants).
+    #[deprecated(since = "0.2.0", note = "use `ManagerKind::builder().heap(..).sms(..).build()`")]
     pub fn create(&self, heap_bytes: u64, num_sms: u32) -> Box<dyn DeviceAllocator> {
-        let heap = Arc::new(DeviceHeap::new(heap_bytes));
-        self.create_on(heap, num_sms)
+        construct(*self, Arc::new(DeviceHeap::new(heap_bytes)), num_sms, Metrics::disabled())
     }
 
     /// Instantiates the manager over an existing heap.
-    pub fn create_on(
-        &self,
-        heap: Arc<DeviceHeap>,
-        num_sms: u32,
-    ) -> Box<dyn DeviceAllocator> {
-        match self {
-            Atomic => Box::new(AtomicAlloc::new(heap)),
-            CudaAllocator => Box::new(CudaAllocModel::new(heap)),
-            XMalloc => Box::new(XMalloc::new(heap)),
-            ScatterAlloc => Box::new(ScatterAlloc::new(heap)),
-            FDGMalloc => Box::new(FdgMalloc::new(heap)),
-            RegEffC => Box::new(RegEffC::new(heap, num_sms)),
-            RegEffCF => Box::new(RegEffCF::new(heap, num_sms)),
-            RegEffCM => Box::new(RegEffCM::new(heap, num_sms)),
-            RegEffCFM => Box::new(RegEffCFM::new(heap, num_sms)),
-            Halloc => Box::new(Halloc::new(heap)),
-            OuroSP => Box::new(OuroSP::new(heap)),
-            OuroSC => Box::new(OuroSC::new(heap)),
-            OuroVAP => Box::new(OuroVAP::new(heap)),
-            OuroVAC => Box::new(OuroVAC::new(heap)),
-            OuroVLP => Box::new(OuroVLP::new(heap)),
-            OuroVLC => Box::new(OuroVLC::new(heap)),
-        }
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ManagerKind::builder().heap_shared(..).sms(..).build()`"
+    )]
+    pub fn create_on(&self, heap: Arc<DeviceHeap>, num_sms: u32) -> Box<dyn DeviceAllocator> {
+        construct(*self, heap, num_sms, Metrics::disabled())
     }
 
     /// Parses the artifact's selector syntax: letters chained with `+`
     /// (`o` Ouroboros, `s` ScatterAlloc, `h` Halloc, `c` CUDA-Allocator,
     /// `r` Reg-Eff, `x` XMalloc, `f` FDGMalloc, `a` Atomic baseline).
     pub fn parse_selector(s: &str) -> Result<Vec<ManagerKind>, String> {
+        s.parse::<ManagerSelection>().map(|sel| sel.0)
+    }
+}
+
+impl fmt::Display for ManagerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Default heap size for [`ManagerBuilder`]-constructed managers.
+pub const DEFAULT_HEAP_BYTES: u64 = 64 << 20;
+
+/// Default SM count for [`ManagerBuilder`]-constructed managers (TITAN V).
+pub const DEFAULT_SMS: u32 = 80;
+
+/// Where a builder gets its heap from.
+enum HeapSource {
+    /// Allocate a fresh heap of this many bytes at `build()`.
+    Fresh(u64),
+    /// Reuse an existing heap (e.g. to isolate manager-init cost).
+    Shared(Arc<DeviceHeap>),
+}
+
+/// Builder-style construction for any manager kind:
+///
+/// ```
+/// use gpumem_bench::registry::ManagerKind;
+/// use gpumem_core::DeviceAllocator;
+///
+/// let alloc = ManagerKind::ScatterAlloc
+///     .builder()
+///     .heap(128 << 20)
+///     .sms(80)
+///     .metrics(true)
+///     .build();
+/// assert!(alloc.metrics().is_enabled());
+/// ```
+///
+/// `metrics(true)` attaches a sharded [`Metrics`] handle (one shard per SM)
+/// to the manager — and, for managers that relay oversized requests to an
+/// embedded CUDA-allocator model, a relay handle to that model too — so hot
+/// loops record contention counters. With `metrics(false)` (the default) the
+/// handle is disabled and every recording call is a no-op on a `None` branch.
+pub struct ManagerBuilder {
+    kind: ManagerKind,
+    heap: HeapSource,
+    sms: u32,
+    metrics: bool,
+}
+
+impl ManagerBuilder {
+    /// Sizes the fresh heap the manager is built over (default 64 MiB).
+    pub fn heap(mut self, bytes: u64) -> Self {
+        self.heap = HeapSource::Fresh(bytes);
+        self
+    }
+
+    /// Builds the manager over an existing heap instead of a fresh one.
+    pub fn heap_shared(mut self, heap: Arc<DeviceHeap>) -> Self {
+        self.heap = HeapSource::Shared(heap);
+        self
+    }
+
+    /// Number of SMs the manager scatters over (default 80); also the shard
+    /// count of the metrics handle.
+    pub fn sms(mut self, num_sms: u32) -> Self {
+        self.sms = num_sms;
+        self
+    }
+
+    /// Enables or disables the contention-observability layer.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Constructs the manager.
+    pub fn build(self) -> Arc<dyn DeviceAllocator> {
+        let heap = match self.heap {
+            HeapSource::Fresh(bytes) => Arc::new(DeviceHeap::new(bytes)),
+            HeapSource::Shared(heap) => heap,
+        };
+        let metrics = if self.metrics { Metrics::enabled(self.sms) } else { Metrics::disabled() };
+        Arc::from(construct(self.kind, heap, self.sms, metrics))
+    }
+}
+
+/// The single construction match: every public path (builder and deprecated
+/// shims) funnels through here.
+fn construct(
+    kind: ManagerKind,
+    heap: Arc<DeviceHeap>,
+    num_sms: u32,
+    metrics: Metrics,
+) -> Box<dyn DeviceAllocator> {
+    let m = metrics;
+    match kind {
+        Atomic => Box::new(AtomicAlloc::new(heap).with_metrics(m)),
+        CudaAllocator => Box::new(CudaAllocModel::new(heap).with_metrics(m)),
+        XMalloc => Box::new(XMalloc::new(heap).with_metrics(m)),
+        ScatterAlloc => Box::new(ScatterAlloc::new(heap).with_metrics(m)),
+        FDGMalloc => Box::new(FdgMalloc::new(heap).with_metrics(m)),
+        RegEffC => Box::new(RegEffC::new(heap, num_sms).with_metrics(m)),
+        RegEffCF => Box::new(RegEffCF::new(heap, num_sms).with_metrics(m)),
+        RegEffCM => Box::new(RegEffCM::new(heap, num_sms).with_metrics(m)),
+        RegEffCFM => Box::new(RegEffCFM::new(heap, num_sms).with_metrics(m)),
+        Halloc => Box::new(Halloc::new(heap).with_metrics(m)),
+        OuroSP => Box::new(OuroSP::new(heap).with_metrics(m)),
+        OuroSC => Box::new(OuroSC::new(heap).with_metrics(m)),
+        OuroVAP => Box::new(OuroVAP::new(heap).with_metrics(m)),
+        OuroVAC => Box::new(OuroVAC::new(heap).with_metrics(m)),
+        OuroVLP => Box::new(OuroVLP::new(heap).with_metrics(m)),
+        OuroVLC => Box::new(OuroVLC::new(heap).with_metrics(m)),
+    }
+}
+
+/// An ordered set of manager kinds selected with the artifact's Appendix A.6
+/// syntax (`o+s+h+c+r+x`). Parsing expands family letters (`o` → all six
+/// Ouroboros variants, `r` → all four Reg-Eff variants); displaying
+/// compresses back to family letters, deduplicated in first-appearance
+/// order. Selections produced by [`FromStr`] round-trip through [`Display`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManagerSelection(pub Vec<ManagerKind>);
+
+impl ManagerSelection {
+    /// The paper's default evaluation set.
+    pub fn default_set() -> Self {
+        ManagerSelection(DEFAULT_KINDS.to_vec())
+    }
+
+    /// The selected kinds, in selection order.
+    pub fn kinds(&self) -> &[ManagerKind] {
+        &self.0
+    }
+}
+
+impl FromStr for ManagerSelection {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.trim().is_empty() {
+            return Err("empty approach selector".to_string());
+        }
         let mut kinds = Vec::new();
         for part in s.split('+') {
             match part.trim().to_ascii_lowercase().as_str() {
@@ -156,21 +339,37 @@ impl ManagerKind {
                 other => return Err(format!("unknown approach selector: {other:?}")),
             }
         }
-        Ok(kinds)
+        Ok(ManagerSelection(kinds))
+    }
+}
+
+impl fmt::Display for ManagerSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut letters = Vec::new();
+        for kind in &self.0 {
+            let c = kind.selector_letter();
+            if !letters.contains(&c) {
+                letters.push(c);
+            }
+        }
+        for (i, c) in letters.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
     }
 }
 
 /// Creates the default evaluation set over per-manager heaps.
-pub fn all_managers(heap_bytes: u64, num_sms: u32) -> Vec<(ManagerKind, Box<dyn DeviceAllocator>)> {
-    DEFAULT_KINDS
-        .iter()
-        .map(|k| (*k, k.create(heap_bytes, num_sms)))
-        .collect()
+pub fn all_managers(heap_bytes: u64, num_sms: u32) -> Vec<(ManagerKind, Arc<dyn DeviceAllocator>)> {
+    DEFAULT_KINDS.iter().map(|k| (*k, k.builder().heap(heap_bytes).sms(num_sms).build())).collect()
 }
 
 /// Creates one manager by kind (facade convenience).
-pub fn create_manager(kind: ManagerKind, heap_bytes: u64) -> Box<dyn DeviceAllocator> {
-    kind.create(heap_bytes, 80)
+pub fn create_manager(kind: ManagerKind, heap_bytes: u64) -> Arc<dyn DeviceAllocator> {
+    kind.builder().heap(heap_bytes).build()
 }
 
 #[cfg(test)]
@@ -183,11 +382,40 @@ mod tests {
     #[test]
     fn every_kind_constructs_and_allocates() {
         for kind in ALL_KINDS {
-            let a = kind.create(HEAP, 80);
+            let a = kind.builder().heap(HEAP).sms(80).build();
             assert_eq!(a.info().label(), kind.label().replace("Ouro-", "Ouroboros-"));
             let p = a.malloc(&ThreadCtx::host(), 64).unwrap();
             assert!(p.offset() + 64 <= HEAP, "{}", kind.label());
         }
+    }
+
+    #[test]
+    fn builder_defaults_leave_metrics_disabled() {
+        for kind in ALL_KINDS {
+            let a = kind.builder().heap(HEAP).build();
+            assert!(!a.metrics().is_enabled(), "{kind}");
+            let b = kind.builder().heap(HEAP).metrics(true).build();
+            assert!(b.metrics().is_enabled(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn builder_shared_heap_reuses_backing_store() {
+        let heap = Arc::new(DeviceHeap::new(HEAP));
+        let a = ScatterAlloc.builder().heap_shared(Arc::clone(&heap)).build();
+        // The builder must not allocate a second heap: three Arcs exist —
+        // ours, the allocator's, and ScatterAlloc's internal page directory
+        // does not clone the Arc again here, so strong_count >= 2.
+        assert!(Arc::strong_count(&heap) >= 2);
+        a.malloc(&ThreadCtx::host(), 64).unwrap();
+    }
+
+    #[test]
+    fn deprecated_create_still_constructs() {
+        #[allow(deprecated)]
+        let a = Atomic.create(HEAP, 80);
+        assert!(!a.metrics().is_enabled());
+        a.malloc(&ThreadCtx::host(), 64).unwrap();
     }
 
     #[test]
@@ -202,12 +430,39 @@ mod tests {
     }
 
     #[test]
+    fn selection_round_trips_through_display() {
+        for s in ["o+s+h+c+r+x", "f+a", "s", "o", "x+c"] {
+            let sel: ManagerSelection = s.parse().unwrap();
+            assert_eq!(sel.to_string(), s, "display of {s:?}");
+            let again: ManagerSelection = sel.to_string().parse().unwrap();
+            assert_eq!(again, sel, "round-trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn selection_rejects_bad_input() {
+        assert!("".parse::<ManagerSelection>().is_err());
+        assert!("  ".parse::<ManagerSelection>().is_err());
+        assert!("o+q".parse::<ManagerSelection>().is_err());
+        assert!("os".parse::<ManagerSelection>().is_err());
+        assert!("o++s".parse::<ManagerSelection>().is_err());
+        // Case-insensitive and whitespace-tolerant on valid letters.
+        let sel: ManagerSelection = " O + S ".parse().unwrap();
+        assert_eq!(sel.to_string(), "o+s");
+    }
+
+    #[test]
+    fn kind_display_matches_label() {
+        for kind in ALL_KINDS {
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+
+    #[test]
     fn labels_and_colors_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            ALL_KINDS.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<_> = ALL_KINDS.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), ALL_KINDS.len());
-        let colors: std::collections::HashSet<_> =
-            ALL_KINDS.iter().map(|k| k.color()).collect();
+        let colors: std::collections::HashSet<_> = ALL_KINDS.iter().map(|k| k.color()).collect();
         assert_eq!(colors.len(), ALL_KINDS.len());
     }
 

@@ -7,9 +7,9 @@
 use std::time::{Duration, Instant};
 
 use gpu_sim::{Device, PerThread};
-use gpumem_core::{AllocError, DeviceAllocator, DevicePtr, WarpCtx, WARP_SIZE};
-use gpumem_core::frag::{AddressRange, FragmentationStats};
 use gpu_workloads::{sizes, workgen, write_test};
+use gpumem_core::frag::{AddressRange, FragmentationStats};
+use gpumem_core::{AllocError, CounterSnapshot, DeviceAllocator, DevicePtr, WarpCtx, WARP_SIZE};
 
 use crate::registry::ManagerKind;
 
@@ -31,12 +31,7 @@ pub struct Bench {
 impl Bench {
     /// Context with CPU-scaled defaults on the given device.
     pub fn new(device: Device) -> Self {
-        Bench {
-            device,
-            iterations: 2,
-            seed: 0x5eed,
-            cell_timeout: Duration::from_secs(20),
-        }
+        Bench { device, iterations: 2, seed: 0x5eed, cell_timeout: Duration::from_secs(20) }
     }
 
     fn num_sms(&self) -> u32 {
@@ -76,7 +71,7 @@ pub fn alloc_perf(
     size: u64,
     warp: bool,
 ) -> AllocPerfCell {
-    let alloc = kind.create(heap_for(num, size), bench.num_sms());
+    let alloc = kind.builder().heap(heap_for(num, size)).sms(bench.num_sms()).build();
     let mut alloc_total = Duration::ZERO;
     let mut free_total = Duration::ZERO;
     let mut free_supported = true;
@@ -95,11 +90,9 @@ pub fn alloc_perf(
                 }
             })
         } else {
-            bench.device.launch(num, |ctx| {
-                match alloc.malloc(ctx, size) {
-                    Ok(p) => ptrs.set(ctx.thread_id as usize, p),
-                    Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
-                }
+            bench.device.launch(num, |ctx| match alloc.malloc(ctx, size) {
+                Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+                Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
             })
         };
         let ptrs = ptrs.into_vec();
@@ -151,7 +144,7 @@ pub fn alloc_perf(
 /// Runs one mixed-allocation cell (Fig. 9h): per-thread sizes uniform in
 /// `[4, upper]`.
 pub fn mixed_perf(bench: &Bench, kind: ManagerKind, num: u32, upper: u64) -> AllocPerfCell {
-    let alloc = kind.create(heap_for(num, upper), bench.num_sms());
+    let alloc = kind.builder().heap(heap_for(num, upper)).sms(bench.num_sms()).build();
     let mut alloc_total = Duration::ZERO;
     let mut free_total = Duration::ZERO;
     let mut free_supported = true;
@@ -222,7 +215,7 @@ pub fn fragmentation(
     size: u64,
     cycles: u32,
 ) -> FragCell {
-    let alloc = kind.create(heap_for(num, size), bench.num_sms());
+    let alloc = kind.builder().heap(heap_for(num, size)).sms(bench.num_sms()).build();
     let allocate = |seed_round: u64| -> Vec<DevicePtr> {
         let ptrs = PerThread::<DevicePtr>::new(num as usize);
         bench.device.launch(num, |ctx| {
@@ -264,12 +257,7 @@ pub fn fragmentation(
             max_range = max_range.max(range_of(&ptrs).range());
         }
     }
-    FragCell {
-        manager: kind.label(),
-        size,
-        initial,
-        max_range_after_cycles: max_range,
-    }
+    FragCell { manager: kind.label(), size, initial, max_range_after_cycles: max_range }
 }
 
 /// One row of the out-of-memory experiment (Fig. 11b).
@@ -286,13 +274,12 @@ pub struct OomCell {
 /// Allocates `size` until the manager reports OOM (or the timeout fires,
 /// like the artifact's one-hour kill) and reports heap utilization.
 pub fn oom(bench: &Bench, kind: ManagerKind, heap_bytes: u64, size: u64) -> OomCell {
-    let alloc = kind.create(heap_bytes, bench.num_sms());
+    let alloc = kind.builder().heap(heap_bytes).sms(bench.num_sms()).build();
     let start = Instant::now();
     let mut count = 0u64;
     let mut timed_out = false;
-    let ctx_pool: Vec<_> = (0..1024)
-        .map(|t| gpumem_core::ThreadCtx::from_linear(t, 256, bench.num_sms()))
-        .collect();
+    let ctx_pool: Vec<_> =
+        (0..1024).map(|t| gpumem_core::ThreadCtx::from_linear(t, 256, bench.num_sms())).collect();
     'outer: loop {
         for ctx in &ctx_pool {
             match alloc.malloc(ctx, size) {
@@ -332,14 +319,9 @@ pub fn work_generation(
     lo: u64,
     hi: u64,
 ) -> WorkGenCell {
-    let alloc = kind.create(heap_for(threads, hi), bench.num_sms());
+    let alloc = kind.builder().heap(heap_for(threads, hi)).sms(bench.num_sms()).build();
     let r = workgen::run_managed(alloc.as_ref(), &bench.device, threads, bench.seed, lo, hi);
-    WorkGenCell {
-        manager: kind.label(),
-        threads,
-        elapsed: r.elapsed,
-        failures: r.failures,
-    }
+    WorkGenCell { manager: kind.label(), threads, elapsed: r.elapsed, failures: r.failures }
 }
 
 /// The prefix-sum baseline row for the same workload.
@@ -370,7 +352,7 @@ pub fn write_performance(
         write_test::WritePattern::Uniform { bytes } => bytes,
         write_test::WritePattern::Mixed { hi, .. } => hi,
     };
-    let alloc = kind.create(heap_for(threads, max), bench.num_sms());
+    let alloc = kind.builder().heap(heap_for(threads, max)).sms(bench.num_sms()).build();
     let r = write_test::run(alloc.as_ref(), &bench.device, threads, bench.seed, pattern);
     WriteCell {
         manager: kind.label(),
@@ -391,17 +373,11 @@ pub struct GraphCell {
 
 /// Graph initialisation (Fig. 11f).
 pub fn graph_init(bench: &Bench, kind: ManagerKind, csr: &dyn_graph::CsrGraph) -> GraphCell {
-    let demand: u64 = (0..csr.vertices())
-        .map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4))
-        .sum();
-    let alloc = kind.create(heap_for(1, demand.max(1 << 20)), bench.num_sms());
+    let demand: u64 =
+        (0..csr.vertices()).map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4)).sum();
+    let alloc = kind.builder().heap(heap_for(1, demand.max(1 << 20))).sms(bench.num_sms()).build();
     let (g, elapsed) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
-    GraphCell {
-        manager: kind.label(),
-        graph: csr.name.clone(),
-        elapsed,
-        failures: g.failures(),
-    }
+    GraphCell { manager: kind.label(), graph: csr.name.clone(), elapsed, failures: g.failures() }
 }
 
 /// Graph updates (Fig. 11g): insert `n_edges`, focused or uniform.
@@ -412,12 +388,11 @@ pub fn graph_update(
     n_edges: u32,
     focused: bool,
 ) -> GraphCell {
-    let demand: u64 = (0..csr.vertices())
-        .map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4))
-        .sum();
+    let demand: u64 =
+        (0..csr.vertices()).map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4)).sum();
     // Updates grow a few adjacencies dramatically; generous headroom.
     let heap = heap_for(1, (demand + n_edges as u64 * 64).max(1 << 20));
-    let alloc = kind.create(heap, bench.num_sms());
+    let alloc = kind.builder().heap(heap).sms(bench.num_sms()).build();
     let (g, _) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
     let edges = if focused {
         dyn_graph::focused_edges(csr.vertices(), n_edges, 20, bench.seed)
@@ -425,12 +400,7 @@ pub fn graph_update(
         dyn_graph::uniform_edges(csr.vertices(), n_edges, bench.seed)
     };
     let elapsed = g.insert_edges(&bench.device, &edges);
-    GraphCell {
-        manager: kind.label(),
-        graph: csr.name.clone(),
-        elapsed,
-        failures: g.failures(),
-    }
+    GraphCell { manager: kind.label(), graph: csr.name.clone(), elapsed, failures: g.failures() }
 }
 
 /// One row of the initialisation & register experiment (§4.1).
@@ -448,15 +418,99 @@ pub fn init_performance(bench: &Bench, kind: ManagerKind, heap_bytes: u64) -> In
     // initialisation, as the artifact does.
     let heap = std::sync::Arc::new(gpumem_core::DeviceHeap::new(heap_bytes));
     let start = Instant::now();
-    let alloc = kind.create_on(heap, bench.num_sms());
+    let alloc = kind.builder().heap_shared(heap).sms(bench.num_sms()).build();
     let init = start.elapsed();
     let regs = alloc.register_footprint();
-    InitCell {
-        manager: kind.label(),
-        init,
-        malloc_regs: regs.malloc,
-        free_regs: regs.free,
+    InitCell { manager: kind.label(), init, malloc_regs: regs.malloc, free_regs: regs.free }
+}
+
+/// One row of the contention report (`repro --report contention`): the
+/// counter activity of a `num`-thread alloc/free run, plus the wall-clock of
+/// the same run with metrics disabled so the observability overhead is
+/// visible next to the counters it buys.
+#[derive(Clone, Debug)]
+pub struct ContentionCell {
+    pub manager: &'static str,
+    pub num: u32,
+    pub size: u64,
+    /// Alloc + free wall-clock with metrics enabled.
+    pub observed: Duration,
+    /// Alloc + free wall-clock of an identical run with metrics disabled.
+    pub baseline: Duration,
+    pub failures: u64,
+    /// Aggregated counters of the observed run.
+    pub counters: CounterSnapshot,
+}
+
+impl ContentionCell {
+    /// Observed-over-baseline slowdown (1.0 = free observability).
+    pub fn overhead_factor(&self) -> f64 {
+        let base = self.baseline.as_secs_f64();
+        if base == 0.0 {
+            1.0
+        } else {
+            self.observed.as_secs_f64() / base
+        }
     }
+}
+
+/// Profiles one manager's contention counters over a thread-based alloc/free
+/// run (warp-collective free for warp-level-only managers), then repeats the
+/// run with metrics disabled to price the observability layer.
+pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64) -> ContentionCell {
+    let run = |metrics_on: bool| -> (Duration, u64, CounterSnapshot) {
+        let alloc = kind
+            .builder()
+            .heap(heap_for(num, size))
+            .sms(bench.num_sms())
+            .metrics(metrics_on)
+            .build();
+        let m = alloc.metrics();
+        let ptrs = PerThread::<DevicePtr>::new(num as usize);
+        let rep = bench.device.launch_observed(&m, num, |ctx| match alloc.malloc(ctx, size) {
+            Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+            Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+        });
+        let ptrs = ptrs.into_vec();
+        let failures = ptrs.iter().filter(|p| p.is_null()).count() as u64;
+        let mut elapsed = rep.elapsed;
+        let mut counters = rep.counters;
+        if kind.warp_level_only() {
+            let free = bench.device.launch_warps_observed(&m, num.div_ceil(WARP_SIZE), |w| {
+                let _ = alloc.free_warp_all(w);
+            });
+            elapsed += free.elapsed;
+            counters = counters.merge(&free.counters);
+        } else if alloc.info().supports_free {
+            let free = bench.device.launch_observed(&m, num, |ctx| {
+                let p = ptrs[ctx.thread_id as usize];
+                if !p.is_null() {
+                    let _ = alloc.free(ctx, p);
+                }
+            });
+            elapsed += free.elapsed;
+            counters = counters.merge(&free.counters);
+        }
+        (elapsed, failures, counters)
+    };
+    // A discarded warmup absorbs cold-start effects (first touch of a fresh
+    // heap, worker spin-up); baseline and observed runs then alternate and
+    // the minimum of each side is reported, so the overhead column reflects
+    // the instrumentation, not scheduling noise.
+    let _ = run(false);
+    let mut observed = Duration::MAX;
+    let mut baseline = Duration::MAX;
+    let mut failures = 0u64;
+    let mut counters = CounterSnapshot::default();
+    for _ in 0..bench.iterations.max(2) {
+        let (b, _, _) = run(false);
+        baseline = baseline.min(b);
+        let (o, f, c) = run(true);
+        observed = observed.min(o);
+        failures = f;
+        counters = c;
+    }
+    ContentionCell { manager: kind.label(), num, size, observed, baseline, failures, counters }
 }
 
 /// Sanity helper shared by tests and the quickstart example: allocate,
@@ -609,7 +663,7 @@ mod tests {
     #[test]
     fn smoke_every_default_kind() {
         for kind in crate::registry::DEFAULT_KINDS {
-            let a = kind.create(64 << 20, 80);
+            let a = kind.builder().heap(64 << 20).sms(80).build();
             smoke_test(a.as_ref()).unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
         }
     }
@@ -627,6 +681,11 @@ mod mp_probe {
         b.iterations = 1;
         let t = std::time::Instant::now();
         let cell = alloc_perf(&b, crate::registry::ManagerKind::ScatterAlloc, 10_000, 8192, false);
-        eprintln!("harness cell: alloc={:?} wall={:?} failures={}", cell.alloc, t.elapsed(), cell.failures);
+        eprintln!(
+            "harness cell: alloc={:?} wall={:?} failures={}",
+            cell.alloc,
+            t.elapsed(),
+            cell.failures
+        );
     }
 }

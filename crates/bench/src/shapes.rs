@@ -37,13 +37,7 @@ pub fn read_csv(path: &Path) -> Option<Vec<HashMap<String, String>>> {
         if cells.len() != header.len() {
             continue; // quoted cells are not used by our own files' numerics
         }
-        rows.push(
-            header
-                .iter()
-                .zip(&cells)
-                .map(|(h, c)| (h.to_string(), c.to_string()))
-                .collect(),
-        );
+        rows.push(header.iter().zip(&cells).map(|(h, c)| (h.to_string(), c.to_string())).collect());
     }
     Some(rows)
 }
@@ -154,7 +148,7 @@ pub fn check_all(dir: &Path) -> Vec<ShapeResult> {
         // §4.3.1: Ouroboros best utilization, Halloc second, CUDA/XMalloc
         // report (nearly) the maximum possible range.
         if let (Some(ouro), Some(halloc), Some(cuda)) =
-            (g("Ouro-VA-C", 256, ), g("Halloc", 256), g("CUDA-Allocator", 4096))
+            (g("Ouro-VA-C", 256), g("Halloc", 256), g("CUDA-Allocator", 4096))
         {
             out.push(ShapeResult {
                 id: "fig11a.frag-ordering",
@@ -189,9 +183,7 @@ pub fn check_all(dir: &Path) -> Vec<ShapeResult> {
             out.push(ShapeResult {
                 id: "fig11b.alignment-floor",
                 paper: "§4.3.2",
-                statement: format!(
-                    "utilization rises from 4 B ({at4:.2}) to 16 B ({at16:.2})"
-                ),
+                statement: format!("utilization rises from 4 B ({at4:.2}) to 16 B ({at16:.2})"),
                 pass: at16 > at4 * 2.0,
             });
         }
@@ -247,10 +239,9 @@ pub fn check_all(dir: &Path) -> Vec<ShapeResult> {
                 })
                 .and_then(|r| f(r, "init_ms"))
         };
-        if let (Some(cuda), Some(scatter)) = (
-            g("CUDA-Allocator", "rgg_n_2_20_s0"),
-            g("ScatterAlloc", "rgg_n_2_20_s0"),
-        ) {
+        if let (Some(cuda), Some(scatter)) =
+            (g("CUDA-Allocator", "rgg_n_2_20_s0"), g("ScatterAlloc", "rgg_n_2_20_s0"))
+        {
             out.push(ShapeResult {
                 id: "fig11f.cuda-worst-init",
                 paper: "§4.4.3 / Fig 11f",
@@ -358,8 +349,7 @@ mod tests {
         let results = check_all(&d);
         let split = results.iter().find(|r| r.id == "fig9.cuda-2048-split").unwrap();
         assert!(split.pass, "{}", split.statement);
-        let cliff =
-            results.iter().find(|r| r.id == "fig9.scatter-cliff-ouro-flat").unwrap();
+        let cliff = results.iter().find(|r| r.id == "fig9.scatter-cliff-ouro-flat").unwrap();
         assert!(cliff.pass, "{}", cliff.statement);
         let x = results.iter().find(|r| r.id == "fig9.xmalloc-large-collapse").unwrap();
         assert!(x.pass);

@@ -53,10 +53,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            AllocError::OutOfMemory(64).to_string(),
-            "out of memory allocating 64 bytes"
-        );
+        assert_eq!(AllocError::OutOfMemory(64).to_string(), "out of memory allocating 64 bytes");
         assert!(AllocError::Unsupported("free").to_string().contains("free"));
         assert!(AllocError::Contention("page search").to_string().contains("page search"));
     }

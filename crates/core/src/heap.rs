@@ -59,8 +59,8 @@ impl DeviceHeap {
     pub fn new(len: u64) -> Self {
         assert!(len > 0, "heap size must be non-zero");
         assert_eq!(len % 128, 0, "heap size must be a multiple of 128 bytes");
-        let layout = Layout::from_size_align(len as usize, Self::BASE_ALIGN)
-            .expect("invalid heap layout");
+        let layout =
+            Layout::from_size_align(len as usize, Self::BASE_ALIGN).expect("invalid heap layout");
         // SAFETY: layout has non-zero size (checked above).
         let base = unsafe { alloc_zeroed(layout) };
         assert!(!base.is_null(), "device heap allocation of {len} bytes failed");

@@ -217,7 +217,13 @@ pub const SURVEY_TABLE: &[SurveyRow] = &[
 /// Live metadata a [`DeviceAllocator`](crate::DeviceAllocator) reports about
 /// itself — name, variant, and the capability flags the paper's Discussion
 /// (§5) and Conclusion (§6) reason about.
+///
+/// The struct is `#[non_exhaustive]`: allocator crates construct it through
+/// [`ManagerInfo::builder`], so new capability flags (such as
+/// [`instrumented`](ManagerInfo::instrumented)) can be added without a
+/// breaking change rippling through every implementation.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ManagerInfo {
     /// Family name as used in the paper (e.g. `"Ouroboros"`).
     pub family: &'static str,
@@ -239,9 +245,31 @@ pub struct ManagerInfo {
     pub max_native_size: u64,
     /// Whether oversize requests are relayed to the CUDA-Allocator model.
     pub relays_large_to_cuda: bool,
+    /// Whether the hot paths tick the contention counters of
+    /// [`crate::metrics`] when a recording handle is attached.
+    pub instrumented: bool,
 }
 
 impl ManagerInfo {
+    /// Starts building an info record. Defaults: no variant, free
+    /// supported, thread-level, not resizable, 16 B alignment, unbounded
+    /// native size, no CUDA relay, not instrumented.
+    pub fn builder(family: &'static str) -> ManagerInfoBuilder {
+        ManagerInfoBuilder {
+            info: ManagerInfo {
+                family,
+                variant: "",
+                supports_free: true,
+                warp_level_only: false,
+                resizable: false,
+                alignment: 16,
+                max_native_size: u64::MAX,
+                relays_large_to_cuda: false,
+                instrumented: false,
+            },
+        }
+    }
+
     /// `"Family"` or `"Family-Variant"` — the label used in result CSVs and
     /// plots.
     pub fn label(&self) -> String {
@@ -250,6 +278,68 @@ impl ManagerInfo {
         } else {
             format!("{}-{}", self.family, self.variant)
         }
+    }
+}
+
+/// Builder for [`ManagerInfo`] — the only way allocator crates construct
+/// one (the struct is `#[non_exhaustive]`).
+#[derive(Clone, Debug)]
+pub struct ManagerInfoBuilder {
+    info: ManagerInfo,
+}
+
+impl ManagerInfoBuilder {
+    /// Sets the variant label (e.g. `"VA-P"`).
+    pub fn variant(mut self, variant: &'static str) -> Self {
+        self.info.variant = variant;
+        self
+    }
+
+    /// Sets whether individual allocations can be freed.
+    pub fn supports_free(mut self, v: bool) -> Self {
+        self.info.supports_free = v;
+        self
+    }
+
+    /// Sets whether only whole-warp collective allocation is offered.
+    pub fn warp_level_only(mut self, v: bool) -> Self {
+        self.info.warp_level_only = v;
+        self
+    }
+
+    /// Sets whether the manageable memory can grow at runtime.
+    pub fn resizable(mut self, v: bool) -> Self {
+        self.info.resizable = v;
+        self
+    }
+
+    /// Sets the guaranteed pointer alignment in bytes.
+    pub fn alignment(mut self, bytes: u64) -> Self {
+        self.info.alignment = bytes;
+        self
+    }
+
+    /// Sets the largest natively served allocation size.
+    pub fn max_native_size(mut self, bytes: u64) -> Self {
+        self.info.max_native_size = bytes;
+        self
+    }
+
+    /// Sets whether oversize requests are relayed to the CUDA-Allocator.
+    pub fn relays_large_to_cuda(mut self, v: bool) -> Self {
+        self.info.relays_large_to_cuda = v;
+        self
+    }
+
+    /// Sets whether the hot paths tick contention counters.
+    pub fn instrumented(mut self, v: bool) -> Self {
+        self.info.instrumented = v;
+        self
+    }
+
+    /// Finishes the record.
+    pub fn build(self) -> ManagerInfo {
+        self.info
     }
 }
 
@@ -281,11 +371,8 @@ mod tests {
     fn evaluated_set_matches_paper() {
         // The paper evaluates: CUDA-Allocator, XMalloc, ScatterAlloc,
         // FDGMalloc (included but crashes), Reg-Eff, Halloc, Ouroboros.
-        let evaluated: Vec<_> = SURVEY_TABLE
-            .iter()
-            .filter(|r| r.evaluated_here)
-            .map(|r| r.short_name)
-            .collect();
+        let evaluated: Vec<_> =
+            SURVEY_TABLE.iter().filter(|r| r.evaluated_here).map(|r| r.short_name).collect();
         assert_eq!(evaluated.len(), 7);
         assert!(!evaluated.contains(&"KMA"));
         assert!(!evaluated.contains(&"DynaSOAr"));
@@ -301,19 +388,29 @@ mod tests {
 
     #[test]
     fn label_formatting() {
-        let mut info = ManagerInfo {
-            family: "Ouroboros",
-            variant: "VA-P",
-            supports_free: true,
-            warp_level_only: false,
-            resizable: true,
-            alignment: 16,
-            max_native_size: 8192,
-            relays_large_to_cuda: true,
-        };
+        let mut info = ManagerInfo::builder("Ouroboros")
+            .variant("VA-P")
+            .resizable(true)
+            .max_native_size(8192)
+            .relays_large_to_cuda(true)
+            .build();
         assert_eq!(info.label(), "Ouroboros-VA-P");
         info.variant = "";
         assert_eq!(info.label(), "Ouroboros");
+    }
+
+    #[test]
+    fn builder_defaults_are_conservative() {
+        let info = ManagerInfo::builder("X").build();
+        assert_eq!(info.family, "X");
+        assert_eq!(info.variant, "");
+        assert!(info.supports_free);
+        assert!(!info.warp_level_only);
+        assert!(!info.resizable);
+        assert_eq!(info.alignment, 16);
+        assert_eq!(info.max_native_size, u64::MAX);
+        assert!(!info.relays_large_to_cuda);
+        assert!(!info.instrumented);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`RegisterFootprint`] — the register-requirement proxy used for the
 //!   Section 4.1 comparison (see that type's docs for the methodology).
 //! * [`frag`] — fragmentation / address-range measurement (Figure 11a).
+//! * [`metrics`] — the contention-observability layer: sharded event
+//!   counters ([`Metrics`], [`CounterSnapshot`]) that attribute cost to the
+//!   algorithmic structure the paper blames (CAS retries, probe chains,
+//!   queue spins, list walks).
 //!
 //! Everything here is `std`-only; no external dependencies.
 
@@ -32,6 +36,7 @@ pub mod error;
 pub mod frag;
 pub mod heap;
 pub mod info;
+pub mod metrics;
 pub mod ptr;
 pub mod regs;
 pub mod traits;
@@ -41,7 +46,8 @@ pub use ctx::{ThreadCtx, WarpCtx, WARP_SIZE};
 pub use error::AllocError;
 pub use frag::{AddressRange, FragmentationStats};
 pub use heap::DeviceHeap;
-pub use info::{Availability, ManagerInfo, SurveyRow, SURVEY_TABLE};
+pub use info::{Availability, ManagerInfo, ManagerInfoBuilder, SurveyRow, SURVEY_TABLE};
+pub use metrics::{AllocCounters, Counter, CounterSnapshot, Metrics};
 pub use ptr::DevicePtr;
 pub use regs::RegisterFootprint;
 pub use traits::DeviceAllocator;

@@ -1,0 +1,489 @@
+//! Contention-observability counters (the survey's "why is it slow" layer).
+//!
+//! The paper explains the performance differences between managers through
+//! their algorithmic structure — hash-probe chains in ScatterAlloc (§2.3),
+//! FIFO spins in XMalloc (§2.2), queue dequeue retries in Ouroboros (§2.8),
+//! free-list walks in Reg-Eff (§2.5) — but end-to-end wall-clock alone
+//! cannot confirm those attributions. This module provides the event
+//! counters that make them checkable:
+//!
+//! * [`Counter`] — the taxonomy: per-call accounting (`MallocCalls`,
+//!   `FreeCalls`, failures) plus the contention counters `CasRetries`,
+//!   `ProbeSteps`, `QueueSpins`, `ListHops`, `OomFallbacks`,
+//!   `WarpCoalesced`.
+//! * [`AllocCounters`] — a sharded, cache-line-padded block of relaxed
+//!   atomics. Shards are indexed by the calling thread's SM id, so
+//!   simulated SMs do not false-share counter cache lines; reads aggregate
+//!   across shards.
+//! * [`Metrics`] — the cheap, cloneable handle allocators embed. A disabled
+//!   handle is a `None` and every record call is a single predictable
+//!   branch, so benchmark timings stay honest when observability is off.
+//! * [`CounterSnapshot`] — an aggregated point-in-time reading;
+//!   [`CounterSnapshot::delta_since`] turns two readings into a per-kernel
+//!   attribution (the `gpu-sim` executor snapshots around every launch).
+//!
+//! Per-operation retry counts additionally feed a power-of-two histogram
+//! ([`CounterSnapshot::retry_hist`]): bucket 0 counts operations that
+//! succeeded without any retry, bucket *k* ≥ 1 counts operations whose
+//! retry count fell in `[2^(k-1), 2^k)`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Named event counters. The discriminant doubles as the slot index inside
+/// one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// `malloc` / `malloc_warp` lane requests issued.
+    MallocCalls = 0,
+    /// Allocation requests that returned an error.
+    MallocFailures = 1,
+    /// `free` / `free_warp` lane releases issued.
+    FreeCalls = 2,
+    /// Releases that returned an error.
+    FreeFailures = 3,
+    /// Failed `compare_exchange` attempts in hot loops (bit claims, count
+    /// reservations, ring-buffer slots).
+    CasRetries = 4,
+    /// Steps taken by hash-probe or scan searches (ScatterAlloc page
+    /// probing, Halloc bitmap hashing, CUDA-model validation walks).
+    ProbeSteps = 5,
+    /// Queue retry iterations: Ouroboros dequeue re-tries on stale entries,
+    /// XMalloc FIFO slot spins.
+    QueueSpins = 6,
+    /// Linked-list / free-list hops (Reg-Eff circular walk, XMalloc
+    /// superblock heap first-fit, CUDA-model class scans).
+    ListHops = 7,
+    /// Requests relayed to an embedded fallback allocator (the
+    /// CUDA-Allocator sections inside Halloc / Ouroboros / FDGMalloc).
+    OomFallbacks = 8,
+    /// Lane requests served through a warp-aggregated fast path instead of
+    /// an individual atomic (XMalloc / Halloc / FDGMalloc coalescing).
+    WarpCoalesced = 9,
+}
+
+/// Number of [`Counter`] slots.
+pub const NUM_COUNTERS: usize = 10;
+
+/// All counters in display order.
+pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
+    Counter::MallocCalls,
+    Counter::MallocFailures,
+    Counter::FreeCalls,
+    Counter::FreeFailures,
+    Counter::CasRetries,
+    Counter::ProbeSteps,
+    Counter::QueueSpins,
+    Counter::ListHops,
+    Counter::OomFallbacks,
+    Counter::WarpCoalesced,
+];
+
+impl Counter {
+    /// Whether this counter belongs to per-call accounting (as opposed to
+    /// contention events). Relay handles ([`Metrics::relay`]) drop these so
+    /// an embedded fallback allocator does not double-count its parent's
+    /// calls.
+    pub const fn is_call_accounting(self) -> bool {
+        (self as usize) < 4
+    }
+
+    /// Stable snake_case name, used for CSV headers and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::MallocCalls => "malloc_calls",
+            Counter::MallocFailures => "malloc_failures",
+            Counter::FreeCalls => "free_calls",
+            Counter::FreeFailures => "free_failures",
+            Counter::CasRetries => "cas_retries",
+            Counter::ProbeSteps => "probe_steps",
+            Counter::QueueSpins => "queue_spins",
+            Counter::ListHops => "list_hops",
+            Counter::OomFallbacks => "oom_fallbacks",
+            Counter::WarpCoalesced => "warp_coalesced",
+        }
+    }
+}
+
+/// Buckets of the per-operation retry histogram.
+pub const RETRY_BUCKETS: usize = 16;
+
+/// One cache-line-padded counter shard. 128 B alignment covers the spatial
+/// prefetcher pair-line granularity on current x86 parts.
+#[repr(align(128))]
+struct Shard {
+    counters: [AtomicU64; NUM_COUNTERS],
+    retry_hist: [AtomicU64; RETRY_BUCKETS],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            retry_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The sharded counter block behind an enabled [`Metrics`] handle.
+///
+/// Writes go to the shard of the caller's SM (`sm & (shards − 1)`), reads
+/// aggregate over all shards. All accesses are `Relaxed`: counters are
+/// statistics, not synchronisation.
+pub struct AllocCounters {
+    shards: Box<[Shard]>,
+}
+
+impl AllocCounters {
+    /// One shard per simulated SM, rounded up to a power of two so the
+    /// hot-path shard selection is a mask, not a division.
+    pub fn new(num_sms: u32) -> Self {
+        let n = (num_sms.max(1) as usize).next_power_of_two();
+        AllocCounters { shards: (0..n).map(|_| Shard::new()).collect() }
+    }
+
+    #[inline]
+    fn shard(&self, sm: u32) -> &Shard {
+        &self.shards[sm as usize & (self.shards.len() - 1)]
+    }
+
+    #[inline]
+    fn add(&self, sm: u32, counter: Counter, n: u64) {
+        self.shard(sm).counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_retries(&self, sm: u32, retries: u64) {
+        let bucket = (63 - retries.leading_zeros() as usize).min(RETRY_BUCKETS - 1);
+        self.shard(sm).retry_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregates every shard into one reading.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut snap = CounterSnapshot::default();
+        for shard in self.shards.iter() {
+            for (i, c) in shard.counters.iter().enumerate() {
+                snap.counters[i] += c.load(Ordering::Relaxed);
+            }
+            for (i, b) in shard.retry_hist.iter().enumerate() {
+                snap.retry_hist[i] += b.load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+/// The handle allocators embed: either disabled (`None`, free to clone and
+/// nearly free to call) or an [`Arc`] of a shared [`AllocCounters`] block.
+///
+/// Cloning shares the underlying counters — a manager hands clones to its
+/// embedded fallback allocator and helper structures so every component
+/// reports into one block.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<AllocCounters>>,
+    /// When false, per-call accounting counters are dropped (relay mode).
+    record_calls: bool,
+}
+
+impl Metrics {
+    /// A handle that records nothing. This is the default state of every
+    /// allocator; all record calls reduce to one branch on a `None`.
+    pub fn disabled() -> Self {
+        Metrics { inner: None, record_calls: false }
+    }
+
+    /// A recording handle with one counter shard per simulated SM.
+    pub fn enabled(num_sms: u32) -> Self {
+        Metrics { inner: Some(Arc::new(AllocCounters::new(num_sms))), record_calls: true }
+    }
+
+    /// A clone for an *embedded* fallback allocator: shares the counter
+    /// block but drops [call-accounting](Counter::is_call_accounting)
+    /// events, so one outer request relayed inward is still counted once.
+    pub fn relay(&self) -> Self {
+        Metrics { inner: self.inner.clone(), record_calls: false }
+    }
+
+    /// Whether this handle records events.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to `counter` on the shard of `sm`. `n == 0` is a no-op
+    /// (hot loops flush per-op tallies unconditionally; a zero tally must
+    /// not cost an atomic).
+    #[inline]
+    pub fn add(&self, sm: u32, counter: Counter, n: u64) {
+        if let Some(c) = &self.inner {
+            if n == 0 || (counter.is_call_accounting() && !self.record_calls) {
+                return;
+            }
+            c.add(sm, counter, n);
+        }
+    }
+
+    /// Increments `counter` by one on the shard of `sm`.
+    #[inline]
+    pub fn tick(&self, sm: u32, counter: Counter) {
+        self.add(sm, counter, 1);
+    }
+
+    /// Records one operation's retry count into the histogram (and, when
+    /// non-zero, into [`Counter::CasRetries`] via the caller — this method
+    /// only feeds the histogram). Zero-retry operations are not sampled:
+    /// they are the overwhelmingly common case, and their count is
+    /// derivable as `malloc_calls − Σ buckets`.
+    #[inline]
+    pub fn record_retries(&self, sm: u32, retries: u64) {
+        if retries == 0 {
+            return;
+        }
+        if let Some(c) = &self.inner {
+            c.record_retries(sm, retries);
+        }
+    }
+
+    /// Aggregated reading; all-zero for a disabled handle.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        match &self.inner {
+            Some(c) => c.snapshot(),
+            None => CounterSnapshot::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(c) => write!(f, "Metrics(enabled, {} shards)", c.shards.len()),
+            None => f.write_str("Metrics(disabled)"),
+        }
+    }
+}
+
+/// A point-in-time aggregated reading of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    counters: [u64; NUM_COUNTERS],
+    /// Per-operation retry histogram over *retrying* operations: bucket `k`
+    /// = retry count in `[2^k, 2^(k+1))`, last bucket clamped. Zero-retry
+    /// operations are not sampled (derive them as `malloc_calls − Σ`).
+    pub retry_hist: [u64; RETRY_BUCKETS],
+}
+
+impl CounterSnapshot {
+    /// Reads one counter.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Allocation requests issued.
+    pub fn malloc_calls(&self) -> u64 {
+        self.get(Counter::MallocCalls)
+    }
+
+    /// Allocation requests that failed.
+    pub fn malloc_failures(&self) -> u64 {
+        self.get(Counter::MallocFailures)
+    }
+
+    /// Releases issued.
+    pub fn free_calls(&self) -> u64 {
+        self.get(Counter::FreeCalls)
+    }
+
+    /// Releases that failed.
+    pub fn free_failures(&self) -> u64 {
+        self.get(Counter::FreeFailures)
+    }
+
+    /// Failed CAS attempts.
+    pub fn cas_retries(&self) -> u64 {
+        self.get(Counter::CasRetries)
+    }
+
+    /// Probe/scan steps.
+    pub fn probe_steps(&self) -> u64 {
+        self.get(Counter::ProbeSteps)
+    }
+
+    /// Queue retry iterations.
+    pub fn queue_spins(&self) -> u64 {
+        self.get(Counter::QueueSpins)
+    }
+
+    /// Free-list hops.
+    pub fn list_hops(&self) -> u64 {
+        self.get(Counter::ListHops)
+    }
+
+    /// Relays to an embedded fallback allocator.
+    pub fn oom_fallbacks(&self) -> u64 {
+        self.get(Counter::OomFallbacks)
+    }
+
+    /// Lane requests served via warp aggregation.
+    pub fn warp_coalesced(&self) -> u64 {
+        self.get(Counter::WarpCoalesced)
+    }
+
+    /// Successful allocations still unreleased at snapshot time, derived
+    /// from the call accounting identity
+    /// `malloc_calls == malloc_failures + free_calls - free_failures + live`.
+    pub fn live(&self) -> u64 {
+        let freed_ok = self.free_calls() - self.free_failures();
+        self.malloc_calls().saturating_sub(self.malloc_failures()).saturating_sub(freed_ok)
+    }
+
+    /// Component-wise `self - earlier` (saturating): the events that
+    /// happened between two readings.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = CounterSnapshot::default();
+        for i in 0..NUM_COUNTERS {
+            out.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        for i in 0..RETRY_BUCKETS {
+            out.retry_hist[i] = self.retry_hist[i].saturating_sub(earlier.retry_hist[i]);
+        }
+        out
+    }
+
+    /// Component-wise `self + other` (saturating): combines the deltas of
+    /// two disjoint observation windows (e.g. an alloc phase and a free
+    /// phase) into one reading.
+    pub fn merge(&self, other: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = CounterSnapshot::default();
+        for i in 0..NUM_COUNTERS {
+            out.counters[i] = self.counters[i].saturating_add(other.counters[i]);
+        }
+        for i in 0..RETRY_BUCKETS {
+            out.retry_hist[i] = self.retry_hist[i].saturating_add(other.retry_hist[i]);
+        }
+        out
+    }
+
+    /// Whether every counter and histogram bucket is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0) && self.retry_hist.iter().all(|&b| b == 0)
+    }
+
+    /// True when no counter of `self` is below its value in `earlier` —
+    /// the monotonicity law two snapshots of one handle must satisfy.
+    pub fn dominates(&self, earlier: &CounterSnapshot) -> bool {
+        self.counters.iter().zip(earlier.counters.iter()).all(|(a, b)| a >= b)
+            && self.retry_hist.iter().zip(earlier.retry_hist.iter()).all(|(a, b)| a >= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let m = Metrics::disabled();
+        m.tick(0, Counter::CasRetries);
+        m.add(3, Counter::ProbeSteps, 100);
+        m.record_retries(1, 5);
+        assert!(!m.is_enabled());
+        assert!(m.snapshot().is_zero());
+    }
+
+    #[test]
+    fn enabled_handle_aggregates_across_shards() {
+        let m = Metrics::enabled(8);
+        for sm in 0..16 {
+            m.tick(sm, Counter::MallocCalls);
+        }
+        m.add(2, Counter::QueueSpins, 7);
+        let s = m.snapshot();
+        assert_eq!(s.malloc_calls(), 16);
+        assert_eq!(s.queue_spins(), 7);
+        assert_eq!(s.cas_retries(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_block() {
+        let m = Metrics::enabled(4);
+        let clone = m.clone();
+        clone.tick(0, Counter::OomFallbacks);
+        assert_eq!(m.snapshot().oom_fallbacks(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let m = Metrics::enabled(1);
+        m.record_retries(0, 0); // not sampled
+        m.record_retries(0, 1); // bucket 0
+        m.record_retries(0, 2); // bucket 1
+        m.record_retries(0, 3); // bucket 1
+        m.record_retries(0, 4); // bucket 2
+        m.record_retries(0, u64::MAX); // clamped to last bucket
+        let h = m.snapshot().retry_hist;
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[3], 0);
+        assert_eq!(h[RETRY_BUCKETS - 1], 1);
+        assert_eq!(h.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn delta_and_monotonicity() {
+        let m = Metrics::enabled(2);
+        m.add(0, Counter::ListHops, 10);
+        let a = m.snapshot();
+        m.add(1, Counter::ListHops, 5);
+        m.tick(0, Counter::MallocCalls);
+        let b = m.snapshot();
+        assert!(b.dominates(&a));
+        let d = b.delta_since(&a);
+        assert_eq!(d.list_hops(), 5);
+        assert_eq!(d.malloc_calls(), 1);
+        assert_eq!(d.queue_spins(), 0);
+    }
+
+    #[test]
+    fn live_accounting_identity() {
+        let m = Metrics::enabled(1);
+        m.add(0, Counter::MallocCalls, 10);
+        m.add(0, Counter::MallocFailures, 2);
+        m.add(0, Counter::FreeCalls, 3);
+        let s = m.snapshot();
+        assert_eq!(s.live(), 5);
+        assert_eq!(
+            s.malloc_calls(),
+            s.malloc_failures() + (s.free_calls() - s.free_failures()) + s.live()
+        );
+    }
+
+    #[test]
+    fn counter_names_are_snake_case() {
+        for c in ALL_COUNTERS {
+            assert!(c.name().chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'));
+        }
+        assert_eq!(Counter::CasRetries.name(), "cas_retries");
+    }
+
+    #[test]
+    fn relay_handles_share_contention_but_not_calls() {
+        let m = Metrics::enabled(2);
+        let inner = m.relay();
+        inner.tick(0, Counter::MallocCalls); // dropped
+        inner.tick(0, Counter::ProbeSteps); // shared
+        let s = m.snapshot();
+        assert_eq!(s.malloc_calls(), 0);
+        assert_eq!(s.probe_steps(), 1);
+        assert!(inner.is_enabled());
+    }
+
+    #[test]
+    fn sharding_wraps_sm_ids() {
+        let m = Metrics::enabled(2);
+        m.tick(1000, Counter::FreeCalls); // sm far beyond shard count
+        assert_eq!(m.snapshot().free_calls(), 1);
+    }
+}

@@ -50,9 +50,13 @@ impl DevicePtr {
 
     /// Pointer arithmetic: `self + bytes`.
     ///
+    /// Named after CUDA-style raw pointer arithmetic rather than
+    /// `std::ops::Add` — the operand is a byte count, not another pointer.
+    ///
     /// # Panics
     /// Panics on null or on overflow into the null sentinel.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, bytes: u64) -> DevicePtr {
         let off = self.offset().checked_add(bytes).expect("DevicePtr overflow");
         assert_ne!(off, u64::MAX, "DevicePtr arithmetic produced the null sentinel");

@@ -15,6 +15,7 @@ use crate::ctx::{ThreadCtx, WarpCtx};
 use crate::error::AllocError;
 use crate::heap::DeviceHeap;
 use crate::info::ManagerInfo;
+use crate::metrics::Metrics;
 use crate::ptr::DevicePtr;
 use crate::regs::RegisterFootprint;
 
@@ -85,6 +86,14 @@ pub trait DeviceAllocator: Send + Sync {
     fn grow(&self, _additional: u64) -> Result<(), AllocError> {
         Err(AllocError::Unsupported("grow"))
     }
+
+    /// The contention-observability handle this manager records into
+    /// (see [`crate::metrics`]). Cloning is cheap; all clones share one
+    /// counter block. The default — for managers without instrumentation —
+    /// is a disabled handle whose snapshot is all-zero.
+    fn metrics(&self) -> Metrics {
+        Metrics::disabled()
+    }
 }
 
 /// Blanket helpers layered over the raw trait.
@@ -132,16 +141,7 @@ mod tests {
 
     impl DeviceAllocator for Bump {
         fn info(&self) -> ManagerInfo {
-            ManagerInfo {
-                family: "Bump",
-                variant: "",
-                supports_free: false,
-                warp_level_only: false,
-                resizable: false,
-                alignment: 16,
-                max_native_size: u64::MAX,
-                relays_large_to_cuda: false,
-            }
+            ManagerInfo::builder("Bump").supports_free(false).build()
         }
         fn heap(&self) -> &DeviceHeap {
             &self.heap

@@ -74,16 +74,7 @@ mod tests {
 
     impl DeviceAllocator for Bump {
         fn info(&self) -> ManagerInfo {
-            ManagerInfo {
-                family: "Bump",
-                variant: "",
-                supports_free: true,
-                warp_level_only: false,
-                resizable: false,
-                alignment: 16,
-                max_native_size: u64::MAX,
-                relays_large_to_cuda: false,
-            }
+            ManagerInfo::builder("Bump").build()
         }
         fn heap(&self) -> &DeviceHeap {
             &self.heap

@@ -70,30 +70,21 @@ fn profile(name: &str) -> Option<Profile> {
     // match each graph's published average degree.
     match name {
         // Random geometric graph, 2^20 vertices, avg degree ≈ 13.
-        "rgg_n_2_20_s0" => Some(Profile {
-            vertices: 1 << 20,
-            kind: DegreeKind::Uniform { lo: 6, hi: 20 },
-        }),
+        "rgg_n_2_20_s0" => {
+            Some(Profile { vertices: 1 << 20, kind: DegreeKind::Uniform { lo: 6, hi: 20 } })
+        }
         // South Carolina census blocks, ~585 k vertices, avg degree ≈ 5.
-        "sc2010" => Some(Profile {
-            vertices: 585_088,
-            kind: DegreeKind::Uniform { lo: 2, hi: 8 },
-        }),
+        "sc2010" => Some(Profile { vertices: 585_088, kind: DegreeKind::Uniform { lo: 2, hi: 8 } }),
         // FE mesh, ~45 k vertices, avg degree ≈ 6.
-        "fe_body" => Some(Profile {
-            vertices: 45_087,
-            kind: DegreeKind::Uniform { lo: 4, hi: 8 },
-        }),
+        "fe_body" => Some(Profile { vertices: 45_087, kind: DegreeKind::Uniform { lo: 4, hi: 8 } }),
         // Adaptive FE mesh, ~6.8 M vertices, avg degree ≈ 4.
-        "adaptive" => Some(Profile {
-            vertices: 6_815_744,
-            kind: DegreeKind::Uniform { lo: 3, hi: 5 },
-        }),
+        "adaptive" => {
+            Some(Profile { vertices: 6_815_744, kind: DegreeKind::Uniform { lo: 3, hi: 5 } })
+        }
         // Co-authorship network, ~227 k vertices, skewed degrees, avg ≈ 7.
-        "coAuthorsCiteseer" => Some(Profile {
-            vertices: 227_320,
-            kind: DegreeKind::PowerLaw { avg: 7.2, max: 512 },
-        }),
+        "coAuthorsCiteseer" => {
+            Some(Profile { vertices: 227_320, kind: DegreeKind::PowerLaw { avg: 7.2, max: 512 } })
+        }
         _ => None,
     }
 }
@@ -106,7 +97,7 @@ fn profile(name: &str) -> Option<Profile> {
 pub fn generate(name: &str, scale_div: u32, seed: u64) -> CsrGraph {
     let p = profile(name).unwrap_or_else(|| panic!("unknown graph: {name}"));
     let n = (p.vertices / scale_div.max(1)).max(16);
-    let mut rng = DeviceRng::new(seed ^ 0xD1AC_5_u64);
+    let mut rng = DeviceRng::new(seed ^ 0xD_1AC5_u64);
     let mut offsets = Vec::with_capacity(n as usize + 1);
     let mut targets = Vec::new();
     offsets.push(0u64);

@@ -71,19 +71,15 @@ impl<'a> DynGraph<'a> {
             match alloc.malloc(ctx, bytes) {
                 Ok(p) => {
                     if !adj.is_empty() {
-                        let raw: Vec<u8> =
-                            adj.iter().flat_map(|t| t.to_le_bytes()).collect();
+                        let raw: Vec<u8> = adj.iter().flat_map(|t| t.to_le_bytes()).collect();
                         heap.write_bytes(p, &raw);
                     }
                     // Initialisation has exclusive access to each vertex.
                     let _guard = graph.lock_vertex(v);
                     // SAFETY: lock held.
                     unsafe {
-                        *graph.vertices[v as usize].state.get() = VertexState {
-                            ptr: p,
-                            count: adj.len() as u32,
-                            capacity_bytes: bytes,
-                        };
+                        *graph.vertices[v as usize].state.get() =
+                            VertexState { ptr: p, count: adj.len() as u32, capacity_bytes: bytes };
                     }
                 }
                 Err(_) => {
@@ -96,9 +92,7 @@ impl<'a> DynGraph<'a> {
 
     fn lock_vertex(&self, v: u32) -> VertexGuard<'_> {
         let lock = &self.vertices[v as usize].lock;
-        while lock
-            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
+        while lock.compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed).is_err()
         {
             std::hint::spin_loop();
         }
@@ -154,9 +148,7 @@ impl<'a> DynGraph<'a> {
         }
         let mut raw = vec![0u8; st.count as usize * 4];
         self.alloc.heap().read_bytes(st.ptr, &mut raw);
-        raw.chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
-            .collect()
+        raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4"))).collect()
     }
 
     /// Degree of `v`.
@@ -242,16 +234,7 @@ mod tests {
 
     impl DeviceAllocator for TestAlloc {
         fn info(&self) -> ManagerInfo {
-            ManagerInfo {
-                family: "TestAlloc",
-                variant: "",
-                supports_free: true,
-                warp_level_only: false,
-                resizable: false,
-                alignment: 16,
-                max_native_size: u64::MAX,
-                relays_large_to_cuda: false,
-            }
+            ManagerInfo::builder("TestAlloc").build()
         }
         fn heap(&self) -> &DeviceHeap {
             &self.heap
@@ -348,8 +331,7 @@ mod tests {
         let (g, _) = DynGraph::init(&a, &device(), &csr);
         let n = csr.vertices();
         // 20 000 edges focused on few sources — maximum lock contention.
-        let edges: Vec<(u32, u32)> =
-            (0..20_000u32).map(|i| (i % 16, i)).collect();
+        let edges: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i % 16, i)).collect();
         let d = g.insert_edges(&device(), &edges);
         assert!(d.as_nanos() > 0);
         assert_eq!(g.failures(), 0);

@@ -8,7 +8,7 @@ use gpumem_core::util::DeviceRng;
 
 /// Uniformly random edge insertions over all vertices.
 pub fn uniform_edges(n_vertices: u32, n_edges: u32, seed: u64) -> Vec<(u32, u32)> {
-    let mut rng = DeviceRng::new(seed ^ 0xED6E_5);
+    let mut rng = DeviceRng::new(seed ^ 0xE_D6E5);
     (0..n_edges)
         .map(|_| {
             (
@@ -21,20 +21,12 @@ pub fn uniform_edges(n_vertices: u32, n_edges: u32, seed: u64) -> Vec<(u32, u32)
 
 /// Edge insertions whose sources concentrate on the first
 /// `n_vertices / focus_div` vertices (the paper's focused scenario).
-pub fn focused_edges(
-    n_vertices: u32,
-    n_edges: u32,
-    focus_div: u32,
-    seed: u64,
-) -> Vec<(u32, u32)> {
+pub fn focused_edges(n_vertices: u32, n_edges: u32, focus_div: u32, seed: u64) -> Vec<(u32, u32)> {
     let span = (n_vertices / focus_div.max(1)).max(1);
-    let mut rng = DeviceRng::new(seed ^ 0xF0C0_5);
+    let mut rng = DeviceRng::new(seed ^ 0xF_0C05);
     (0..n_edges)
         .map(|_| {
-            (
-                (rng.next_u64() % span as u64) as u32,
-                (rng.next_u64() % n_vertices as u64) as u32,
-            )
+            ((rng.next_u64() % span as u64) as u32, (rng.next_u64() % n_vertices as u64) as u32)
         })
         .collect()
 }

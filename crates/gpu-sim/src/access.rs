@@ -66,8 +66,7 @@ pub fn warp_transactions(ptrs: &[DevicePtr], bytes_each: u64) -> u64 {
 /// "Baseline" series of Fig. 11e.
 pub fn coalesced_baseline(lanes: usize, bytes_each: u64) -> u64 {
     assert!(lanes <= WARP_SIZE as usize);
-    let ptrs: Vec<DevicePtr> =
-        (0..lanes).map(|i| DevicePtr::new(i as u64 * bytes_each)).collect();
+    let ptrs: Vec<DevicePtr> = (0..lanes).map(|i| DevicePtr::new(i as u64 * bytes_each)).collect();
     warp_transactions(&ptrs, bytes_each)
 }
 

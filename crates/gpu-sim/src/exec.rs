@@ -4,9 +4,21 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
-use gpumem_core::{ThreadCtx, WarpCtx, WARP_SIZE};
+use gpumem_core::{CounterSnapshot, Metrics, ThreadCtx, WarpCtx, WARP_SIZE};
 
 use crate::spec::DeviceSpec;
+
+/// Outcome of an observed launch: kernel wall-clock time plus the
+/// contention-counter activity attributable to that launch (the delta of
+/// the allocator's [`Metrics`] over the parallel section).
+#[derive(Clone, Debug, Default)]
+pub struct LaunchReport {
+    /// Wall-clock time of the parallel section.
+    pub elapsed: Duration,
+    /// Counter deltas accumulated during the launch. All-zero when the
+    /// allocator's metrics are disabled.
+    pub counters: CounterSnapshot,
+}
 
 /// How many warps a worker claims from the queue at a time. Large enough to
 /// keep the claim counter cold, small enough that tail imbalance stays low.
@@ -77,6 +89,35 @@ impl Device {
         })
     }
 
+    /// As [`Device::launch`], additionally snapshotting `metrics` around the
+    /// parallel section so the caller gets the per-kernel counter delta.
+    /// Snapshots are monotone, so concurrent launches sharing one handle
+    /// each observe a (superset-)delta of their own activity.
+    pub fn launch_observed<F>(&self, metrics: &Metrics, n_threads: u32, kernel: F) -> LaunchReport
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let before = metrics.snapshot();
+        let elapsed = self.launch(n_threads, kernel);
+        LaunchReport { elapsed, counters: metrics.snapshot().delta_since(&before) }
+    }
+
+    /// As [`Device::launch_warps`], with the counter snapshotting of
+    /// [`Device::launch_observed`].
+    pub fn launch_warps_observed<F>(
+        &self,
+        metrics: &Metrics,
+        n_warps: u32,
+        kernel: F,
+    ) -> LaunchReport
+    where
+        F: Fn(&WarpCtx) + Sync,
+    {
+        let before = metrics.snapshot();
+        let elapsed = self.launch_warps(n_warps, kernel);
+        LaunchReport { elapsed, counters: metrics.snapshot().delta_since(&before) }
+    }
+
     /// Launches `n_warps` warps running a *warp-collective* kernel, one call
     /// per warp. This drives the warp-based test cases (Fig. 9g) and any
     /// allocator's `malloc_warp` path.
@@ -145,8 +186,7 @@ unsafe impl<T: Send> Sync for PerThread<T> {}
 impl<T: Default> PerThread<T> {
     /// `n` default-initialised slots.
     pub fn new(n: usize) -> Self {
-        let slots: Box<[UnsafeCell<T>]> =
-            (0..n).map(|_| UnsafeCell::new(T::default())).collect();
+        let slots: Box<[UnsafeCell<T>]> = (0..n).map(|_| UnsafeCell::new(T::default())).collect();
         PerThread { slots }
     }
 }

@@ -29,5 +29,5 @@ pub mod access;
 pub mod exec;
 pub mod spec;
 
-pub use exec::{Device, PerThread};
+pub use exec::{Device, LaunchReport, PerThread};
 pub use spec::DeviceSpec;

@@ -21,23 +21,13 @@ pub struct DeviceSpec {
 impl DeviceSpec {
     /// NVIDIA TITAN V (Volta, 80 SMs, 12 GB) — the paper's primary device.
     pub const fn titan_v() -> Self {
-        DeviceSpec {
-            name: "TITANV",
-            num_sms: 80,
-            vram: 12 * (1 << 30),
-            default_block_size: 256,
-        }
+        DeviceSpec { name: "TITANV", num_sms: 80, vram: 12 * (1 << 30), default_block_size: 256 }
     }
 
     /// NVIDIA RTX 2080 Ti (Turing, 68 SMs, 11 GB) — the paper's secondary
     /// device (Figures 9e/9f and the GitHub result set).
     pub const fn rtx_2080ti() -> Self {
-        DeviceSpec {
-            name: "2080Ti",
-            num_sms: 68,
-            vram: 11 * (1 << 30),
-            default_block_size: 256,
-        }
+        DeviceSpec { name: "2080Ti", num_sms: 68, vram: 11 * (1 << 30), default_block_size: 256 }
     }
 
     /// Looks a preset up by (case-insensitive) name, accepting the spellings

@@ -57,11 +57,9 @@ pub fn run(
     let warp_only = alloc.info().warp_level_only;
     for _ in 0..cycles {
         let out = PerThread::<DevicePtr>::new(n_threads as usize);
-        let t_alloc = device.launch(n_threads, |ctx| {
-            match alloc.malloc(ctx, size) {
-                Ok(p) => out.set(ctx.thread_id as usize, p),
-                Err(_) => out.set(ctx.thread_id as usize, DevicePtr::NULL),
-            }
+        let t_alloc = device.launch(n_threads, |ctx| match alloc.malloc(ctx, size) {
+            Ok(p) => out.set(ctx.thread_id as usize, p),
+            Err(_) => out.set(ctx.thread_id as usize, DevicePtr::NULL),
         });
         let ptrs = out.into_vec();
         result.failures += ptrs.iter().filter(|p| p.is_null()).count() as u64;
@@ -117,16 +115,7 @@ mod tests {
 
     impl DeviceAllocator for SlowingAlloc {
         fn info(&self) -> ManagerInfo {
-            ManagerInfo {
-                family: "Slowing",
-                variant: "",
-                supports_free: true,
-                warp_level_only: false,
-                resizable: false,
-                alignment: 16,
-                max_native_size: u64::MAX,
-                relays_large_to_cuda: false,
-            }
+            ManagerInfo::builder("Slowing").build()
         }
         fn heap(&self) -> &DeviceHeap {
             &self.heap

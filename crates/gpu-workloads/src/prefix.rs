@@ -116,12 +116,8 @@ mod tests {
     fn elements_never_overlap() {
         let sizes: Vec<u64> = (0..1000u64).map(|i| i % 97 + 1).collect();
         let r = scan_allocate(&sizes, 0, 8);
-        let mut spans: Vec<(u64, u64)> = r
-            .offsets
-            .iter()
-            .zip(&sizes)
-            .map(|(p, &s)| (p.offset(), s))
-            .collect();
+        let mut spans: Vec<(u64, u64)> =
+            r.offsets.iter().zip(&sizes).map(|(p, &s)| (p.offset(), s)).collect();
         spans.sort_unstable();
         for w in spans.windows(2) {
             assert!(w[0].0 + w[0].1 <= w[1].0);

@@ -53,11 +53,7 @@ pub fn run_managed(
 
 /// Frees everything a managed run produced (the deallocation phase timed
 /// separately by the benchmarks).
-pub fn free_all(
-    alloc: &dyn DeviceAllocator,
-    device: &Device,
-    ptrs: &[DevicePtr],
-) -> Duration {
+pub fn free_all(alloc: &dyn DeviceAllocator, device: &Device, ptrs: &[DevicePtr]) -> Duration {
     device.launch(ptrs.len() as u32, |ctx| {
         let p = ptrs[ctx.thread_id as usize];
         if !p.is_null() {
@@ -79,12 +75,7 @@ pub fn run_baseline(
 ) -> WorkGenResult {
     let sizes: Vec<u64> = (0..n_threads).map(|t| thread_size(seed, t, lo, hi)).collect();
     let scan = scan_allocate(&sizes, 0, device.workers());
-    assert!(
-        scan.total <= heap.len(),
-        "baseline demand {} exceeds heap {}",
-        scan.total,
-        heap.len()
-    );
+    assert!(scan.total <= heap.len(), "baseline demand {} exceeds heap {}", scan.total, heap.len());
     let offsets = scan.offsets;
     let write = device.launch(n_threads, |ctx| {
         let size = thread_size(seed, ctx.thread_id, lo, hi);
@@ -122,16 +113,7 @@ mod tests {
 
         impl DeviceAllocator for AtomicAlloc {
             fn info(&self) -> ManagerInfo {
-                ManagerInfo {
-                    family: "Atomic",
-                    variant: "",
-                    supports_free: false,
-                    warp_level_only: false,
-                    resizable: false,
-                    alignment: 16,
-                    max_native_size: u64::MAX,
-                    relays_large_to_cuda: false,
-                }
+                ManagerInfo::builder("Atomic").supports_free(false).build()
             }
             fn heap(&self) -> &DeviceHeap {
                 &self.heap

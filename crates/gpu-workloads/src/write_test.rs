@@ -70,9 +70,7 @@ pub fn run(
             .iter()
             .enumerate()
             .filter(|(_, p)| !p.is_null())
-            .map(|(lane, _)| {
-                pattern.size_for(seed, (w * WARP_SIZE as usize + lane) as u32)
-            })
+            .map(|(lane, _)| pattern.size_for(seed, (w * WARP_SIZE as usize + lane) as u32))
             .max()
             .unwrap_or(0);
         stats.add_warp(warp_ptrs, max_size);
@@ -99,26 +97,13 @@ mod tests {
 
     impl PaddedBump {
         fn new(len: u64, pad: u64) -> Self {
-            PaddedBump {
-                heap: Arc::new(DeviceHeap::new(len)),
-                top: AtomicU64::new(0),
-                pad,
-            }
+            PaddedBump { heap: Arc::new(DeviceHeap::new(len)), top: AtomicU64::new(0), pad }
         }
     }
 
     impl DeviceAllocator for PaddedBump {
         fn info(&self) -> ManagerInfo {
-            ManagerInfo {
-                family: "PaddedBump",
-                variant: "",
-                supports_free: false,
-                warp_level_only: false,
-                resizable: false,
-                alignment: 16,
-                max_native_size: u64::MAX,
-                relays_large_to_cuda: false,
-            }
+            ManagerInfo::builder("PaddedBump").supports_free(false).build()
         }
         fn heap(&self) -> &DeviceHeap {
             &self.heap

@@ -24,7 +24,7 @@ fn main() {
     );
 
     for kind in [ManagerKind::ScatterAlloc, ManagerKind::OuroVLP, ManagerKind::Halloc] {
-        let alloc = kind.create(1 << 30, device.spec().num_sms);
+        let alloc = kind.builder().heap(1 << 30).sms(device.spec().num_sms).build();
         let (graph, t_init) = DynGraph::init(alloc.as_ref(), &device, &csr);
         assert_eq!(graph.failures(), 0, "{}: init failed", kind.label());
 

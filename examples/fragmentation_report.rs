@@ -33,11 +33,7 @@ fn main() {
             print!("{:>10.2}x", cell.initial.expansion_factor());
         }
         let o = oom(&bench, kind, 64 << 20, 1024);
-        println!(
-            "{:>13.1}%{}",
-            o.utilization * 100.0,
-            if o.timed_out { " (timeout)" } else { "" }
-        );
+        println!("{:>13.1}%{}", o.utilization * 100.0, if o.timed_out { " (timeout)" } else { "" });
     }
     println!(
         "\nReading: Ouroboros variants stay near 1x and >95% utilization; \

@@ -66,9 +66,7 @@ fn main() {
     let vl = OuroVLP::with_capacity(8 << 20);
     let small = vl.malloc(&ctx, 512).unwrap();
     let large = vl.malloc(&ctx, 64 * 1024).unwrap();
-    println!(
-        "   512 B page at {small}, 64 KiB relayed to the CUDA section at {large}"
-    );
+    println!("   512 B page at {small}, 64 KiB relayed to the CUDA section at {large}");
     vl.free(&ctx, small).unwrap();
     vl.free(&ctx, large).unwrap();
     println!("\nSee `alloc-ouroboros` crate docs for the full design notes.");

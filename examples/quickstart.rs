@@ -9,15 +9,17 @@
 //! cargo run --release --example quickstart -- o+s+h    # artifact selector
 //! ```
 
+use std::sync::Arc;
+
+use gpumemsurvey::bench::registry::ManagerSelection;
 use gpumemsurvey::prelude::*;
-use gpumemsurvey::bench::registry::{ManagerKind, DEFAULT_KINDS};
 
 fn main() {
     // Pick managers with the artifact's selector syntax (default: all).
     let kinds: Vec<ManagerKind> = std::env::args()
         .nth(1)
-        .map(|s| ManagerKind::parse_selector(&s).expect("bad selector"))
-        .unwrap_or_else(|| DEFAULT_KINDS.to_vec());
+        .map(|s| s.parse::<ManagerSelection>().expect("bad selector").0)
+        .unwrap_or_else(|| ManagerSelection::default_set().0);
 
     // A simulated TITAN V and a small kernel: every thread allocates 64 B,
     // writes to it and (if the manager supports it) frees it again.
@@ -27,18 +29,17 @@ fn main() {
     println!("{:<16}{:>12}{:>12}{:>10}", "manager", "alloc_ms", "free_ms", "ok");
     for kind in kinds {
         // The one declaration you swap:
-        let alloc: Box<dyn DeviceAllocator> = kind.create(256 << 20, device.spec().num_sms);
+        let alloc: Arc<dyn DeviceAllocator> =
+            kind.builder().heap(256 << 20).sms(device.spec().num_sms).build();
 
         let ptrs = gpumemsurvey::gpu_sim::PerThread::<DevicePtr>::new(N as usize);
         let heap = alloc.heap();
-        let t_alloc = device.launch(N, |ctx| {
-            match alloc.malloc(ctx, 64) {
-                Ok(p) => {
-                    heap.fill(p, 64, ctx.thread_id as u8 | 1);
-                    ptrs.set(ctx.thread_id as usize, p);
-                }
-                Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+        let t_alloc = device.launch(N, |ctx| match alloc.malloc(ctx, 64) {
+            Ok(p) => {
+                heap.fill(p, 64, ctx.thread_id as u8 | 1);
+                ptrs.set(ctx.thread_id as usize, p);
             }
+            Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
         });
         let ptrs = ptrs.into_vec();
         let ok = ptrs.iter().filter(|p| !p.is_null()).count();

@@ -12,8 +12,7 @@ use gpumemsurvey::bench::runners::{work_generation, work_generation_baseline, Be
 use gpumemsurvey::prelude::*;
 
 fn main() {
-    let args: Vec<u64> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<u64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let (lo, hi) = match args.as_slice() {
         [lo, hi, ..] => (*lo, *hi),
         _ => (4, 64),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate. Offline-safe: every cargo invocation passes
+# --offline so the gate works without network access (the workspace has no
+# crates.io dependencies; shims/ vendors the bench/test scaffolding).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --offline --release
+
+echo "==> cargo test -q"
+cargo test --offline -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

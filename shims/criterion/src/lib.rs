@@ -1,0 +1,269 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The benchmark container builds with no network access, so the real
+//! criterion cannot be vendored. This crate keeps the workspace's
+//! `cargo bench` targets compiling and producing *usable* (if statistically
+//! unsophisticated) numbers: every benchmark runs a short warm-up, then
+//! `sample_size` timed iterations bounded by `measurement_time`, and the
+//! mean/min wall-clock per iteration is printed in a criterion-like format.
+//!
+//! No outlier analysis, no HTML reports, no comparison against saved
+//! baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identifier for one benchmark within a group
+/// (`BenchmarkId::new("ScatterAlloc", 64)`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter display as `name/param`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// How `iter_batched` amortises setup cost. Accepted and ignored: the shim
+/// always re-runs setup per iteration, outside the timed section.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Timing driver handed to every benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warm_up: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations to attempt per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Timed measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happened per-benchmark).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &BenchmarkId, samples: &[Duration]) {
+        let line = if samples.is_empty() {
+            format!("{}/{}: no samples", self.name, id.label)
+        } else {
+            let total: Duration = samples.iter().sum();
+            let mean = total / samples.len() as u32;
+            let min = samples.iter().min().expect("non-empty");
+            format!(
+                "{}/{}: mean {:>12?}  min {:>12?}  ({} samples)",
+                self.name,
+                id.label,
+                mean,
+                min,
+                samples.len()
+            )
+        };
+        println!("{line}");
+        self.criterion.lines.push(line);
+    }
+}
+
+/// The top-level harness state, passed `&mut` to every group function.
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Accepted for compatibility with generated mains; no CLI parsing.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Convenience single-benchmark entry point.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function(name, f);
+        self
+    }
+}
+
+/// Identity function the optimiser must assume reads/writes its argument —
+/// same contract as `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert_eq!(c.lines.len(), 2);
+        assert!(c.lines[0].starts_with("g/noop:"));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_untimed() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("b");
+        g.sample_size(2).measurement_time(Duration::from_millis(20));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        assert_eq!(c.lines.len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length constraint accepted by [`vec`] — built from a `usize` range so the
+/// call sites' bare `1..300` literals infer `usize`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.hi - self.len.lo) as u64;
+        let n = self.len.lo + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `vec(strategy, 1..300)`: a vector with length drawn from the range.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, len: len.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_range() {
+        let mut rng = TestRng::deterministic("collection-tests");
+        let s = vec(0u64..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

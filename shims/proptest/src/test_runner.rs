@@ -1,0 +1,103 @@
+//! Test-runner types: configuration, the case-failure error, and the
+//! deterministic RNG behind every strategy.
+
+/// Configuration accepted by `#![proptest_config(..)]`. Only `cases` has an
+/// effect; `max_shrink_iters` is accepted for source compatibility (this
+/// shim never shrinks).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Ignored (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A failed property case — carries the formatted assertion message.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given reason.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// xorshift64* generator seeded from the test name: deterministic across
+/// runs and machines, distinct between tests.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (FNV-1a over the bytes).
+    pub fn deterministic(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `[lo, hi)` (modulo reduction; `hi > lo`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.next_u64() % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_label() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = TestRng::deterministic("y");
+        assert_ne!(a[0], other.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::deterministic("bound");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

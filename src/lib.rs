@@ -21,9 +21,12 @@ pub use alloc_xmalloc;
 
 /// Convenience prelude: the types almost every user touches.
 pub mod prelude {
-    pub use gpumem_core::{
-        AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, ThreadCtx, WarpCtx,
+    pub use gpu_sim::{Device, DeviceSpec, LaunchReport};
+    pub use gpumem_bench::registry::{
+        all_managers, create_manager, ManagerBuilder, ManagerKind, ManagerSelection,
     };
-    pub use gpu_sim::{Device, DeviceSpec};
-    pub use gpumem_bench::registry::{all_managers, create_manager, ManagerKind};
+    pub use gpumem_core::{
+        AllocError, Counter, CounterSnapshot, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo,
+        Metrics, ThreadCtx, WarpCtx,
+    };
 }

@@ -31,7 +31,7 @@ fn boundary_sizes_roundtrip() {
         })
         .collect();
     for kind in DEFAULT_KINDS {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let ctx = ThreadCtx::host();
         for &size in &sizes {
             let p = alloc
@@ -40,9 +40,7 @@ fn boundary_sizes_roundtrip() {
             alloc.heap().fill(p, size, 0x42);
             assert_eq!(alloc.heap().read_u8(p, size - 1), 0x42);
             if alloc.info().supports_free {
-                alloc
-                    .free(&ctx, p)
-                    .unwrap_or_else(|e| panic!("{} size {size}: {e}", kind.label()));
+                alloc.free(&ctx, p).unwrap_or_else(|e| panic!("{} size {size}: {e}", kind.label()));
             }
         }
     }
@@ -51,7 +49,7 @@ fn boundary_sizes_roundtrip() {
 #[test]
 fn one_byte_allocations_are_usable() {
     for kind in DEFAULT_KINDS {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let ctx = ThreadCtx::host();
         let a = alloc.malloc(&ctx, 1).unwrap();
         let b = alloc.malloc(&ctx, 1).unwrap();
@@ -66,7 +64,7 @@ fn one_byte_allocations_are_usable() {
 #[test]
 fn free_in_reverse_and_random_order() {
     for kind in kinds_with_free() {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let ctx = ThreadCtx::host();
         // Reverse order.
         let ptrs: Vec<DevicePtr> =
@@ -92,14 +90,14 @@ fn churn_does_not_leak_space() {
     // Allocate/free the same demand many times; if a manager leaks per
     // cycle, the heap eventually refuses a demand it previously served.
     for kind in kinds_with_free() {
-        let alloc = kind.create(16 << 20, 80);
+        let alloc = kind.builder().heap(16 << 20).sms(80).build();
         let ctx = ThreadCtx::host();
         for cycle in 0..50 {
             let ptrs: Vec<DevicePtr> = (0..256)
                 .map(|i| {
-                    alloc.malloc(&ctx, 64 + (i % 4) * 256).unwrap_or_else(|e| {
-                        panic!("{} leaked by cycle {cycle}: {e}", kind.label())
-                    })
+                    alloc
+                        .malloc(&ctx, 64 + (i % 4) * 256)
+                        .unwrap_or_else(|e| panic!("{} leaked by cycle {cycle}: {e}", kind.label()))
                 })
                 .collect();
             for p in ptrs {
@@ -114,7 +112,7 @@ fn interleaved_lifetimes() {
     // Long-lived allocations pinned while short-lived churn happens around
     // them; pinned payloads must survive.
     for kind in kinds_with_free() {
-        let alloc = kind.create(32 << 20, 80);
+        let alloc = kind.builder().heap(32 << 20).sms(80).build();
         let ctx = ThreadCtx::host();
         let pinned: Vec<(DevicePtr, u8)> = (0..32)
             .map(|i| {
@@ -146,7 +144,7 @@ fn interleaved_lifetimes() {
 #[test]
 fn null_and_foreign_pointers_rejected_by_free() {
     for kind in kinds_with_free() {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let ctx = ThreadCtx::host();
         assert_eq!(
             alloc.free(&ctx, DevicePtr::NULL),
@@ -169,7 +167,7 @@ fn null_and_foreign_pointers_rejected_by_free() {
 #[test]
 fn alignment_declared_equals_alignment_observed() {
     for kind in DEFAULT_KINDS {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let info = alloc.info();
         let ctx = ThreadCtx::host();
         for size in [1u64, 3, 17, 100, 1000, 5000] {
@@ -187,7 +185,7 @@ fn alignment_declared_equals_alignment_observed() {
 #[test]
 fn oversize_requests_fail_cleanly() {
     for kind in DEFAULT_KINDS {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let ctx = ThreadCtx::host();
         let r = alloc.malloc(&ctx, HEAP * 2);
         assert!(
@@ -213,7 +211,7 @@ fn per_allocation_space_overhead_is_bounded() {
     // fragmentation signature, §4.3.1), so its address span is the whole
     // heap by design.
     for kind in kinds_with_free().filter(|k| *k != ManagerKind::CudaAllocator) {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let ctx = ThreadCtx::host();
         let size = 1000u64;
         let n = 1000u64;
@@ -234,7 +232,7 @@ fn per_allocation_space_overhead_is_bounded() {
 #[test]
 fn warp_and_thread_allocations_coexist() {
     for kind in kinds_with_free() {
-        let alloc = kind.create(HEAP, 80);
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
         let ctx = ThreadCtx::host();
         let w = WarpCtx { warp: 3, block: 0, sm: 1 };
         let t1 = alloc.malloc(&ctx, 128).unwrap();

@@ -17,16 +17,14 @@ fn full_stack_mixed_kernel_every_manager() {
     let device = device();
     const N: u32 = 4096;
     for kind in DEFAULT_KINDS {
-        let alloc = kind.create(128 << 20, device.spec().num_sms);
+        let alloc = kind.builder().heap(128 << 20).sms(device.spec().num_sms).build();
         let heap = alloc.heap();
         let ptrs = PerThread::<DevicePtr>::new(N as usize);
         let sizes = PerThread::<u64>::new(N as usize);
 
         device.launch(N, |ctx| {
             let size = 16 + (ctx.thread_id as u64 % 64) * 16;
-            let p = alloc
-                .malloc(ctx, size)
-                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            let p = alloc.malloc(ctx, size).unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
             heap.fill(p, size, (ctx.thread_id % 251) as u8);
             ptrs.set(ctx.thread_id as usize, p);
             sizes.set(ctx.thread_id as usize, size);
@@ -75,9 +73,8 @@ fn full_stack_mixed_kernel_every_manager() {
 #[test]
 fn smoke_all_kinds_including_fdg() {
     for kind in gpumemsurvey::bench::registry::ALL_KINDS {
-        let alloc = kind.create(64 << 20, 80);
-        runners::smoke_test(alloc.as_ref())
-            .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+        let alloc = kind.builder().heap(64 << 20).sms(80).build();
+        runners::smoke_test(alloc.as_ref()).unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
     }
 }
 
@@ -87,23 +84,16 @@ fn smoke_all_kinds_including_fdg() {
 fn warp_collective_allocation_every_manager() {
     let device = device();
     for kind in DEFAULT_KINDS {
-        let alloc = kind.create(64 << 20, device.spec().num_sms);
+        let alloc = kind.builder().heap(64 << 20).sms(device.spec().num_sms).build();
         let ok = std::sync::atomic::AtomicU32::new(0);
         device.launch_warps(128, |w| {
             let sizes = [96u64; 32];
             let mut out = [DevicePtr::NULL; 32];
-            if alloc.malloc_warp(w, &sizes, &mut out).is_ok()
-                && out.iter().all(|p| !p.is_null())
-            {
+            if alloc.malloc_warp(w, &sizes, &mut out).is_ok() && out.iter().all(|p| !p.is_null()) {
                 ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         });
-        assert_eq!(
-            ok.load(std::sync::atomic::Ordering::Relaxed),
-            128,
-            "{}",
-            kind.label()
-        );
+        assert_eq!(ok.load(std::sync::atomic::Ordering::Relaxed), 128, "{}", kind.label());
     }
 }
 
@@ -127,7 +117,7 @@ fn graph_lifecycle_integration() {
     let device = device();
     let csr = gpumemsurvey::dyn_graph::generate("coAuthorsCiteseer", 128, 3);
     for kind in [ManagerKind::OuroVAC, ManagerKind::ScatterAlloc, ManagerKind::Halloc] {
-        let alloc = kind.create(256 << 20, device.spec().num_sms);
+        let alloc = kind.builder().heap(256 << 20).sms(device.spec().num_sms).build();
         let (g, _) = gpumemsurvey::dyn_graph::DynGraph::init(alloc.as_ref(), &device, &csr);
         assert_eq!(g.failures(), 0, "{}", kind.label());
         let edges = gpumemsurvey::dyn_graph::focused_edges(csr.vertices(), 10_000, 20, 5);

@@ -1,0 +1,187 @@
+//! Conformance battery for the contention-observability layer: one set of
+//! accounting laws, executed black-box against every evaluated manager.
+//!
+//! The laws:
+//!
+//! 1. **Call-accounting identity** — after any sequence of operations,
+//!    `malloc_calls == malloc_failures + (free_calls − free_failures) + live`.
+//! 2. **Zero when disabled** — a manager built without metrics reports an
+//!    all-zero snapshot no matter what runs on it.
+//! 3. **Monotone snapshots** — concurrent launches never make any counter
+//!    go backwards between two readings of the same handle.
+
+use std::sync::Arc;
+
+use gpumemsurvey::bench::registry::{ManagerKind, ALL_KINDS, DEFAULT_KINDS};
+use gpumemsurvey::prelude::*;
+
+const HEAP: u64 = 64 << 20;
+const N: u32 = 2_000;
+
+fn device() -> Device {
+    Device::with_workers(DeviceSpec::titan_v(), 4)
+}
+
+/// Allocates `n` blocks of `size` on the device, returning the survivors.
+fn alloc_phase(
+    device: &Device,
+    alloc: &Arc<dyn DeviceAllocator>,
+    n: u32,
+    size: u64,
+) -> Vec<DevicePtr> {
+    let ptrs = gpu_sim::PerThread::<DevicePtr>::new(n as usize);
+    let a = Arc::clone(alloc);
+    device.launch(n, |ctx| match a.malloc(ctx, size) {
+        Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+        Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+    });
+    ptrs.into_vec()
+}
+
+fn free_phase(device: &Device, alloc: &Arc<dyn DeviceAllocator>, ptrs: &[DevicePtr]) {
+    let a = Arc::clone(alloc);
+    if a.info().warp_level_only {
+        device.launch_warps((ptrs.len() as u32).div_ceil(32), |w| {
+            let _ = a.free_warp_all(w);
+        });
+    } else if a.info().supports_free {
+        device.launch(ptrs.len() as u32, |ctx| {
+            let p = ptrs[ctx.thread_id as usize];
+            if !p.is_null() {
+                let _ = a.free(ctx, p);
+            }
+        });
+    }
+}
+
+#[test]
+fn call_accounting_identity_after_alloc_only() {
+    for kind in ALL_KINDS {
+        let alloc = kind.builder().heap(HEAP).sms(80).metrics(true).build();
+        let d = device();
+        let ptrs = alloc_phase(&d, &alloc, N, 32);
+        let s = alloc.metrics().snapshot();
+        let failures = ptrs.iter().filter(|p| p.is_null()).count() as u64;
+        assert_eq!(s.malloc_calls(), N as u64, "{kind}: every request counted once");
+        assert_eq!(s.malloc_failures(), failures, "{kind}: failures counted exactly");
+        assert_eq!(
+            s.live(),
+            N as u64 - failures,
+            "{kind}: live = successes while nothing is freed"
+        );
+        assert_eq!(
+            s.malloc_calls(),
+            s.malloc_failures() + (s.free_calls() - s.free_failures()) + s.live(),
+            "{kind}: call-accounting identity"
+        );
+    }
+}
+
+#[test]
+fn call_accounting_identity_after_alloc_free_cycle() {
+    for kind in DEFAULT_KINDS {
+        let alloc = kind.builder().heap(HEAP).sms(80).metrics(true).build();
+        let d = device();
+        let ptrs = alloc_phase(&d, &alloc, N, 48);
+        free_phase(&d, &alloc, &ptrs);
+        let s = alloc.metrics().snapshot();
+        assert_eq!(s.malloc_calls(), N as u64, "{kind}");
+        assert_eq!(
+            s.malloc_calls(),
+            s.malloc_failures() + (s.free_calls() - s.free_failures()) + s.live(),
+            "{kind}: identity after free cycle"
+        );
+        if alloc.info().supports_free {
+            assert_eq!(s.live(), 0, "{kind}: everything allocated was freed");
+        }
+    }
+}
+
+#[test]
+fn disabled_metrics_record_nothing() {
+    for kind in ALL_KINDS {
+        let alloc = kind.builder().heap(HEAP).sms(80).build();
+        assert!(!alloc.metrics().is_enabled(), "{kind}: disabled by default");
+        let d = device();
+        let ptrs = alloc_phase(&d, &alloc, N, 64);
+        free_phase(&d, &alloc, &ptrs);
+        let s = alloc.metrics().snapshot();
+        assert!(s.is_zero(), "{kind}: disabled handle must stay all-zero");
+    }
+}
+
+#[test]
+fn snapshots_are_monotone_under_concurrent_launches() {
+    // Two devices launching into one manager while a third thread takes
+    // rapid-fire snapshots: every later reading must dominate every
+    // earlier one.
+    let alloc = ManagerKind::ScatterAlloc.builder().heap(HEAP).sms(80).metrics(true).build();
+    let m = alloc.metrics();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let watcher = scope.spawn(|| {
+            let mut last = m.snapshot();
+            let mut readings = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let now = m.snapshot();
+                assert!(now.dominates(&last), "counter went backwards");
+                last = now;
+                readings += 1;
+            }
+            readings
+        });
+        for _ in 0..2 {
+            let d = device();
+            let ptrs = alloc_phase(&d, &alloc, N, 32);
+            free_phase(&d, &alloc, &ptrs);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        assert!(watcher.join().unwrap() > 0);
+    });
+    // After the launches the identity still holds on the final reading.
+    let s = m.snapshot();
+    assert_eq!(
+        s.malloc_calls(),
+        s.malloc_failures() + (s.free_calls() - s.free_failures()) + s.live()
+    );
+}
+
+#[test]
+fn launch_observed_reports_per_launch_deltas() {
+    let alloc = ManagerKind::RegEffC.builder().heap(HEAP).sms(80).metrics(true).build();
+    let d = device();
+    let a = Arc::clone(&alloc);
+    let report = d.launch_observed(&alloc.metrics(), N, |ctx| {
+        let _ = a.malloc(ctx, 32);
+    });
+    assert_eq!(report.counters.malloc_calls(), N as u64);
+    // A second, smaller launch reports only its own delta.
+    let a = Arc::clone(&alloc);
+    let report2 = d.launch_observed(&alloc.metrics(), N / 2, |ctx| {
+        let _ = a.malloc(ctx, 32);
+    });
+    assert_eq!(report2.counters.malloc_calls(), (N / 2) as u64);
+}
+
+#[test]
+fn structural_counters_fire_for_their_families() {
+    // ScatterAlloc's hashed probing must report probe steps (and, with
+    // hash collisions on partially filled pages, lost claims).
+    let d = device();
+    let scatter = ManagerKind::ScatterAlloc.builder().heap(HEAP).sms(80).metrics(true).build();
+    let ptrs = alloc_phase(&d, &scatter, N, 16);
+    free_phase(&d, &scatter, &ptrs);
+    let s = scatter.metrics().snapshot();
+    assert!(s.probe_steps() > 0, "ScatterAlloc probes pages per request");
+    assert!(s.cas_retries() > 0, "hashed spots collide on filled pages");
+
+    // Every Ouroboros variant re-spins its index queue at least on the
+    // initial empty-queue expansion.
+    for kind in [ManagerKind::OuroSP, ManagerKind::OuroVAC] {
+        let ouro = kind.builder().heap(HEAP).sms(80).metrics(true).build();
+        let ptrs = alloc_phase(&d, &ouro, N, 16);
+        free_phase(&d, &ouro, &ptrs);
+        let s = ouro.metrics().snapshot();
+        assert!(s.queue_spins() > 0, "{kind}: queue activity must register");
+    }
+}

@@ -181,7 +181,7 @@ fn write_coalescing_ordering() {
 /// XMalloc's malloc the outlier, everyone's free modest.
 #[test]
 fn register_footprint_ordering() {
-    let fp = |k: ManagerKind| k.create(64 << 20, 80).register_footprint();
+    let fp = |k: ManagerKind| k.builder().heap(64 << 20).sms(80).build().register_footprint();
     let regeff = fp(ManagerKind::RegEffCF);
     let cuda = fp(ManagerKind::CudaAllocator);
     let scatter = fp(ManagerKind::ScatterAlloc);
@@ -196,8 +196,7 @@ fn register_footprint_ordering() {
     assert!((30..=50).contains(&halloc.malloc));
     assert!(ouro_c.malloc > ouro_p.malloc, "chunked carries more state");
     assert!(xmalloc.malloc > 2 * ouro_c.malloc, "XMalloc is the outlier");
-    for f in [regeff.free, cuda.free, scatter.free, halloc.free, ouro_p.free, xmalloc.free]
-    {
+    for f in [regeff.free, cuda.free, scatter.free, halloc.free, ouro_p.free, xmalloc.free] {
         assert!(f <= 30, "free footprints stay modest: {f}");
     }
 }

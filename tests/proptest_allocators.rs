@@ -30,7 +30,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn check_invariants(kind: ManagerKind, ops: &[Op]) -> Result<(), TestCaseError> {
-    let alloc = kind.create(32 << 20, 80);
+    let alloc = kind.builder().heap(32 << 20).sms(80).build();
     let info = alloc.info();
     let ctx = ThreadCtx::host();
     // (ptr, size) of live allocations, oldest first.
@@ -105,7 +105,6 @@ macro_rules! allocator_properties {
                 #![proptest_config(ProptestConfig {
                     cases: 24,
                     max_shrink_iters: 200,
-                    .. ProptestConfig::default()
                 })]
                 #[test]
                 fn $name(ops in proptest::collection::vec(op_strategy(), 1..120)) {
