@@ -262,8 +262,20 @@ impl DeviceAllocator for FdgMalloc {
         out: &mut [DevicePtr],
     ) -> Result<(), AllocError> {
         let leader = warp.leader();
-        for (&size, slot) in sizes.iter().zip(out.iter_mut()) {
-            *slot = self.malloc(&leader, size)?;
+        for lane in 0..sizes.len() {
+            match self.malloc(&leader, sizes[lane]) {
+                Ok(ptr) => out[lane] = ptr,
+                Err(e) => {
+                    // The lanes already granted stay in this warp's
+                    // SuperBlock list and are reclaimed by the next
+                    // `free_warp_all` (tidyUp) — but the caller must not
+                    // see a half-filled result.
+                    for slot in out.iter_mut() {
+                        *slot = DevicePtr::NULL;
+                    }
+                    return Err(e);
+                }
+            }
         }
         // All lanes were combined into back-to-back leader requests.
         self.metrics.add(warp.sm, Counter::WarpCoalesced, sizes.len() as u64);

@@ -501,10 +501,24 @@ impl DeviceAllocator for Halloc {
         out: &mut [DevicePtr],
     ) -> Result<(), AllocError> {
         self.metrics.add(warp.sm, Counter::MallocCalls, sizes.len() as u64);
+        // The inner body fills `out` as groups are served; start from a
+        // clean slate so a partial failure can tell granted lanes apart
+        // from caller residue.
+        for slot in out.iter_mut() {
+            *slot = DevicePtr::NULL;
+        }
         let mut served = 0u64;
         let r = self.malloc_warp_inner(warp, sizes, out, &mut served);
         if r.is_err() {
             self.metrics.add(warp.sm, Counter::MallocFailures, sizes.len() as u64 - served);
+            // All-or-nothing like the trait default: free the lanes that
+            // were granted before the failure so nothing leaks.
+            for (lane, slot) in out.iter_mut().enumerate() {
+                if !slot.is_null() {
+                    let _ = self.free_inner(&warp.lane(lane as u32), *slot);
+                    *slot = DevicePtr::NULL;
+                }
+            }
         }
         r
     }

@@ -96,6 +96,34 @@ mod tests {
     }
 
     #[test]
+    fn check_rejects_offsets_in_last_words_slack_bits() {
+        // A 1000-byte region has 125 granules, but the last word stores 32
+        // bits covering granules 96..128. Offsets for granules 125..127 are
+        // aligned AND inside the last word's bit range — `check` must still
+        // reject them (a walker chasing a corrupt `next` pointer can land
+        // exactly there), without poisoning the valid bits around them.
+        let b = ChunkStarts::new(1000);
+        b.set(992); // granule 124, the last valid one
+        assert!(b.check(992));
+        for off in [1000u64, 1008, 1016] {
+            assert!(!b.check(off), "granule {} is past the region end", off / GRANULE);
+        }
+        assert!(b.check(992), "valid neighbour bit untouched");
+        // First granule past the whole word range too.
+        assert!(!b.check(1024));
+    }
+
+    #[test]
+    fn exact_word_boundary_region_has_no_slack() {
+        // 1024 bytes = 128 granules = exactly 4 words: granule 127 valid,
+        // granule 128 (first of a non-existent word) rejected.
+        let b = ChunkStarts::new(1024);
+        b.set(127 * 8);
+        assert!(b.check(127 * 8));
+        assert!(!b.check(128 * 8));
+    }
+
+    #[test]
     fn count_tracks_population() {
         let b = ChunkStarts::new(4096);
         for off in [0u64, 8, 16, 4088] {

@@ -180,6 +180,106 @@ mod tests {
     }
 
     #[test]
+    fn push_races_pop_at_capacity_boundary() {
+        // The FIFO is held *at* capacity: producers keep hammering a full
+        // ring while a consumer drains it, so every push decides between
+        // "slot just vacated" and "still full" under contention. The
+        // capacity bound must never be exceeded and no element lost.
+        let q = Arc::new(FifoArray::new(4));
+        let cap = q.capacity() as u64;
+        for v in 1..=cap {
+            assert!(q.push(v));
+        }
+        assert!(!q.push(0), "starts exactly full");
+        const N: u64 = 5_000;
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut rejected = 0u64;
+                let mut sum = 0u64;
+                for i in 0..N {
+                    let v = cap + 1 + i;
+                    loop {
+                        if q.push(v) {
+                            sum += v;
+                            break;
+                        }
+                        rejected += 1;
+                        std::thread::yield_now();
+                    }
+                }
+                (sum, rejected)
+            })
+        };
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut got = 0u64;
+                while got < N {
+                    if let Some(v) = q.pop() {
+                        sum += v;
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                sum
+            })
+        };
+        let (pushed_sum, _rejected) = producer.join().unwrap();
+        let popped_sum = consumer.join().unwrap();
+        // Conservation: what the consumer saw is what the producer pushed
+        // plus the initial prefill still queued at the end.
+        let drained: u64 = std::iter::from_fn(|| q.pop()).sum();
+        let prefill: u64 = (1..=cap).sum();
+        assert_eq!(popped_sum + drained, pushed_sum + prefill);
+        assert!(q.is_empty());
+        assert!(q.len() <= q.capacity(), "len never exceeds capacity");
+    }
+
+    #[test]
+    fn pop_races_push_at_empty_boundary() {
+        // Mirror image: the ring is held at/near empty, so every pop decides
+        // between "element just arrived" and "still empty" under contention.
+        // Empty must report None (not block or tear a value).
+        let q = Arc::new(FifoArray::new(4));
+        const N: u64 = 5_000;
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut got = 0u64;
+                let mut empties = 0u64;
+                while got < N {
+                    match q.pop() {
+                        Some(v) => {
+                            assert!((1..=N).contains(&v), "torn value {v}");
+                            sum += v;
+                            got += 1;
+                        }
+                        None => {
+                            empties += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                (sum, empties)
+            })
+        };
+        let mut pushed = 0u64;
+        for v in 1..=N {
+            while !q.push(v) {
+                std::thread::yield_now();
+            }
+            pushed += v;
+        }
+        let (popped, _empties) = consumer.join().unwrap();
+        assert_eq!(popped, pushed);
+        assert_eq!(q.pop(), None, "drained ring reports empty");
+    }
+
+    #[test]
     fn concurrent_producers_consumers_conserve_elements() {
         let q = Arc::new(FifoArray::new(64));
         let produced = Arc::new(AtomicU64::new(0));

@@ -33,6 +33,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use gpumem_core::traits::rollback_partial_warp;
 use gpumem_core::util::{align_up, next_pow2};
 use gpumem_core::{
     AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
@@ -354,8 +355,19 @@ impl DeviceAllocator for XMalloc {
             }
             None => {
                 // Coalesced block does not fit: fall back to lane-by-lane.
-                for (lane, (&size, slot)) in sizes.iter().zip(out.iter_mut()).enumerate() {
-                    *slot = self.malloc(&warp.lane(lane as u32), size)?;
+                // All-or-nothing like the trait default: a failing lane rolls
+                // back the lanes already granted and nulls every out slot.
+                for lane in 0..sizes.len() {
+                    match self.malloc(&warp.lane(lane as u32), sizes[lane]) {
+                        Ok(ptr) => out[lane] = ptr,
+                        Err(e) => {
+                            rollback_partial_warp(self, warp, &mut out[..lane]);
+                            for slot in out.iter_mut() {
+                                *slot = DevicePtr::NULL;
+                            }
+                            return Err(e);
+                        }
+                    }
                 }
                 Ok(())
             }

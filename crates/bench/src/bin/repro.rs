@@ -119,7 +119,7 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|check|all> [options]\n\
+    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|check|all> [options]\n\
      (`repro --report contention` is an alias for `repro contention`)\n\
      options: -t SELECTOR --device D --num N --warp --dense --max-exp E --range LO-HI\n\
      --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB --out DIR"
@@ -156,6 +156,7 @@ fn main() {
         "graph-update" => graph_update(&opts),
         "churn" => churn(&opts),
         "contention" => contention(&opts),
+        "sanitize" => sanitize(&opts),
         "check" => check(&opts),
         "all" => run_all(opts),
         other => {
@@ -199,6 +200,8 @@ fn run_all(mut opts: Opts) {
     graph_update(&opts);
     println!("== Contention report ==");
     contention(&opts);
+    println!("== Sanitizer sweep ==");
+    sanitize(&opts);
     println!("done; results in {}", opts.out.display());
 }
 
@@ -641,6 +644,85 @@ fn contention(opts: &Opts) {
         ]);
     }
     save(csv, opts, &format!("contention_{}_{}.csv", opts.num, opts.device.name));
+}
+
+/// Sanitizer sweep: every selected manager runs the churn + mixed-size
+/// workloads under `Sanitized` (shadow interval map, occupancy bitmap,
+/// canary redzones, poison-on-free) and reports a per-manager violation
+/// table. A stable manager shows an all-zero row; non-zero cells are the
+/// paper's "not entirely stable" classification made concrete.
+fn sanitize(opts: &Opts) {
+    let bench = bench_of(opts);
+    let mut csv = Csv::new([
+        "manager",
+        "threads",
+        "cycles",
+        "alloc_failures",
+        "overlap",
+        "out_of_heap",
+        "misaligned",
+        "double_free",
+        "unknown_free",
+        "redzone_corrupt",
+        "total",
+        "live_after",
+        "clean",
+    ]);
+    println!(
+        "{:<16}{:>9}{:>8}{:>9}{:>9}{:>12}{:>8}{:>9}{:>9}{:>10}{:>7}",
+        "manager",
+        "failures",
+        "overlap",
+        "out_heap",
+        "misalign",
+        "double_free",
+        "unknown",
+        "redzone",
+        "total",
+        "live",
+        "clean"
+    );
+    let mut dirty = 0u32;
+    for &kind in &opts.kinds {
+        let c = runners::sanitize_run(&bench, kind, opts.num, opts.cycles.max(8));
+        let [overlap, out_of_heap, misaligned, double_free, unknown_free, redzone] = c.counts;
+        println!(
+            "{:<16}{:>9}{:>8}{:>9}{:>9}{:>12}{:>8}{:>9}{:>9}{:>10}{:>7}",
+            c.manager,
+            c.failures,
+            overlap,
+            out_of_heap,
+            misaligned,
+            double_free,
+            unknown_free,
+            redzone,
+            c.total_violations(),
+            c.live_after,
+            if c.is_clean() { "yes" } else { "NO" }
+        );
+        if !c.is_clean() {
+            dirty += 1;
+        }
+        csv.row([
+            c.manager.to_string(),
+            c.num.to_string(),
+            c.cycles.to_string(),
+            c.failures.to_string(),
+            overlap.to_string(),
+            out_of_heap.to_string(),
+            misaligned.to_string(),
+            double_free.to_string(),
+            unknown_free.to_string(),
+            redzone.to_string(),
+            c.total_violations().to_string(),
+            c.live_after.to_string(),
+            if c.is_clean() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    save(csv, opts, &format!("sanitize_{}_{}.csv", opts.num, opts.device.name));
+    if dirty > 0 {
+        println!("{dirty} manager(s) reported violations");
+    }
 }
 
 /// Validates a finished run's CSVs against the paper's qualitative shapes.

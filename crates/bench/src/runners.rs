@@ -7,8 +7,9 @@
 use std::time::{Duration, Instant};
 
 use gpu_sim::{Device, PerThread};
-use gpu_workloads::{sizes, workgen, write_test};
+use gpu_workloads::{churn, sizes, workgen, write_test};
 use gpumem_core::frag::{AddressRange, FragmentationStats};
+use gpumem_core::sanitize::{Sanitized, VIOLATION_KINDS};
 use gpumem_core::{AllocError, CounterSnapshot, DeviceAllocator, DevicePtr, WarpCtx, WARP_SIZE};
 
 use crate::registry::ManagerKind;
@@ -511,6 +512,89 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
         counters = c;
     }
     ContentionCell { manager: kind.label(), num, size, observed, baseline, failures, counters }
+}
+
+/// One row of the sanitizer sweep (`repro sanitize`): violation totals of a
+/// churn + mixed-size run executed under [`Sanitized`].
+#[derive(Clone, Debug)]
+pub struct SanitizeCell {
+    pub manager: &'static str,
+    pub num: u32,
+    pub cycles: u32,
+    /// Allocation failures across both phases (not violations — a manager
+    /// may legitimately refuse).
+    pub failures: u64,
+    /// Per-kind violation totals, indexed like
+    /// [`gpumem_core::sanitize::ALL_VIOLATION_KINDS`].
+    pub counts: [u64; VIOLATION_KINDS],
+    /// Violations counted beyond the recording cap.
+    pub dropped: u64,
+    /// Shadow-map allocations still live after the final free phase (> 0
+    /// for managers without free support, or when frees failed).
+    pub live_after: u64,
+}
+
+impl SanitizeCell {
+    /// Total violations across all kinds.
+    pub fn total_violations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the run was violation-free.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+}
+
+/// Runs the churn workload plus a mixed-size alloc/free phase on `kind`
+/// wrapped in [`Sanitized`] (default config: 32 B canary redzones,
+/// poison-on-free) and reports the violation totals.
+pub fn sanitize_run(bench: &Bench, kind: ManagerKind, num: u32, cycles: u32) -> SanitizeCell {
+    const MIXED_MAX: u64 = 1024;
+    let inner = kind.builder().heap(heap_for(num, MIXED_MAX)).sms(bench.num_sms()).build();
+    let san = Sanitized::new(inner);
+    let mut failures = 0u64;
+
+    // Phase 1: fixed-size churn (the paper's repeated alloc/free cycle).
+    let churn = churn::run(&san, &bench.device, num, 256, cycles);
+    failures += churn.failures;
+
+    // Phase 2: mixed sizes in [16, 1024] — exercises class boundaries and
+    // the redzone across every size class the manager serves.
+    let info = san.info();
+    let ptrs = PerThread::<DevicePtr>::new(num as usize);
+    bench.device.launch(num, |ctx| {
+        let size = sizes::thread_size(bench.seed, ctx.thread_id, 16, MIXED_MAX);
+        match san.malloc(ctx, size) {
+            Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+            Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+        }
+    });
+    let ptrs = ptrs.into_vec();
+    failures += ptrs.iter().filter(|p| p.is_null()).count() as u64;
+    if info.warp_level_only {
+        bench.device.launch_warps(num.div_ceil(WARP_SIZE), |w| {
+            let _ = san.free_warp_all(w);
+        });
+    } else if info.supports_free {
+        bench.device.launch(num, |ctx| {
+            let p = ptrs[ctx.thread_id as usize];
+            if !p.is_null() {
+                let _ = san.free(ctx, p);
+            }
+        });
+    }
+
+    let report = san.take_report();
+    SanitizeCell {
+        manager: kind.label(),
+        num,
+        cycles,
+        failures,
+        counts: report.counts,
+        dropped: report.dropped,
+        live_after: report.live,
+    }
 }
 
 /// Sanity helper shared by tests and the quickstart example: allocate,

@@ -33,8 +33,13 @@ impl AddressRange {
             return;
         }
         let off = ptr.offset();
+        // checked: a wrapped `off + size` in release would silently shrink
+        // the reported range instead of flagging the bogus allocation.
+        let end = off
+            .checked_add(size)
+            .unwrap_or_else(|| panic!("AddressRange::record overflow: offset {off} + size {size}"));
         self.lo = Some(self.lo.map_or(off, |l| l.min(off)));
-        self.hi = Some(self.hi.map_or(off + size, |h| h.max(off + size)));
+        self.hi = Some(self.hi.map_or(end, |h| h.max(end)));
         self.total_bytes += size;
         self.count += 1;
     }

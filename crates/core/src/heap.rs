@@ -164,7 +164,12 @@ impl DeviceHeap {
 
     /// Reads one byte (used by tests to verify fills landed).
     pub fn read_u8(&self, ptr: DevicePtr, at: u64) -> u8 {
-        let offset = ptr.offset() + at;
+        // checked: `offset + at` wrapping in release would land the read back
+        // inside the heap and sail past `check`.
+        let offset = ptr
+            .offset()
+            .checked_add(at)
+            .unwrap_or_else(|| panic!("heap read offset overflow: {} + {at}", ptr.offset()));
         self.check(offset, 1, 1);
         // SAFETY: in-bounds read of initialised (zeroed-or-written) memory.
         unsafe { self.base.add(offset as usize).read_volatile() }

@@ -28,6 +28,10 @@
 //!   counters ([`Metrics`], [`CounterSnapshot`]) that attribute cost to the
 //!   algorithmic structure the paper blames (CAS retries, probe chains,
 //!   queue spins, list walks).
+//! * [`sanitize`] — the shadow-heap allocation sanitizer: [`Sanitized`]
+//!   wraps any manager and detects overlap, out-of-heap and misaligned
+//!   returns, double-/unknown-frees and redzone corruption, collecting
+//!   structured [`Violation`]s instead of panicking mid-kernel.
 //!
 //! Everything here is `std`-only; no external dependencies.
 
@@ -39,6 +43,7 @@ pub mod info;
 pub mod metrics;
 pub mod ptr;
 pub mod regs;
+pub mod sanitize;
 pub mod traits;
 pub mod util;
 
@@ -50,4 +55,5 @@ pub use info::{Availability, ManagerInfo, ManagerInfoBuilder, SurveyRow, SURVEY_
 pub use metrics::{AllocCounters, Counter, CounterSnapshot, Metrics};
 pub use ptr::DevicePtr;
 pub use regs::RegisterFootprint;
+pub use sanitize::{Sanitized, SanitizerConfig, SanitizerReport, Violation, ViolationKind};
 pub use traits::DeviceAllocator;

@@ -44,6 +44,11 @@ pub trait DeviceAllocator: Send + Sync {
     /// `sizes` and `out` have equal length ≤ 32 (a partially populated tail
     /// warp passes fewer). The default implementation simply loops lanes —
     /// managers with warp aggregation override this to coalesce.
+    ///
+    /// The call is all-or-nothing: if any lane fails, lanes that were
+    /// already granted are rolled back (freed, when the manager supports
+    /// free) and every `out` slot is nulled before the error is returned,
+    /// so a failed warp call never leaks memory the caller cannot see.
     fn malloc_warp(
         &self,
         warp: &WarpCtx,
@@ -53,21 +58,40 @@ pub trait DeviceAllocator: Send + Sync {
         debug_assert_eq!(sizes.len(), out.len());
         for (lane, (&size, slot)) in sizes.iter().zip(out.iter_mut()).enumerate() {
             let ctx = warp.lane(lane as u32);
-            *slot = self.malloc(&ctx, size)?;
+            match self.malloc(&ctx, size) {
+                Ok(ptr) => *slot = ptr,
+                Err(e) => {
+                    rollback_partial_warp(self, warp, &mut out[..lane]);
+                    for slot in out.iter_mut() {
+                        *slot = DevicePtr::NULL;
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(())
     }
 
     /// Warp-collective free of previously returned pointers.
+    ///
+    /// A lane whose free fails does not abandon the remaining lanes (an
+    /// early return would leak every pointer after the failing one); all
+    /// lanes are attempted and the first error is reported.
     fn free_warp(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) -> Result<(), AllocError> {
+        let mut first_err = None;
         for (lane, &ptr) in ptrs.iter().enumerate() {
             if ptr.is_null() {
                 continue;
             }
             let ctx = warp.lane(lane as u32);
-            self.free(&ctx, ptr)?;
+            if let Err(e) = self.free(&ctx, ptr) {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Releases *everything* a warp ever allocated (FDGMalloc's `tidyUp`).
@@ -96,6 +120,69 @@ pub trait DeviceAllocator: Send + Sync {
     }
 }
 
+/// Frees the lanes a partially-failed `malloc_warp` already granted (best
+/// effort: managers without free support cannot reclaim, matching their
+/// normal leak-on-no-free semantics). Shared by the default warp path and by
+/// managers whose coalescing overrides fall back to lane-by-lane service.
+pub fn rollback_partial_warp<A: DeviceAllocator + ?Sized>(
+    alloc: &A,
+    warp: &WarpCtx,
+    granted: &mut [DevicePtr],
+) {
+    if !alloc.info().supports_free {
+        return;
+    }
+    for (lane, slot) in granted.iter_mut().enumerate() {
+        if !slot.is_null() {
+            let _ = alloc.free(&warp.lane(lane as u32), *slot);
+            *slot = DevicePtr::NULL;
+        }
+    }
+}
+
+/// Shared-ownership forwarding: an `Arc<A>` (including `Arc<dyn
+/// DeviceAllocator>`, the form the benchmark registry hands out) is itself a
+/// [`DeviceAllocator`]. Every method forwards explicitly so a manager's
+/// warp-aggregation overrides are preserved through the indirection; this is
+/// what lets wrappers like `Sanitized` take any built manager by value.
+impl<T: DeviceAllocator + ?Sized> DeviceAllocator for std::sync::Arc<T> {
+    fn info(&self) -> ManagerInfo {
+        (**self).info()
+    }
+    fn heap(&self) -> &DeviceHeap {
+        (**self).heap()
+    }
+    fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+        (**self).malloc(ctx, size)
+    }
+    fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+        (**self).free(ctx, ptr)
+    }
+    fn malloc_warp(
+        &self,
+        warp: &WarpCtx,
+        sizes: &[u64],
+        out: &mut [DevicePtr],
+    ) -> Result<(), AllocError> {
+        (**self).malloc_warp(warp, sizes, out)
+    }
+    fn free_warp(&self, warp: &WarpCtx, ptrs: &[DevicePtr]) -> Result<(), AllocError> {
+        (**self).free_warp(warp, ptrs)
+    }
+    fn free_warp_all(&self, warp: &WarpCtx) -> Result<(), AllocError> {
+        (**self).free_warp_all(warp)
+    }
+    fn register_footprint(&self) -> RegisterFootprint {
+        (**self).register_footprint()
+    }
+    fn grow(&self, additional: u64) -> Result<(), AllocError> {
+        (**self).grow(additional)
+    }
+    fn metrics(&self) -> Metrics {
+        (**self).metrics()
+    }
+}
+
 /// Blanket helpers layered over the raw trait.
 pub trait DeviceAllocatorExt: DeviceAllocator {
     /// `malloc` + panic-free bounds check, for tests: returns the pointer and
@@ -105,7 +192,7 @@ pub trait DeviceAllocatorExt: DeviceAllocator {
         let info = self.info();
         let ptr = self.malloc(ctx, size)?;
         assert!(
-            ptr.offset() + size <= self.heap().len(),
+            ptr.offset().checked_add(size).is_some_and(|end| end <= self.heap().len()),
             "{}: returned out-of-bounds allocation {ptr:?} + {size}",
             info.label()
         );
@@ -210,5 +297,97 @@ mod tests {
         let a: Box<dyn DeviceAllocator> = Box::new(Bump::new(1 << 12));
         assert_eq!(a.info().family, "Bump");
         let _ = a.malloc(&ThreadCtx::host(), 8).unwrap();
+    }
+
+    #[test]
+    fn arc_forwards_the_whole_interface() {
+        let a: Arc<dyn DeviceAllocator> = Arc::new(Bump::new(1 << 12));
+        assert_eq!(a.info().family, "Bump");
+        let p = DeviceAllocator::malloc(&a, &ThreadCtx::host(), 8).unwrap();
+        assert!(!p.is_null());
+        assert_eq!(a.grow(128), Err(AllocError::Unsupported("grow")));
+        assert!(!a.metrics().is_enabled());
+    }
+
+    /// Free-capable counting allocator whose lane `fail_at` (by allocation
+    /// order) fails — the partial-failure scenario for the warp defaults.
+    struct FailingLane {
+        heap: Arc<DeviceHeap>,
+        top: AtomicU64,
+        served: AtomicU64,
+        fail_at: u64,
+        live: AtomicU64,
+        /// Pointer whose individual `free` is rejected (exercises the
+        /// free_warp continue-past-error path); NULL raw disables it.
+        refuse_free: u64,
+    }
+
+    impl FailingLane {
+        fn new(fail_at: u64) -> Self {
+            FailingLane {
+                heap: Arc::new(DeviceHeap::new(1 << 16)),
+                top: AtomicU64::new(0),
+                served: AtomicU64::new(0),
+                fail_at,
+                live: AtomicU64::new(0),
+                refuse_free: u64::MAX,
+            }
+        }
+    }
+
+    impl DeviceAllocator for FailingLane {
+        fn info(&self) -> ManagerInfo {
+            ManagerInfo::builder("FailingLane").build()
+        }
+        fn heap(&self) -> &DeviceHeap {
+            &self.heap
+        }
+        fn malloc(&self, _ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+            if self.served.fetch_add(1, Ordering::Relaxed) == self.fail_at {
+                return Err(AllocError::OutOfMemory(size));
+            }
+            let sz = crate::util::align_up(size.max(1), 16);
+            let off = self.top.fetch_add(sz, Ordering::Relaxed);
+            self.live.fetch_add(1, Ordering::Relaxed);
+            Ok(DevicePtr::new(off))
+        }
+        fn free(&self, _ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+            if ptr.raw() == self.refuse_free {
+                return Err(AllocError::InvalidPointer);
+            }
+            self.live.fetch_sub(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn register_footprint(&self) -> RegisterFootprint {
+            RegisterFootprint { malloc: 4, free: 2 }
+        }
+    }
+
+    #[test]
+    fn malloc_warp_partial_failure_rolls_back_granted_lanes() {
+        // Lane 5 of 8 fails: the 5 lanes already granted must be freed and
+        // every out slot nulled. Against the old early-`?` default this
+        // fails with live == 5 and out[0..5] non-null.
+        let a = FailingLane::new(5);
+        let warp = WarpCtx { warp: 0, block: 0, sm: 0 };
+        let mut out = [DevicePtr::new(777); 8];
+        let r = a.malloc_warp(&warp, &[32; 8], &mut out);
+        assert_eq!(r, Err(AllocError::OutOfMemory(32)));
+        assert_eq!(a.live.load(Ordering::Relaxed), 0, "granted lanes must be rolled back");
+        assert!(out.iter().all(|p| p.is_null()), "all out slots must be nulled: {out:?}");
+    }
+
+    #[test]
+    fn free_warp_continues_past_failing_lane() {
+        // Lane 1's free is rejected; lanes 0 and 2 must still be freed and
+        // the error still reported. The old default stopped at lane 1,
+        // leaking lane 2.
+        let mut a = FailingLane::new(u64::MAX);
+        let warp = WarpCtx { warp: 0, block: 0, sm: 0 };
+        let mut out = [DevicePtr::NULL; 3];
+        a.malloc_warp(&warp, &[64; 3], &mut out).unwrap();
+        a.refuse_free = out[1].raw();
+        assert_eq!(a.free_warp(&warp, &out), Err(AllocError::InvalidPointer));
+        assert_eq!(a.live.load(Ordering::Relaxed), 1, "only the refused lane stays live");
     }
 }

@@ -13,6 +13,17 @@ cargo build --offline --release
 echo "==> cargo test -q"
 cargo test --offline -q --workspace
 
+# The paper-shape assertions compare timing ratios and are ignored in debug
+# builds (cfg_attr(debug_assertions, ignore)); without this release run they
+# would never execute anywhere.
+echo "==> cargo test --release --test paper_shapes"
+cargo test --offline --release -q --test paper_shapes
+
+# Shadow-heap sanitizer battery: broken-mock detection plus a clean churn
+# run of every evaluated manager, in release so the full set stays fast.
+echo "==> cargo test --release --test sanitizer"
+cargo test --offline --release -q --test sanitizer
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

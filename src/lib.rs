@@ -27,6 +27,6 @@ pub mod prelude {
     };
     pub use gpumem_core::{
         AllocError, Counter, CounterSnapshot, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo,
-        Metrics, ThreadCtx, WarpCtx,
+        Metrics, Sanitized, SanitizerConfig, SanitizerReport, ThreadCtx, WarpCtx,
     };
 }

@@ -4,6 +4,7 @@
 //! trait only.
 
 use gpumemsurvey::bench::registry::{ManagerKind, DEFAULT_KINDS};
+use gpumemsurvey::core::sanitize::Sanitized;
 use gpumemsurvey::core::util::next_pow2;
 use gpumemsurvey::prelude::*;
 
@@ -226,6 +227,39 @@ fn per_allocation_space_overhead_is_bounded() {
             "{}: {n}x{size} B spread to {max_end} (> budget {budget})",
             kind.label()
         );
+    }
+}
+
+#[test]
+fn sanitized_mixed_workload_is_clean_for_every_manager() {
+    // The whole battery above checks behaviour the caller can observe; this
+    // one puts the shadow-heap sanitizer between the test and the manager so
+    // overlaps, bounds/alignment violations and free-path bugs are caught
+    // even when the workload would not notice them.
+    for kind in DEFAULT_KINDS {
+        let san = Sanitized::new(kind.builder().heap(HEAP).sms(80).build());
+        let info = san.info();
+        let ctx = ThreadCtx::host();
+        for cycle in 0..3u64 {
+            let ptrs: Vec<DevicePtr> = (0..128)
+                .map(|i| san.malloc(&ctx, 16 + ((cycle * 7 + i) % 24) * 40).unwrap())
+                .collect();
+            // Warp-collective traffic interleaved with the thread-level churn.
+            let w = WarpCtx { warp: cycle as u32, block: 0, sm: 2 };
+            let mut warp_out = [DevicePtr::NULL; 16];
+            san.malloc_warp(&w, &[96; 16], &mut warp_out).unwrap();
+            if info.supports_free {
+                san.free_warp(&w, &warp_out).unwrap();
+                for p in ptrs {
+                    san.free(&ctx, p).unwrap();
+                }
+            }
+        }
+        let report = san.take_report();
+        assert!(report.is_clean(), "{}: {report}", kind.label());
+        if info.supports_free {
+            assert_eq!(report.live, 0, "{}: everything was freed", kind.label());
+        }
     }
 }
 

@@ -144,16 +144,18 @@ fn oom_utilization_ordering() {
 fn workgen_beats_baseline_at_moderate_counts() {
     let b = bench();
     let n = 4096;
-    let base = runners::work_generation_baseline(&b, n, 4, 64);
+    // Single-pass wall-clocks on an oversubscribed host can absorb a whole
+    // scheduler timeslice; min-of-2 keeps the ratio about the workload.
+    let min2 = |f: &dyn Fn() -> Duration| f().min(f());
+    let base = min2(&|| runners::work_generation_baseline(&b, n, 4, 64).elapsed);
     for kind in [ManagerKind::ScatterAlloc, ManagerKind::OuroSP, ManagerKind::Halloc] {
         let c = runners::work_generation(&b, kind, n, 4, 64);
         assert_eq!(c.failures, 0);
+        let elapsed = min2(&|| runners::work_generation(&b, kind, n, 4, 64).elapsed).min(c.elapsed);
         assert!(
-            c.elapsed < base.elapsed * 4,
-            "{} ({:?}) should be in the baseline's ballpark ({:?}) or better",
-            kind.label(),
-            c.elapsed,
-            base.elapsed
+            elapsed < base * 4,
+            "{} ({elapsed:?}) should be in the baseline's ballpark ({base:?}) or better",
+            kind.label()
         );
     }
 }

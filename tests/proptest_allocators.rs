@@ -10,10 +10,17 @@
 //! 3. every pointer satisfies the manager's declared alignment;
 //! 4. OOM is an error return, never corruption — and after freeing
 //!    everything, allocation succeeds again.
+//!
+//! Every sequence additionally runs through the shadow-heap sanitizer
+//! (`core::sanitize`), whose occupancy bitmap and free-history catch
+//! overlap/bounds/alignment/free-path violations the model below might
+//! miss (e.g. an overlap with a redzone, or a stale recycled pointer);
+//! the run must end with a clean sanitizer report.
 
 use proptest::prelude::*;
 
 use gpumemsurvey::bench::registry::ManagerKind;
+use gpumemsurvey::core::sanitize::Sanitized;
 use gpumemsurvey::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -30,7 +37,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn check_invariants(kind: ManagerKind, ops: &[Op]) -> Result<(), TestCaseError> {
-    let alloc = kind.builder().heap(32 << 20).sms(80).build();
+    let alloc = Sanitized::new(kind.builder().heap(32 << 20).sms(80).build());
     let info = alloc.info();
     let ctx = ThreadCtx::host();
     // (ptr, size) of live allocations, oldest first.
@@ -95,6 +102,8 @@ fn check_invariants(kind: ManagerKind, ops: &[Op]) -> Result<(), TestCaseError> 
             info.label()
         );
     }
+    let report = alloc.take_report();
+    prop_assert!(report.is_clean(), "{}: sanitizer found {report}", info.label());
     Ok(())
 }
 
