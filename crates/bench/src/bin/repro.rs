@@ -26,7 +26,8 @@ use std::time::Duration;
 
 use gpu_sim::{Device, DeviceSpec};
 use gpu_workloads::{sizes, write_test::WritePattern};
-use gpumem_bench::csv::{ms, Csv};
+use gpumem_bench::csv::{ms, us, Csv};
+use gpumem_bench::exec_bench;
 use gpumem_bench::registry::{ManagerKind, DEFAULT_KINDS};
 use gpumem_bench::runners::{self, Bench};
 use gpumem_core::info::SURVEY_TABLE;
@@ -119,7 +120,7 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|check|all> [options]\n\
+    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|exec-bench|check|all> [options]\n\
      (`repro --report contention` is an alias for `repro contention`)\n\
      options: -t SELECTOR --device D --num N --warp --dense --max-exp E --range LO-HI\n\
      --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB --out DIR"
@@ -142,6 +143,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Every report names its worker config so CSV rows stay attributable
+    // (the pool size changes contention, and GMS_WORKERS overrides it).
+    println!(
+        "# device={} sms={} workers={}{}",
+        opts.device.name,
+        opts.device.num_sms,
+        Device::configured_workers(),
+        if std::env::var("GMS_WORKERS").is_ok() { " (GMS_WORKERS)" } else { "" }
+    );
     match cmd.as_str() {
         "table1" => table1(&opts),
         "init" => init(&opts),
@@ -157,6 +167,7 @@ fn main() {
         "churn" => churn(&opts),
         "contention" => contention(&opts),
         "sanitize" => sanitize(&opts),
+        "exec-bench" => exec_overhead(&opts),
         "check" => check(&opts),
         "all" => run_all(opts),
         other => {
@@ -577,13 +588,18 @@ fn churn(opts: &Opts) {
 fn contention(opts: &Opts) {
     let bench = bench_of(opts);
     let size = 16u64;
+    let workers = bench.device.workers();
     let mut csv = Csv::new([
         "manager",
         "threads",
         "size",
+        "workers",
         "observed_ms",
         "baseline_ms",
         "overhead",
+        "dispatch_us",
+        "workers_used",
+        "steals",
         "malloc_calls",
         "malloc_failures",
         "free_calls",
@@ -596,11 +612,14 @@ fn contention(opts: &Opts) {
         "warp_coalesced",
     ]);
     println!(
-        "{:<16}{:>9}{:>9}{:>9}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
+        "{:<16}{:>9}{:>9}{:>9}{:>10}{:>6}{:>8}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
         "manager",
         "obs_ms",
         "base_ms",
         "ovhd",
+        "disp_us",
+        "used",
+        "steals",
         "cas_retry",
         "probe_step",
         "queue_spin",
@@ -612,11 +631,14 @@ fn contention(opts: &Opts) {
         let c = runners::contention_profile(&bench, kind, opts.num, size);
         let s = &c.counters;
         println!(
-            "{:<16}{:>9}{:>9}{:>8.2}x{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
+            "{:<16}{:>9}{:>9}{:>8.2}x{:>10}{:>6}{:>8}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
             c.manager,
             ms(c.observed),
             ms(c.baseline),
             c.overhead_factor(),
+            us(c.dispatch),
+            c.workers_used,
+            c.steals,
             s.cas_retries(),
             s.probe_steps(),
             s.queue_spins(),
@@ -628,9 +650,13 @@ fn contention(opts: &Opts) {
             c.manager.to_string(),
             c.num.to_string(),
             c.size.to_string(),
+            workers.to_string(),
             ms(c.observed),
             ms(c.baseline),
             format!("{:.3}", c.overhead_factor()),
+            us(c.dispatch),
+            c.workers_used.to_string(),
+            c.steals.to_string(),
             s.malloc_calls().to_string(),
             s.malloc_failures().to_string(),
             s.free_calls().to_string(),
@@ -644,6 +670,36 @@ fn contention(opts: &Opts) {
         ]);
     }
     save(csv, opts, &format!("contention_{}_{}.csv", opts.num, opts.device.name));
+}
+
+/// Launch-overhead microbenchmark: empty-kernel latency and warp throughput
+/// of the pooled executor vs the spawn-per-launch baseline. Writes the
+/// committed perf-trajectory baseline `BENCH_exec.json` (repo root, not
+/// `--out`: it is a tracked anchor, not a result CSV).
+fn exec_overhead(opts: &Opts) {
+    let bench = bench_of(opts);
+    let r = exec_bench::run(&bench.device, opts.iterations.max(16));
+    println!(
+        "empty kernel: pooled {} µs vs spawn {} µs ({:.1}x); call cost {} µs vs {} µs",
+        us(r.empty_pooled),
+        us(r.empty_spawn),
+        r.latency_speedup(),
+        us(r.call_pooled),
+        us(r.call_spawn),
+    );
+    println!(
+        "throughput ({} warps): pooled {:.0} warps/s vs spawn {:.0} warps/s",
+        r.throughput_warps, r.pooled_warps_per_sec, r.spawn_warps_per_sec
+    );
+    println!(
+        "small launch ({} warps on {} workers): {} workers used",
+        r.workers, r.workers, r.small_launch_workers_used
+    );
+    let path = PathBuf::from("BENCH_exec.json");
+    match std::fs::write(&path, r.to_json()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
 }
 
 /// Sanitizer sweep: every selected manager runs the churn + mixed-size

@@ -65,6 +65,12 @@ pub fn ms(d: std::time::Duration) -> String {
     format!("{:.4}", d.as_secs_f64() * 1e3)
 }
 
+/// Formats a `Duration` in microseconds with nanosecond resolution — for
+/// scheduler-scale quantities (dispatch overhead) that vanish at ms scale.
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e6)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

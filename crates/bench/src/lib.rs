@@ -19,6 +19,7 @@
 //! `repro check` validates the shapes against the paper.
 
 pub mod csv;
+pub mod exec_bench;
 pub mod registry;
 pub mod runners;
 pub mod shapes;

@@ -274,19 +274,35 @@ pub struct OomCell {
 
 /// Allocates `size` until the manager reports OOM (or the timeout fires,
 /// like the artifact's one-hour kill) and reports heap utilization.
+///
+/// The storm runs through [`Device::launch`] in waves of four blocks, so
+/// every request carries real launch coordinates (block size from the
+/// device spec, not a hard-coded 256) and SM-scattered managers see the
+/// thread/SM keys they shard by — a single-host-thread loop fabricating
+/// `ThreadCtx`s fed every request through one shard and missed the
+/// contention the figure is about.
 pub fn oom(bench: &Bench, kind: ManagerKind, heap_bytes: u64, size: u64) -> OomCell {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
     let alloc = kind.builder().heap(heap_bytes).sms(bench.num_sms()).build();
     let start = Instant::now();
     let mut count = 0u64;
     let mut timed_out = false;
-    let ctx_pool: Vec<_> =
-        (0..1024).map(|t| gpumem_core::ThreadCtx::from_linear(t, 256, bench.num_sms())).collect();
-    'outer: loop {
-        for ctx in &ctx_pool {
-            match alloc.malloc(ctx, size) {
-                Ok(_) => count += 1,
-                Err(_) => break 'outer,
+    let wave = bench.device.spec().default_block_size * 4;
+    loop {
+        let granted = AtomicU64::new(0);
+        let denied = AtomicU64::new(0);
+        bench.device.launch(wave, |ctx| match alloc.malloc(ctx, size) {
+            Ok(_) => {
+                granted.fetch_add(1, Ordering::Relaxed);
             }
+            Err(_) => {
+                denied.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        count += granted.load(Ordering::Relaxed);
+        if denied.load(Ordering::Relaxed) > 0 {
+            break;
         }
         if start.elapsed() > bench.cell_timeout {
             timed_out = true;
@@ -441,6 +457,15 @@ pub struct ContentionCell {
     pub failures: u64,
     /// Aggregated counters of the observed run.
     pub counters: CounterSnapshot,
+    /// Host-side dispatch overhead of the observed run's launches (summed
+    /// over the alloc and free phases) — the cost the pooled executor
+    /// keeps *out* of `observed`/`baseline`.
+    pub dispatch: Duration,
+    /// Workers that executed at least one warp in the alloc launch.
+    pub workers_used: usize,
+    /// Extra claim-counter trips across the observed launches (scheduler
+    /// rebalancing, see `SchedStats::steals`).
+    pub steals: u64,
 }
 
 impl ContentionCell {
@@ -459,7 +484,15 @@ impl ContentionCell {
 /// run (warp-collective free for warp-level-only managers), then repeats the
 /// run with metrics disabled to price the observability layer.
 pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64) -> ContentionCell {
-    let run = |metrics_on: bool| -> (Duration, u64, CounterSnapshot) {
+    struct Run {
+        elapsed: Duration,
+        failures: u64,
+        counters: CounterSnapshot,
+        dispatch: Duration,
+        workers_used: usize,
+        steals: u64,
+    }
+    let run = |metrics_on: bool| -> Run {
         let alloc = kind
             .builder()
             .heap(heap_for(num, size))
@@ -474,14 +507,22 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
         });
         let ptrs = ptrs.into_vec();
         let failures = ptrs.iter().filter(|p| p.is_null()).count() as u64;
-        let mut elapsed = rep.elapsed;
-        let mut counters = rep.counters;
+        let mut out = Run {
+            elapsed: rep.elapsed,
+            failures,
+            counters: rep.counters,
+            dispatch: rep.sched.dispatch,
+            workers_used: rep.sched.workers_used(),
+            steals: rep.sched.steals,
+        };
         if kind.warp_level_only() {
             let free = bench.device.launch_warps_observed(&m, num.div_ceil(WARP_SIZE), |w| {
                 let _ = alloc.free_warp_all(w);
             });
-            elapsed += free.elapsed;
-            counters = counters.merge(&free.counters);
+            out.elapsed += free.elapsed;
+            out.counters = out.counters.merge(&free.counters);
+            out.dispatch += free.sched.dispatch;
+            out.steals += free.sched.steals;
         } else if alloc.info().supports_free {
             let free = bench.device.launch_observed(&m, num, |ctx| {
                 let p = ptrs[ctx.thread_id as usize];
@@ -489,10 +530,12 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
                     let _ = alloc.free(ctx, p);
                 }
             });
-            elapsed += free.elapsed;
-            counters = counters.merge(&free.counters);
+            out.elapsed += free.elapsed;
+            out.counters = out.counters.merge(&free.counters);
+            out.dispatch += free.sched.dispatch;
+            out.steals += free.sched.steals;
         }
-        (elapsed, failures, counters)
+        out
     };
     // A discarded warmup absorbs cold-start effects (first touch of a fresh
     // heap, worker spin-up); baseline and observed runs then alternate and
@@ -503,15 +546,32 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
     let mut baseline = Duration::MAX;
     let mut failures = 0u64;
     let mut counters = CounterSnapshot::default();
+    let mut dispatch = Duration::ZERO;
+    let mut workers_used = 0usize;
+    let mut steals = 0u64;
     for _ in 0..bench.iterations.max(2) {
-        let (b, _, _) = run(false);
-        baseline = baseline.min(b);
-        let (o, f, c) = run(true);
-        observed = observed.min(o);
-        failures = f;
-        counters = c;
+        let b = run(false);
+        baseline = baseline.min(b.elapsed);
+        let o = run(true);
+        observed = observed.min(o.elapsed);
+        failures = o.failures;
+        counters = o.counters;
+        dispatch = o.dispatch;
+        workers_used = o.workers_used;
+        steals = o.steals;
     }
-    ContentionCell { manager: kind.label(), num, size, observed, baseline, failures, counters }
+    ContentionCell {
+        manager: kind.label(),
+        num,
+        size,
+        observed,
+        baseline,
+        failures,
+        counters,
+        dispatch,
+        workers_used,
+        steals,
+    }
 }
 
 /// One row of the sanitizer sweep (`repro sanitize`): violation totals of a

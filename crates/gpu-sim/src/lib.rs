@@ -4,11 +4,15 @@
 //! survey's framework launches its test kernels on.
 //!
 //! The model: a *kernel launch* executes `n` logical threads. Threads are
-//! grouped into warps of 32; warps are claimed from a shared queue by a pool
-//! of OS worker threads that play the role of streaming multiprocessors.
-//! Every logical thread receives a [`ThreadCtx`](gpumem_core::ThreadCtx) with
-//! its thread/lane/warp/block/SM coordinates — the same identifiers the
-//! surveyed allocators hash and scatter by.
+//! grouped into warps of 32; warps are claimed from a shared queue by a
+//! **persistent pool** of OS worker threads that play the role of streaming
+//! multiprocessors — workers park between kernels and are released through
+//! a staging barrier, so reported kernel times cover the parallel section
+//! alone (dispatch overhead is reported separately, see
+//! [`exec::SchedStats`]). Every logical thread receives a
+//! [`ThreadCtx`](gpumem_core::ThreadCtx) with its thread/lane/warp/block/SM
+//! coordinates — the same identifiers the surveyed allocators hash and
+//! scatter by.
 //!
 //! What is *not* modelled: instruction-level SIMD lockstep and divergence
 //! penalties. The surveyed allocators' performance differences come from
@@ -29,5 +33,5 @@ pub mod access;
 pub mod exec;
 pub mod spec;
 
-pub use exec::{Device, LaunchReport, PerThread};
+pub use exec::{Device, LaunchReport, PerThread, SchedStats};
 pub use spec::DeviceSpec;

@@ -24,6 +24,22 @@ cargo test --offline --release -q --test paper_shapes
 echo "==> cargo test --release --test sanitizer"
 cargo test --offline --release -q --test sanitizer
 
+# Executor suite in release: includes the timing-fidelity test asserting a
+# pooled empty-kernel launch reports <10% of the spawn-per-launch baseline
+# (ignored in debug builds where the ratio is meaningless).
+echo "==> cargo test --release -p gpu-sim"
+cargo test --offline --release -q -p gpu-sim
+
+# Single-worker determinism: the conformance battery must also hold when the
+# pool is forced to one worker (inline sequential execution, no interleaving).
+echo "==> GMS_WORKERS=1 cargo test --release --test conformance"
+GMS_WORKERS=1 cargo test --offline --release -q --test conformance
+
+# Launch-overhead microbenchmark; refreshes the committed BENCH_exec.json
+# perf anchor (empty-kernel latency, warp throughput, small-launch spread).
+echo "==> repro exec-bench"
+cargo run --offline --release -q -p gpumem-bench --bin repro -- exec-bench
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -21,7 +21,7 @@ pub use alloc_xmalloc;
 
 /// Convenience prelude: the types almost every user touches.
 pub mod prelude {
-    pub use gpu_sim::{Device, DeviceSpec, LaunchReport};
+    pub use gpu_sim::{Device, DeviceSpec, LaunchReport, SchedStats};
     pub use gpumem_bench::registry::{
         all_managers, create_manager, ManagerBuilder, ManagerKind, ManagerSelection,
     };

@@ -264,6 +264,46 @@ fn sanitized_mixed_workload_is_clean_for_every_manager() {
 }
 
 #[test]
+fn launched_alloc_free_roundtrip_every_kind() {
+    // Same black-box contract as the host-ctx tests, but driven through the
+    // executor: every evaluated manager serves a full device launch where
+    // each thread allocates, writes, reads back and frees. Honouring
+    // `GMS_WORKERS` (the device is built with `Device::new`) makes this the
+    // test the `GMS_WORKERS=1` determinism pass in scripts/check.sh leans on.
+    use gpumemsurvey::core::WARP_SIZE;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let device = Device::new(DeviceSpec::titan_v());
+    let threads = 4096u32;
+    for kind in DEFAULT_KINDS {
+        let alloc = kind.builder().heap(HEAP).sms(device.spec().num_sms).build();
+        let supports_free = alloc.info().supports_free;
+        let failures = AtomicU64::new(0);
+        let (_, sched) = device.launch_with_stats(threads, |ctx| {
+            let size = 16 + (u64::from(ctx.thread_id) % 16) * 24;
+            match alloc.malloc(ctx, size) {
+                Ok(p) => {
+                    let tag = (ctx.thread_id % 251) as u8;
+                    alloc.heap().fill(p, size, tag);
+                    if alloc.heap().read_u8(p, size - 1) != tag {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if supports_free && alloc.free(ctx, p).is_err() {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(failures.load(Ordering::Relaxed), 0, "{}", kind.label());
+        // Every warp of the launch is accounted to some worker.
+        let total: u32 = sched.warps_per_worker.iter().sum();
+        assert_eq!(total, threads.div_ceil(WARP_SIZE), "{}", kind.label());
+    }
+}
+
+#[test]
 fn warp_and_thread_allocations_coexist() {
     for kind in kinds_with_free() {
         let alloc = kind.builder().heap(HEAP).sms(80).build();
