@@ -32,6 +32,10 @@
 //! > oversize requests), so the model supports operating on a *sub-region* of
 //! > a shared heap via [`CudaAllocModel::with_region`].
 
+// Also enforced workspace-wide; restated here so the audit
+// guarantee survives if this crate is ever built out of tree.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::sync::Arc;
 use std::sync::Mutex;
 

@@ -28,6 +28,10 @@
 //! final evaluation because it "crashes in most test scenarios" (§3). The
 //! port is stable; EXPERIMENTS.md notes the difference where relevant.
 
+// Also enforced workspace-wide; restated here so the audit
+// guarantee survives if this crate is ever built out of tree.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 

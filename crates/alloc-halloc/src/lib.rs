@@ -26,7 +26,11 @@
 //!   splits its memory into two sections to accommodate larger allocations
 //!   with the CUDA-Allocator").
 
-use std::sync::atomic::{AtomicU32, Ordering};
+// Also enforced workspace-wide; restated here so the audit
+// guarantee survives if this crate is ever built out of tree.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use gpumem_core::sync::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use alloc_cuda::CudaAllocModel;
@@ -263,7 +267,7 @@ impl Halloc {
                             flush(probes, retries);
                             return Err(AllocError::OutOfMemory(CLASSES[class_idx]));
                         }
-                        std::hint::spin_loop();
+                        gpumem_core::sync::hint::spin_loop();
                         continue;
                     }
                 }

@@ -31,7 +31,11 @@
 //! allocation sizes" — see the `ouroboros_tour` example in the facade
 //! crate.)
 
-use std::sync::atomic::Ordering;
+// Also enforced workspace-wide; restated here so the audit
+// guarantee survives if this crate is ever built out of tree.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use gpumem_core::sync::Ordering;
 use std::sync::Arc;
 
 use alloc_cuda::CudaAllocModel;

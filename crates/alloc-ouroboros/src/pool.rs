@@ -6,7 +6,7 @@
 //! virtualization — can be returned and reused for *any* purpose via a
 //! lock-free Treiber stack.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use gpumem_core::sync::{AtomicU32, AtomicU64, Ordering};
 
 /// Chunk size in bytes (the paper's default).
 pub const CHUNK_BYTES: u64 = 8192;
@@ -271,5 +271,66 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), n, "a chunk was handed out twice");
         assert!(n <= 64);
+    }
+}
+
+/// Model-checked interleaving suite (built with `RUSTFLAGS="--cfg loom"`).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use gpumem_core::sync::{model, thread};
+    use std::sync::Arc;
+
+    /// Racing acquires (reuse-stack pop vs. frontier bump) hand out
+    /// distinct chunks.
+    #[test]
+    fn concurrent_acquires_are_distinct() {
+        model(|| {
+            let pool = Arc::new(ChunkPool::new(4));
+            // Seed the reuse stack with one released chunk so one racer can
+            // pop while the other bumps.
+            let seeded = pool.acquire(0).expect("seed acquire");
+            pool.release(seeded);
+            let spawn_acq = || {
+                let pool = pool.clone();
+                thread::spawn(move || pool.acquire(1))
+            };
+            let h1 = spawn_acq();
+            let h2 = spawn_acq();
+            let a = h1.join().unwrap();
+            let b = h2.join().unwrap();
+            let (a, b) = (a.expect("acquire a"), b.expect("acquire b"));
+            assert_ne!(a, b, "double-allocated chunk {a}");
+        });
+    }
+
+    /// Acquire racing a release: the tagged head (ABA guard) must keep the
+    /// Treiber stack consistent — the released chunk is acquirable exactly
+    /// once afterwards.
+    #[test]
+    fn release_vs_acquire_keeps_stack_consistent() {
+        model(|| {
+            let pool = Arc::new(ChunkPool::with_initial(4, 2));
+            let c0 = pool.acquire(0).expect("c0");
+            let releaser = {
+                let pool = pool.clone();
+                thread::spawn(move || pool.release(c0))
+            };
+            let acquirer = {
+                let pool = pool.clone();
+                thread::spawn(move || pool.acquire(1))
+            };
+            releaser.join().unwrap();
+            let got = acquirer.join().unwrap().expect("pool has capacity");
+            // Drain: every remaining acquire must be distinct from `got`.
+            let mut seen = vec![got];
+            while let Some(c) = pool.acquire(2) {
+                assert!(!seen.contains(&c), "chunk {c} double-allocated");
+                seen.push(c);
+                if seen.len() > 8 {
+                    panic!("pool handed out more chunks than exist");
+                }
+            }
+        });
     }
 }

@@ -20,7 +20,7 @@
 //! device memory, occasionally allocating or releasing a storage chunk),
 //! which is what the survey's measurements expose.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use gpumem_core::sync::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use gpumem_core::DeviceHeap;
 
@@ -108,6 +108,7 @@ pub struct StandardQueue {
 fn zeroed_atomics_u64(n: usize) -> Box<[AtomicU64]> {
     let v = vec![0u64; n];
     // SAFETY: AtomicU64 has the same size, alignment and validity as u64.
+    // memlint: allow(atomic-transmute) — AtomicU64 is repr(transparent) over u64 in both std and the loom shim, so size/align/validity match.
     unsafe { std::mem::transmute::<Box<[u64]>, Box<[AtomicU64]>>(v.into_boxed_slice()) }
 }
 
@@ -115,6 +116,7 @@ fn zeroed_atomics_u64(n: usize) -> Box<[AtomicU64]> {
 fn zeroed_atomics_u32(n: usize) -> Box<[AtomicU32]> {
     let v = vec![0u32; n];
     // SAFETY: AtomicU32 has the same size, alignment and validity as u32.
+    // memlint: allow(atomic-transmute) — AtomicU32 is repr(transparent) over u32 in both std and the loom shim, so size/align/validity match.
     unsafe { std::mem::transmute::<Box<[u32]>, Box<[AtomicU32]>>(v.into_boxed_slice()) }
 }
 
@@ -149,6 +151,7 @@ impl IndexQueue for StandardQueue {
             // docs): the logical sequence is `stored + idx`.
             let seq = self.seq[idx].load(Ordering::Acquire) + idx as u64;
             if seq == tail {
+                // memlint: allow(relaxed-cas-success) — Vyukov ticket ring: the slot seq word carries the Release/Acquire edge; model-checked in loom_tests.
                 match self.tail.compare_exchange_weak(
                     tail,
                     tail + 1,
@@ -180,6 +183,7 @@ impl IndexQueue for StandardQueue {
             let idx = (head & self.mask) as usize;
             let seq = self.seq[idx].load(Ordering::Acquire) + idx as u64;
             if seq == head + 1 {
+                // memlint: allow(relaxed-cas-success) — ticket claim only; the seq Acquire load above ordered the slot, seq Release below publishes it.
                 match self.head.compare_exchange_weak(
                     head,
                     head + 1,
@@ -236,7 +240,7 @@ impl Spin {
             .is_err()
         {
             *spins += 1;
-            std::hint::spin_loop();
+            gpumem_core::sync::hint::spin_loop();
         }
         SpinGuard { spin: self }
     }
@@ -271,12 +275,14 @@ struct VaState {
 /// by a small pointer array.
 pub struct VirtArrayQueue {
     lock: Spin,
+    // memlint: allow(shared-unsafe-cell) — all access is serialised by `lock` (Spin); mutual exclusion model-checked in loom_tests.
     state: std::cell::UnsafeCell<VaState>,
     approx_len: AtomicU64,
 }
 
 // SAFETY: `state` is only touched under `lock`.
 unsafe impl Send for VirtArrayQueue {}
+// SAFETY: as for Send — `lock` serialises all access to `state`.
 unsafe impl Sync for VirtArrayQueue {}
 
 impl VirtArrayQueue {
@@ -378,12 +384,14 @@ struct VlState {
 /// Virtualized linked-chunk queue: unlimited virtual size, no pointer array.
 pub struct VirtLinkedQueue {
     lock: Spin,
+    // memlint: allow(shared-unsafe-cell) — all access is serialised by `lock` (Spin); mutual exclusion model-checked in loom_tests.
     state: std::cell::UnsafeCell<VlState>,
     approx_len: AtomicU64,
 }
 
 // SAFETY: `state` is only touched under `lock`.
 unsafe impl Send for VirtLinkedQueue {}
+// SAFETY: as for Send — `lock` serialises all access to `state`.
 unsafe impl Sync for VirtLinkedQueue {}
 
 impl VirtLinkedQueue {
@@ -579,7 +587,7 @@ mod tests {
                 for i in 0..2000u32 {
                     let v = t * 10_000 + i + 1;
                     while q.enqueue(&pool, &heap, v).is_err() {
-                        std::hint::spin_loop();
+                        gpumem_core::sync::hint::spin_loop();
                     }
                     if i % 2 == 1 {
                         if let Some(v) = q.dequeue(&pool, &heap) {
@@ -621,5 +629,121 @@ mod tests {
         assert_eq!(StandardQueue::tag(), "S");
         assert_eq!(VirtArrayQueue::tag(), "VA");
         assert_eq!(VirtLinkedQueue::tag(), "VL");
+    }
+}
+
+/// Model-checked interleaving suite (built with `RUSTFLAGS="--cfg loom"`).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use gpumem_core::sync::model;
+    use gpumem_core::sync::thread;
+    use std::sync::Arc;
+
+    fn fixture() -> (Arc<ChunkPool>, Arc<DeviceHeap>, Arc<StandardQueue>) {
+        (
+            Arc::new(ChunkPool::new(4)),
+            Arc::new(DeviceHeap::new(4 * crate::pool::CHUNK_BYTES)),
+            Arc::new(StandardQueue::create(64)),
+        )
+    }
+
+    /// Two concurrent enqueues both land and dequeue returns each exactly
+    /// once — the ticket CAS plus seq Release/Acquire pair conserves
+    /// elements under every schedule.
+    #[test]
+    fn standard_queue_concurrent_enqueues_conserve() {
+        model(|| {
+            let (pool, heap, q) = fixture();
+            let spawn_enq = |v: u32| {
+                let (pool, heap, q) = (pool.clone(), heap.clone(), q.clone());
+                thread::spawn(move || {
+                    let mut spins = 0;
+                    q.enqueue_with(&pool, &heap, v, &mut spins).unwrap();
+                })
+            };
+            let h1 = spawn_enq(11);
+            let h2 = spawn_enq(22);
+            h1.join().unwrap();
+            h2.join().unwrap();
+            let mut spins = 0;
+            let mut got = vec![
+                q.dequeue_with(&pool, &heap, &mut spins).expect("first element"),
+                q.dequeue_with(&pool, &heap, &mut spins).expect("second element"),
+            ];
+            got.sort_unstable();
+            assert_eq!(got, vec![11, 22], "enqueued values lost or duplicated");
+            assert_eq!(q.dequeue_with(&pool, &heap, &mut spins), None);
+        });
+    }
+
+    /// Concurrent enqueue vs. dequeue: the dequeuer either sees the (whole)
+    /// element or an empty queue — never a torn/stale slot value. This is
+    /// the "dequeue index reads" audit target: the Relaxed val/ticket loads
+    /// are safe only because the seq word carries the Release/Acquire edge.
+    #[test]
+    fn standard_queue_enqueue_vs_dequeue() {
+        model(|| {
+            let (pool, heap, q) = fixture();
+            let enq = {
+                let (pool, heap, q) = (pool.clone(), heap.clone(), q.clone());
+                thread::spawn(move || {
+                    let mut spins = 0;
+                    q.enqueue_with(&pool, &heap, 77, &mut spins).unwrap();
+                })
+            };
+            let deq = {
+                let (pool, heap, q) = (pool.clone(), heap.clone(), q.clone());
+                thread::spawn(move || {
+                    let mut spins = 0;
+                    q.dequeue_with(&pool, &heap, &mut spins)
+                })
+            };
+            enq.join().unwrap();
+            let got = deq.join().unwrap();
+            if let Some(v) = got {
+                assert_eq!(v, 77, "dequeue returned a value never enqueued");
+            }
+            // Whatever the racer saw, the element must be drainable now.
+            let mut spins = 0;
+            if got.is_none() {
+                assert_eq!(q.dequeue_with(&pool, &heap, &mut spins), Some(77));
+            }
+            assert_eq!(q.dequeue_with(&pool, &heap, &mut spins), None);
+        });
+    }
+
+    /// The spin lock guarding the virtualized queues' multi-word state is
+    /// mutually exclusive: two locked increments of a plain counter never
+    /// lose an update.
+    #[test]
+    fn spin_lock_is_mutually_exclusive() {
+        model(|| {
+            struct Guarded {
+                lock: Spin,
+                cell: std::cell::UnsafeCell<u32>,
+            }
+            // SAFETY: `cell` is only touched under `lock` (that exclusivity
+            // is exactly what this model verifies).
+            unsafe impl Sync for Guarded {}
+            let g = Arc::new(Guarded { lock: Spin::new(), cell: std::cell::UnsafeCell::new(0) });
+            let spawn_inc = || {
+                let g = g.clone();
+                thread::spawn(move || {
+                    let mut spins = 0;
+                    let _guard = g.lock.lock_counted(&mut spins);
+                    // SAFETY: under the spin lock.
+                    unsafe { *g.cell.get() += 1 };
+                })
+            };
+            let h1 = spawn_inc();
+            let h2 = spawn_inc();
+            h1.join().unwrap();
+            h2.join().unwrap();
+            let mut spins = 0;
+            let _guard = g.lock.lock_counted(&mut spins);
+            // SAFETY: under the spin lock.
+            assert_eq!(unsafe { *g.cell.get() }, 2, "lost update under the spin lock");
+        });
     }
 }

@@ -11,7 +11,7 @@
 //! flags already provide, and it lives outside the manageable memory, so it
 //! does not perturb the fragmentation measurements.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use gpumem_core::sync::{AtomicU32, Ordering};
 
 /// Granularity of chunk starts in bytes (= header alignment).
 pub const GRANULE: u64 = 8;
@@ -144,5 +144,57 @@ mod tests {
         for g in 0..64u64 {
             assert_eq!(b.check(g * 8), g != 31);
         }
+    }
+}
+
+/// Model-checked interleaving suite (built with `RUSTFLAGS="--cfg loom"`).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use gpumem_core::sync::{model, thread};
+    use std::sync::Arc;
+
+    /// Set and clear of *different* granules sharing one bitmap word never
+    /// interfere — the fetch_or/fetch_and pair is bit-exact under overlap.
+    #[test]
+    fn overlapping_set_clear_are_independent() {
+        model(|| {
+            let b = Arc::new(ChunkStarts::new(512));
+            b.set(16); // the bit the clearer will remove
+            let setter = {
+                let b = b.clone();
+                thread::spawn(move || b.set(8))
+            };
+            let clearer = {
+                let b = b.clone();
+                thread::spawn(move || b.clear(16))
+            };
+            setter.join().unwrap();
+            clearer.join().unwrap();
+            assert!(b.check(8), "concurrent clear wiped a different granule's bit");
+            assert!(!b.check(16), "cleared bit resurrected");
+            assert_eq!(b.count(), 1);
+        });
+    }
+
+    /// A walker's `check` racing an owner's `clear` returns a coherent
+    /// answer (true or false, never a trap) and converges to false.
+    #[test]
+    fn check_vs_clear_converges() {
+        model(|| {
+            let b = Arc::new(ChunkStarts::new(512));
+            b.set(64);
+            let walker = {
+                let b = b.clone();
+                thread::spawn(move || b.check(64))
+            };
+            let owner = {
+                let b = b.clone();
+                thread::spawn(move || b.clear(64))
+            };
+            let _seen = walker.join().unwrap(); // either answer is valid mid-race
+            owner.join().unwrap();
+            assert!(!b.check(64), "bit still set after clear completed");
+        });
     }
 }

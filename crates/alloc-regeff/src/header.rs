@@ -19,8 +19,8 @@
 //! issues with vector operations") and the `ManagerInfo` of each variant
 //! declares the true value.
 
+use gpumem_core::sync::Ordering;
 use gpumem_core::DeviceHeap;
-use std::sync::atomic::Ordering;
 
 /// Result of a header read: the chunk's state and where the next chunk is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -235,7 +235,7 @@ mod tests {
     fn fused_concurrent_claims_are_exclusive() {
         let h = std::sync::Arc::new(heap());
         Fused::write(&h, 0, ChunkHeader { allocated: false, next: 8 });
-        let wins = std::sync::atomic::AtomicU32::new(0);
+        let wins = gpumem_core::sync::AtomicU32::new(0);
         std::thread::scope(|s| {
             for _ in 0..8 {
                 s.spawn(|| {
@@ -246,5 +246,77 @@ mod tests {
             }
         });
         assert_eq!(wins.load(Ordering::Relaxed), 1);
+    }
+}
+
+/// Model-checked interleaving suite (built with `RUSTFLAGS="--cfg loom"`).
+///
+/// These models run *on a real `DeviceHeap`* — the facade's atomics are
+/// `repr(transparent)` over std's, so the heap's pointer-cast atomic views
+/// participate in the model checker's scheduling like any other atomic.
+/// That makes heap-resident protocols (the in-chunk header flags here)
+/// checkable, not just side-table state.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use gpumem_core::sync::{model, thread};
+    use std::sync::Arc;
+
+    fn claim_race<C: HeaderCodec>() {
+        model(|| {
+            let heap = Arc::new(DeviceHeap::new(256));
+            C::write(&heap, 0, ChunkHeader { allocated: false, next: 64 });
+            let spawn_claim = || {
+                let heap = heap.clone();
+                thread::spawn(move || C::try_claim(&heap, 0))
+            };
+            let h1 = spawn_claim();
+            let h2 = spawn_claim();
+            let a = h1.join().unwrap();
+            let b = h2.join().unwrap();
+            assert!(a ^ b, "claim must have exactly one winner (got {a}, {b})");
+            let hdr = C::read(&heap, 0);
+            assert!(hdr.allocated, "winner's flag lost");
+            assert_eq!(hdr.next, 64, "claim must not disturb the link word");
+        });
+    }
+
+    /// Two threads race `try_claim` on the same free chunk: exactly one
+    /// wins, and the link survives untouched (two-word layout).
+    #[test]
+    fn two_word_claim_has_one_winner() {
+        claim_race::<TwoWord>();
+    }
+
+    /// As above for the fused single-word header, where flag and link share
+    /// one CAS target.
+    #[test]
+    fn fused_claim_has_one_winner() {
+        claim_race::<Fused>();
+    }
+
+    /// Claim racing the owner's release of a *different* chunk: the fused
+    /// header's flag bit and link bits never bleed across chunks.
+    #[test]
+    fn claim_vs_release_of_neighbour() {
+        model(|| {
+            let heap = Arc::new(DeviceHeap::new(256));
+            Fused::write(&heap, 0, ChunkHeader { allocated: false, next: 64 });
+            Fused::write(&heap, 64, ChunkHeader { allocated: true, next: 128 });
+            let claimer = {
+                let heap = heap.clone();
+                thread::spawn(move || Fused::try_claim(&heap, 0))
+            };
+            let releaser = {
+                let heap = heap.clone();
+                thread::spawn(move || Fused::release(&heap, 64))
+            };
+            assert!(claimer.join().unwrap(), "nobody contests chunk 0");
+            releaser.join().unwrap();
+            let c0 = Fused::read(&heap, 0);
+            let c1 = Fused::read(&heap, 64);
+            assert!(c0.allocated && c0.next == 64);
+            assert!(!c1.allocated && c1.next == 128);
+        });
     }
 }

@@ -31,8 +31,12 @@
 //! for any of the testcases"); accordingly the port keeps the default
 //! per-lane warp path.
 
+// Also enforced workspace-wide; restated here so the audit
+// guarantee survives if this crate is ever built out of tree.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use gpumem_core::sync::{AtomicU64, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gpumem_core::util::{align_down, align_up};

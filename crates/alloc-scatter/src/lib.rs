@@ -22,7 +22,11 @@
 //! * The manageable memory can **grow at runtime** (`grow`), one of
 //!   ScatterAlloc's distinguishing features in the survey's conclusion.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+// Also enforced workspace-wide; restated here so the audit
+// guarantee survives if this crate is ever built out of tree.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use gpumem_core::sync::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gpumem_core::util::align_up;

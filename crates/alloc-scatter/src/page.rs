@@ -11,7 +11,7 @@
 //! original's page usage table): the chunk size, the allocated-chunk count,
 //! and the first-level 32-bit usage/fullness word.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use gpumem_core::sync::{AtomicU32, Ordering};
 
 use gpumem_core::DeviceHeap;
 
@@ -386,11 +386,165 @@ pub fn try_reset_page(meta: &PageMeta, page_idx: usize) -> bool {
     if count.compare_exchange(0, COUNT_LOCK, Ordering::AcqRel, Ordering::Acquire).is_err() {
         return false;
     }
-    // Exclusive: nobody can allocate (count ≥ chunks) until we release.
-    meta.chunk_size[page_idx].store(CS_FREE, Ordering::Release);
+    // The count lock only blocks *reservations*; storing `CS_FREE` instantly
+    // re-opens the page to a claim-or-match CAS, whose winner re-initialises
+    // `usage` (pre-setting the invalid trailing bits). So `usage` must be
+    // cleared BEFORE the chunk size is republished — the original order
+    // (`CS_FREE` first, `usage` second) let this reset clobber the new
+    // claimant's init, marking out-of-range chunk bits free and handing out
+    // chunk indices past the page capacity. Model-checked in `loom_tests::
+    // reset_vs_claim_never_corrupts_usage`.
     meta.usage[page_idx].store(0, Ordering::Release);
+    meta.chunk_size[page_idx].store(CS_FREE, Ordering::Release);
     count.store(0, Ordering::Release);
     true
+}
+
+/// Model-checked interleaving suites (built with `RUSTFLAGS="--cfg loom"`).
+///
+/// Each test explores every schedule of a 2-thread protocol interaction at a
+/// preemption bound; invariants are asserted after all threads join.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use gpumem_core::sync::{model, thread};
+    use std::sync::Arc;
+
+    const PAGE: u32 = 4096;
+
+    /// Regression for the `try_reset_page` ordering bug: a reset racing a
+    /// re-claim (different chunk size) must never clobber the claimant's
+    /// usage initialisation. With the original store order (`CS_FREE`
+    /// published before `usage` cleared) the claimant's pre-set invalid
+    /// trailing bits get wiped, so the typed page ends up with out-of-range
+    /// chunk bits marked free — this model finds that within two
+    /// preemptions.
+    #[test]
+    fn reset_vs_claim_never_corrupts_usage() {
+        model(|| {
+            let heap = Arc::new(gpumem_core::DeviceHeap::new(PAGE as u64));
+            let meta = Arc::new(PageMeta::new(1));
+            let l_old = PageLayout::new(1024, PAGE); // 4 chunks
+            let l_new = PageLayout::new(512, PAGE); // 8 chunks
+                                                    // Page typed at 1024B, one chunk allocated and freed again:
+                                                    // empty-but-typed, the precondition for a reset.
+            let PageAlloc::Success { chunk_idx, .. } =
+                try_alloc_on_page(&heap, &meta, 0, 0, l_old, 0)
+            else {
+                panic!("seed alloc failed");
+            };
+            free_on_page(&heap, &meta, 0, 0, l_old, chunk_idx).unwrap();
+
+            let resetter = {
+                let meta = meta.clone();
+                thread::spawn(move || try_reset_page(&meta, 0))
+            };
+            let claimer = {
+                let (heap, meta) = (heap.clone(), meta.clone());
+                thread::spawn(move || try_alloc_on_page(&heap, &meta, 0, 0, l_new, 1))
+            };
+            let _reset_won = resetter.join().unwrap();
+            let claim = claimer.join().unwrap();
+
+            let cs = meta.chunk_size[0].load(Ordering::Acquire);
+            let usage = meta.usage[0].load(Ordering::Acquire);
+            if cs == l_new.chunk_size {
+                // The claimant re-typed the page: its invalid-trailing-bit
+                // guard must have survived the concurrent reset.
+                let invalid = !l_new.group_mask(0);
+                assert_eq!(
+                    usage & invalid,
+                    invalid,
+                    "reset clobbered the claimant's usage init (usage={usage:#010x})"
+                );
+            }
+            if let PageAlloc::Success { chunk_idx, .. } = claim {
+                assert!(chunk_idx < l_new.chunks, "chunk index past page capacity");
+            }
+        });
+    }
+
+    /// Two threads race to type a free page with *different* chunk sizes:
+    /// exactly one size wins, the loser observes `Mismatch`, and the final
+    /// usage word is consistent with the winner's layout.
+    #[test]
+    fn concurrent_claims_agree_on_one_size() {
+        model(|| {
+            let heap = Arc::new(gpumem_core::DeviceHeap::new(PAGE as u64));
+            let meta = Arc::new(PageMeta::new(1));
+            let l_a = PageLayout::new(512, PAGE);
+            let l_b = PageLayout::new(1024, PAGE);
+            let spawn_claim = |l: PageLayout| {
+                let (heap, meta) = (heap.clone(), meta.clone());
+                thread::spawn(move || try_alloc_on_page(&heap, &meta, 0, 0, l, 0))
+            };
+            let ha = spawn_claim(l_a);
+            let hb = spawn_claim(l_b);
+            let ra = ha.join().unwrap();
+            let rb = hb.join().unwrap();
+
+            let cs = meta.chunk_size[0].load(Ordering::Acquire);
+            assert!(
+                cs == l_a.chunk_size || cs == l_b.chunk_size,
+                "page typed with neither size: {cs:#x}"
+            );
+            let (winner, loser) = if cs == l_a.chunk_size { (&ra, &rb) } else { (&rb, &ra) };
+            assert!(
+                matches!(winner, PageAlloc::Success { chunk_idx, .. } if *chunk_idx < MAX_CHUNKS),
+                "size winner must allocate: {winner:?}"
+            );
+            assert_eq!(*loser, PageAlloc::Mismatch, "size loser must see Mismatch");
+            let winner_layout = if cs == l_a.chunk_size { l_a } else { l_b };
+            let invalid = !winner_layout.group_mask(0);
+            let usage = meta.usage[0].load(Ordering::Acquire);
+            assert_eq!(usage & invalid, invalid, "invalid bits must stay set");
+        });
+    }
+
+    /// Concurrent allocations on an already-typed page claim distinct bits
+    /// (CAS-claim vs. CAS-claim), and a concurrent free of a third chunk
+    /// never disturbs them (CAS-claim vs. free overlap).
+    #[test]
+    fn bit_claims_exclusive_under_concurrent_free() {
+        model(|| {
+            let heap = Arc::new(gpumem_core::DeviceHeap::new(PAGE as u64));
+            let meta = Arc::new(PageMeta::new(1));
+            let l = PageLayout::new(512, PAGE); // 8 chunks, single level
+                                                // Type the page and pre-allocate one chunk to free concurrently.
+            let PageAlloc::Success { chunk_idx: pre, .. } =
+                try_alloc_on_page(&heap, &meta, 0, 0, l, 7)
+            else {
+                panic!("seed alloc failed");
+            };
+            let freeer = {
+                let (heap, meta) = (heap.clone(), meta.clone());
+                thread::spawn(move || free_on_page(&heap, &meta, 0, 0, l, pre).unwrap())
+            };
+            let alloc_a = {
+                let (heap, meta) = (heap.clone(), meta.clone());
+                thread::spawn(move || try_alloc_on_page(&heap, &meta, 0, 0, l, 2))
+            };
+            let alloc_b = {
+                let (heap, meta) = (heap.clone(), meta.clone());
+                thread::spawn(move || try_alloc_on_page(&heap, &meta, 0, 0, l, 2))
+            };
+            freeer.join().unwrap();
+            let ra = alloc_a.join().unwrap();
+            let rb = alloc_b.join().unwrap();
+            if let (
+                PageAlloc::Success { chunk_idx: a, .. },
+                PageAlloc::Success { chunk_idx: b, .. },
+            ) = (&ra, &rb)
+            {
+                assert_ne!(a, b, "two allocations handed out the same chunk");
+            }
+            for r in [&ra, &rb] {
+                if let PageAlloc::Success { chunk_idx, .. } = r {
+                    assert!(*chunk_idx < l.chunks);
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! a single CAS — the same wait-free-in-the-common-case behaviour the
 //! original gets from its SIMD-coalesced FIFO arrays.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use gpumem_core::sync::{AtomicU64, Ordering};
 
 /// A bounded, lock-free multi-producer multi-consumer FIFO of `u64` values.
 pub struct FifoArray {
@@ -56,6 +56,7 @@ impl FifoArray {
             let seq = self.seq[idx].load(Ordering::Acquire);
             if seq == tail {
                 // Slot ready for this ticket: take the ticket.
+                // memlint: allow(relaxed-cas-success) — Vyukov ticket ring: the slot seq word carries the Release/Acquire edge; model-checked in loom_tests.
                 match self.tail.compare_exchange_weak(
                     tail,
                     tail + 1,
@@ -96,6 +97,7 @@ impl FifoArray {
             let idx = (head & self.mask) as usize;
             let seq = self.seq[idx].load(Ordering::Acquire);
             if seq == head + 1 {
+                // memlint: allow(relaxed-cas-success) — ticket claim only; the seq Acquire load above ordered the slot, seq Release below publishes it.
                 match self.head.compare_exchange_weak(
                     head,
                     head + 1,
@@ -292,7 +294,7 @@ mod tests {
                 for i in 0..10_000u64 {
                     let v = t * 1_000_000 + i + 1;
                     while !q.push(v) {
-                        std::hint::spin_loop();
+                        gpumem_core::sync::hint::spin_loop();
                     }
                     produced.fetch_add(v, Ordering::Relaxed);
                 }
@@ -308,7 +310,7 @@ mod tests {
                         consumed.fetch_add(v, Ordering::Relaxed);
                         got += 1;
                     } else {
-                        std::hint::spin_loop();
+                        gpumem_core::sync::hint::spin_loop();
                     }
                 }
             }));
@@ -318,5 +320,58 @@ mod tests {
         }
         assert_eq!(produced.load(Ordering::Relaxed), consumed.load(Ordering::Relaxed));
         assert!(q.is_empty());
+    }
+}
+
+/// Model-checked interleaving suite (built with `RUSTFLAGS="--cfg loom"`).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use gpumem_core::sync::{model, thread};
+    use std::sync::Arc;
+
+    /// Two racing pushes both land and drain back out exactly once — the
+    /// ticket ring conserves elements under every schedule.
+    #[test]
+    fn concurrent_pushes_conserve() {
+        model(|| {
+            let q = Arc::new(FifoArray::new(4));
+            let spawn_push = |v: u64| {
+                let q = q.clone();
+                thread::spawn(move || assert!(q.push(v), "ring has capacity"))
+            };
+            let h1 = spawn_push(5);
+            let h2 = spawn_push(9);
+            h1.join().unwrap();
+            h2.join().unwrap();
+            let mut got = vec![q.pop().expect("first"), q.pop().expect("second")];
+            got.sort_unstable();
+            assert_eq!(got, vec![5, 9], "pushed values lost or duplicated");
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    /// Push racing pop: the popper sees either the whole element or an
+    /// empty ring — never a torn slot — and the element survives.
+    #[test]
+    fn push_vs_pop_never_tears() {
+        model(|| {
+            let q = Arc::new(FifoArray::new(4));
+            let pusher = {
+                let q = q.clone();
+                thread::spawn(move || assert!(q.push(41)))
+            };
+            let popper = {
+                let q = q.clone();
+                thread::spawn(move || q.pop())
+            };
+            pusher.join().unwrap();
+            let got = popper.join().unwrap();
+            match got {
+                Some(v) => assert_eq!(v, 41, "pop returned a value never pushed"),
+                None => assert_eq!(q.pop(), Some(41), "element vanished"),
+            }
+            assert_eq!(q.pop(), None);
+        });
     }
 }

@@ -30,7 +30,11 @@
 //! *shape*, including the heavy malloc-side state that makes XMalloc the
 //! register-count outlier of §4.1.
 
-use std::sync::atomic::Ordering;
+// Also enforced workspace-wide; restated here so the audit
+// guarantee survives if this crate is ever built out of tree.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use gpumem_core::sync::Ordering;
 use std::sync::Arc;
 
 use gpumem_core::traits::rollback_partial_warp;

@@ -120,7 +120,7 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|exec-bench|check|all> [options]\n\
+    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|audit|exec-bench|check|all> [options]\n\
      (`repro --report contention` is an alias for `repro contention`)\n\
      options: -t SELECTOR --device D --num N --warp --dense --max-exp E --range LO-HI\n\
      --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB --out DIR"
@@ -167,6 +167,7 @@ fn main() {
         "churn" => churn(&opts),
         "contention" => contention(&opts),
         "sanitize" => sanitize(&opts),
+        "audit" => audit(&opts),
         "exec-bench" => exec_overhead(&opts),
         "check" => check(&opts),
         "all" => run_all(opts),
@@ -699,6 +700,99 @@ fn exec_overhead(opts: &Opts) {
     match std::fs::write(&path, r.to_json()) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Concurrency-audit summary: runs the memlint atomics-ordering pass over
+/// the workspace in-process and prints a per-crate table of standing vs.
+/// allowlisted diagnostics (one row per crate and rule), plus every
+/// allowlist entry with its written reason. Exits non-zero if anything
+/// stands, so `repro audit` doubles as the CI gate the same way
+/// `cargo run -p memlint -- --deny` does.
+fn audit(opts: &Opts) {
+    // Prefer the checkout we are running in; fall back to the build-time
+    // workspace for out-of-tree invocations.
+    let root = if std::path::Path::new("crates").is_dir() {
+        PathBuf::from(".")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    };
+    let report = match memlint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    // Group by (crate, rule).
+    let crate_of = |d: &memlint::Diagnostic| -> String {
+        let s = d.file.to_string_lossy().replace('\\', "/");
+        match s.strip_prefix("crates/").and_then(|r| r.split('/').next()) {
+            Some(name) => name.to_string(),
+            None => "workspace-root".to_string(),
+        }
+    };
+    let mut rows: Vec<(String, memlint::Rule, u32, u32)> = Vec::new();
+    for d in &report.diagnostics {
+        let key = (crate_of(d), d.rule);
+        let row = match rows.iter_mut().find(|(c, r, ..)| *c == key.0 && *r == key.1) {
+            Some(r) => r,
+            None => {
+                rows.push((key.0, key.1, 0, 0));
+                rows.last_mut().unwrap()
+            }
+        };
+        if d.allowed.is_some() {
+            row.3 += 1;
+        } else {
+            row.2 += 1;
+        }
+    }
+    rows.sort_by(|a, b| (&a.0, a.1.name()).cmp(&(&b.0, b.1.name())));
+
+    let mut csv = Csv::new(["crate", "rule", "standing", "allowlisted"]);
+    println!("{:<18}{:<28}{:>9}{:>13}", "crate", "rule", "standing", "allowlisted");
+    for (krate, rule, standing, allowed) in &rows {
+        println!("{krate:<18}{:<28}{standing:>9}{allowed:>13}", rule.name());
+        csv.row([
+            krate.clone(),
+            rule.name().to_string(),
+            standing.to_string(),
+            allowed.to_string(),
+        ]);
+    }
+    if rows.is_empty() {
+        println!("(no diagnostics at all — {} files scanned)", report.files);
+    }
+    println!();
+    for d in report.allowlisted() {
+        println!(
+            "allow {}:{} [{}] — {}",
+            d.file.display(),
+            d.line,
+            d.rule,
+            d.allowed.as_deref().unwrap_or("")
+        );
+    }
+    let standing = report.denied().count();
+    for d in report.denied() {
+        println!("STANDING {d}");
+    }
+    println!(
+        "\naudit: {} files, {} standing, {} allowlisted",
+        report.files,
+        standing,
+        report.allowlisted().count()
+    );
+
+    let path = opts.out.join("audit.csv");
+    match csv.write(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+    if standing > 0 {
+        std::process::exit(2);
     }
 }
 

@@ -282,7 +282,7 @@ pub struct OomCell {
 /// `ThreadCtx`s fed every request through one shard and missed the
 /// contention the figure is about.
 pub fn oom(bench: &Bench, kind: ManagerKind, heap_bytes: u64, size: u64) -> OomCell {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use gpumem_core::sync::{AtomicU64, Ordering};
 
     let alloc = kind.builder().heap(heap_bytes).sms(bench.num_sms()).build();
     let start = Instant::now();

@@ -28,8 +28,8 @@
 //! volatile-style raw-pointer ops rather than slices so that a *buggy*
 //! allocator under test produces torn data, not Rust UB on references.
 
+use crate::sync::{AtomicU32, AtomicU64, Ordering};
 use std::alloc::{alloc_zeroed, dealloc, Layout};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::ptr::DevicePtr;
 
@@ -43,6 +43,8 @@ pub struct DeviceHeap {
 // SAFETY: all shared mutation of heap contents goes through atomics or
 // through non-overlapping payload regions (see module docs).
 unsafe impl Send for DeviceHeap {}
+// SAFETY: see the Send impl — concurrent access is mediated by the in-heap
+// atomic views; plain reads/writes require caller-side exclusivity.
 unsafe impl Sync for DeviceHeap {}
 
 impl DeviceHeap {
@@ -243,7 +245,7 @@ impl std::fmt::Debug for DeviceHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering;
+    use crate::sync::Ordering;
 
     #[test]
     fn zero_initialised() {

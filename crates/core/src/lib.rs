@@ -44,6 +44,7 @@ pub mod metrics;
 pub mod ptr;
 pub mod regs;
 pub mod sanitize;
+pub mod sync;
 pub mod traits;
 pub mod util;
 

@@ -27,7 +27,7 @@
 //! succeeded without any retry, bucket *k* ≥ 1 counts operations whose
 //! retry count fell in `[2^(k-1), 2^k)`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Named event counters. The discriminant doubles as the slot index inside

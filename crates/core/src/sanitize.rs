@@ -30,8 +30,8 @@
 //! recorded into a bounded sink and drained host-side via
 //! [`Sanitized::take_report`].
 
+use crate::sync::{AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::ctx::{ThreadCtx, WarpCtx};
@@ -683,8 +683,8 @@ impl<A: DeviceAllocator> DeviceAllocator for Sanitized<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::AtomicU64;
     use crate::util::align_up;
-    use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
 
     /// Correct free-list allocator: bump plus LIFO recycling of exact sizes.

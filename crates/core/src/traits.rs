@@ -211,7 +211,7 @@ impl<A: DeviceAllocator + ?Sized> DeviceAllocatorExt for A {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// Minimal conforming implementation used to exercise trait defaults.

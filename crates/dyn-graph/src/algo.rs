@@ -53,12 +53,12 @@ mod tests {
     use crate::gen::CsrGraph;
     use crate::graph::DynGraph;
     use gpu_sim::{Device, DeviceSpec};
+    use gpumem_core::sync::{AtomicU64, Ordering};
     use gpumem_core::util::align_up;
     use gpumem_core::{
         AllocError, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, RegisterFootprint,
         ThreadCtx,
     };
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     struct Bump {

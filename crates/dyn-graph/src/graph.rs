@@ -6,8 +6,8 @@
 //! the next power-of-two boundary (§4.4.4) — the churn pattern that makes
 //! this the survey's concurrent-malloc/free stress test.
 
+use gpumem_core::sync::{AtomicBool, AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use gpu_sim::Device;
@@ -21,6 +21,7 @@ use crate::gen::CsrGraph;
 /// framework's per-adjacency locking).
 struct Vertex {
     lock: AtomicBool,
+    // memlint: allow(shared-unsafe-cell) — guarded by the per-vertex `lock` spin flag (Acquire CAS / Release store).
     state: UnsafeCell<VertexState>,
 }
 
@@ -94,7 +95,7 @@ impl<'a> DynGraph<'a> {
         let lock = &self.vertices[v as usize].lock;
         while lock.compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed).is_err()
         {
-            std::hint::spin_loop();
+            gpumem_core::sync::hint::spin_loop();
         }
         VertexGuard { lock }
     }

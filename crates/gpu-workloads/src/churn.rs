@@ -88,9 +88,9 @@ pub fn run(
 mod tests {
     use super::*;
     use gpu_sim::DeviceSpec;
+    use gpumem_core::sync::{AtomicU64, Ordering};
     use gpumem_core::util::align_up;
     use gpumem_core::{AllocError, DeviceHeap, ManagerInfo, RegisterFootprint, ThreadCtx};
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Mutex};
 
     /// Free-list test allocator whose free list is intentionally scanned

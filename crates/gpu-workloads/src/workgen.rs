@@ -95,9 +95,9 @@ mod tests {
     // The workloads crate deliberately depends only on the core; tests use
     // a local bump allocator equivalent to `alloc-atomic`.
     mod alloc_atomic_for_tests {
+        use gpumem_core::sync::{AtomicU64, Ordering};
         use gpumem_core::util::align_up;
         use gpumem_core::*;
-        use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Arc;
 
         pub struct AtomicAlloc {

@@ -1,0 +1,779 @@
+//! # memlint — atomics-ordering static pass
+//!
+//! The model checker (`gpumem_core::sync` under `--cfg loom`) explores
+//! *sequentially consistent* interleavings; it cannot see weak-memory
+//! reordering. This pass covers the other half of the audit: it parses the
+//! workspace source and flags **ordering smells** — patterns that are
+//! correct under SC but broken (or unreviewable) under the real memory
+//! model — as `file:line` diagnostics.
+//!
+//! ## Rules
+//!
+//! | rule | smell |
+//! |------|-------|
+//! | `relaxed-cas-success`       | `compare_exchange*` whose *success* ordering is `Relaxed`: a CAS that wins a race but publishes nothing. Correct only when another atomic carries the edge (e.g. Vyukov ticket rings) — which is exactly what the allowlist reason must say. |
+//! | `relaxed-store-after-claim` | a `Relaxed` store following an acquiring CAS with no later release-or-stronger operation in the same function: the claimed state is written but never published. |
+//! | `raw-atomic-import`         | `std::sync::atomic` referenced outside the `gpumem_core::sync` facade: the code silently drops out of the model checker's view. |
+//! | `atomic-transmute`          | `transmute` to or from atomic types: layout-compatibility claim that each site must justify. |
+//! | `shared-unsafe-cell`        | an `UnsafeCell` struct field: mixed atomic/non-atomic access needs a documented guard. |
+//! | `allow-missing-reason`      | an allowlist entry without a written reason (never allowlistable itself). |
+//!
+//! ## Allowlist
+//!
+//! A diagnostic is waived by a directive on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // memlint: allow(relaxed-cas-success) — seq carries the release edge
+//! ```
+//!
+//! The reason text after the dash is mandatory: an allow without one still
+//! fails `--deny` (rule `allow-missing-reason`), so every waived smell in
+//! the tree carries a written justification.
+//!
+//! ## Scope and shape
+//!
+//! The scanner is a hand-rolled lexical pass (the container has no `syn`):
+//! it masks comments, strings and `#[cfg(test)]` regions, then does
+//! paren/brace-matched extraction of atomic call sites, function extents
+//! and struct extents. That is deliberately dumb — it reads the code the
+//! way a reviewer skims it — and errs on the side of flagging: anything it
+//! cannot prove boring needs either a fix or a written reason.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------- rules
+
+/// The rule catalog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `compare_exchange*` with `Relaxed` success ordering.
+    RelaxedCasSuccess,
+    /// `Relaxed` store after an acquiring CAS, never published.
+    RelaxedStoreAfterClaim,
+    /// `std::sync::atomic` used outside the facade.
+    RawAtomicImport,
+    /// `transmute` involving atomic types.
+    AtomicTransmute,
+    /// `UnsafeCell` field in a (shared) struct.
+    SharedUnsafeCell,
+    /// Allowlist directive without a reason (or with an unknown rule).
+    AllowMissingReason,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::RelaxedCasSuccess,
+        Rule::RelaxedStoreAfterClaim,
+        Rule::RawAtomicImport,
+        Rule::AtomicTransmute,
+        Rule::SharedUnsafeCell,
+        Rule::AllowMissingReason,
+    ];
+
+    /// Kebab-case name used in diagnostics and allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RelaxedCasSuccess => "relaxed-cas-success",
+            Rule::RelaxedStoreAfterClaim => "relaxed-store-after-claim",
+            Rule::RawAtomicImport => "raw-atomic-import",
+            Rule::AtomicTransmute => "atomic-transmute",
+            Rule::SharedUnsafeCell => "shared-unsafe-cell",
+            Rule::AllowMissingReason => "allow-missing-reason",
+        }
+    }
+
+    /// Parses an allow-directive rule name.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// File the smell lives in (workspace-relative when scanned via
+    /// [`scan_workspace`]).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description of the concrete site.
+    pub message: String,
+    /// `Some(reason)` when an allow directive with a written reason waives
+    /// this diagnostic.
+    pub allowed: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Scan result over a file set.
+#[derive(Default)]
+pub struct Report {
+    /// Every finding, allowlisted or not.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Findings that stand (not waived): what `--deny` gates on.
+    pub fn denied(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.allowed.is_none())
+    }
+
+    /// Findings waived by a reasoned allow directive.
+    pub fn allowlisted(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.allowed.is_some())
+    }
+
+    /// Whether `--deny` would pass.
+    pub fn is_clean(&self) -> bool {
+        self.denied().next().is_none()
+    }
+}
+
+// ------------------------------------------------------------ lexical pass
+
+/// Returns `src` with comments, string literals and char literals blanked
+/// to spaces — same length, newlines preserved, so byte offsets and line
+/// numbers stay valid.
+fn mask_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string: r"..." or r#"..."# (any hash count).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    for &byte in &b[start..j] {
+                        out.push(if byte == b'\n' { b'\n' } else { b' ' });
+                    }
+                    i = j;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs. lifetime: 'x' / '\n' are literals,
+                // 'a> / 'static are lifetimes (lone quote passes through).
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                        j += 1;
+                    }
+                    let end = j.min(b.len() - 1);
+                    out.extend(std::iter::repeat_n(b' ', end - i + 1));
+                    i = j + 1;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Byte-preserving for ASCII structure; non-ASCII bytes outside the
+    // masked literals pass through untouched.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte offset of each line start (for offset → line translation).
+fn line_starts(src: &str) -> Vec<usize> {
+    let mut v = vec![0];
+    for (i, c) in src.bytes().enumerate() {
+        if c == b'\n' {
+            v.push(i + 1);
+        }
+    }
+    v
+}
+
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    starts.partition_point(|&s| s <= offset)
+}
+
+/// Offset of the matching close delimiter for the open one at `open`.
+fn match_delim(masked: &[u8], open: usize) -> Option<usize> {
+    let (o, c) = match masked[open] {
+        b'(' => (b'(', b')'),
+        b'{' => (b'{', b'}'),
+        b'[' => (b'[', b']'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, &ch) in masked.iter().enumerate().skip(open) {
+        if ch == o {
+            depth += 1;
+        } else if ch == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// All byte offsets of `needle` in `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        v.push(from + p);
+        from += p + needle.len();
+    }
+    v
+}
+
+/// Blanks `#[cfg(test)]`-gated items (incl. `#[cfg(all(test, ...))]`) so
+/// test-only code — model suites, fixtures inlined in tests — is not
+/// audited: tests may intentionally write smelly patterns.
+fn mask_test_regions(masked: &mut String) {
+    let snapshot = masked.clone();
+    let bytes = snapshot.as_bytes();
+    let mut cuts: Vec<(usize, usize)> = Vec::new();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test"] {
+        for at in find_all(&snapshot, pat) {
+            // The gated item's body is the next brace group.
+            if let Some(open) = snapshot[at..].find('{').map(|p| at + p) {
+                if let Some(close) = match_delim(bytes, open) {
+                    cuts.push((at, close));
+                }
+            }
+        }
+    }
+    if cuts.is_empty() {
+        return;
+    }
+    let mut out = snapshot.into_bytes();
+    for (a, b) in cuts {
+        for p in a..=b.min(out.len() - 1) {
+            if out[p] != b'\n' {
+                out[p] = b' ';
+            }
+        }
+    }
+    *masked = String::from_utf8_lossy(&out).into_owned();
+}
+
+/// `(start, end)` byte extents of every brace-bodied item introduced by
+/// `kw` ("fn" / "struct") in the masked source.
+fn item_extents(masked: &str, kw: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut v = Vec::new();
+    for at in find_all(masked, &format!("{kw} ")) {
+        // Require a token boundary before the keyword (skip identifiers
+        // that merely end in it).
+        if at > 0 {
+            let prev = bytes[at - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        // Body = first brace group after the keyword, unless a `;` ends the
+        // item first (trait fn declarations, tuple/unit structs).
+        let mut j = at + kw.len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                // Skip parenthesised stretches (fn args, tuple fields) so a
+                // `;`/`{` inside them does not confuse the item boundary.
+                b'(' | b'[' => match match_delim(bytes, j) {
+                    Some(close) => j = close + 1,
+                    None => break,
+                },
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = open {
+            if let Some(close) = match_delim(bytes, open) {
+                v.push((at, close));
+            }
+        }
+    }
+    v
+}
+
+// ------------------------------------------------------------- atomic ops
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemOrder {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl MemOrder {
+    fn parse(tok: &str) -> Option<MemOrder> {
+        Some(match tok {
+            "Relaxed" => MemOrder::Relaxed,
+            "Acquire" => MemOrder::Acquire,
+            "Release" => MemOrder::Release,
+            "AcqRel" => MemOrder::AcqRel,
+            "SeqCst" => MemOrder::SeqCst,
+            _ => return None,
+        })
+    }
+
+    fn acquires(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum OpKind {
+    /// `compare_exchange` / `compare_exchange_weak`; the recorded ordering
+    /// is the *success* ordering.
+    Cas,
+    Store,
+    Fence,
+    /// `fetch_*` / `swap` read-modify-write.
+    Rmw,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct AtomicOp {
+    offset: usize,
+    kind: OpKind,
+    order: MemOrder,
+}
+
+/// `Ordering::X` tokens inside `args`, in order.
+fn orderings_in(args: &str) -> Vec<MemOrder> {
+    find_all(args, "Ordering::")
+        .into_iter()
+        .filter_map(|p| {
+            let rest = &args[p + "Ordering::".len()..];
+            let end = rest.find(|c: char| !c.is_ascii_alphanumeric()).unwrap_or(rest.len());
+            MemOrder::parse(&rest[..end])
+        })
+        .collect()
+}
+
+/// Extracts every atomic call site from the masked source.
+fn atomic_ops(masked: &str) -> Vec<AtomicOp> {
+    let bytes = masked.as_bytes();
+    let mut ops = Vec::new();
+    let mut push_calls = |pat: &str, kind: OpKind| {
+        for at in find_all(masked, pat) {
+            let open = at + pat.len() - 1; // pat ends with '('
+            let Some(close) = match_delim(bytes, open) else {
+                continue;
+            };
+            let args = &masked[open + 1..close];
+            let ords = orderings_in(args);
+            let order = match kind {
+                // compare_exchange(cur, new, success, failure): the success
+                // ordering is the second-to-last `Ordering::` token.
+                OpKind::Cas if ords.len() >= 2 => ords[ords.len() - 2],
+                OpKind::Cas => continue,
+                // store/fence/fetch_*: one ordering argument; calls without
+                // one are not atomics (same-named inherent methods).
+                _ => match ords.last() {
+                    Some(&o) => o,
+                    None => continue,
+                },
+            };
+            ops.push(AtomicOp { offset: at, kind, order });
+        }
+    };
+    push_calls(".compare_exchange(", OpKind::Cas);
+    push_calls(".compare_exchange_weak(", OpKind::Cas);
+    push_calls(".store(", OpKind::Store);
+    push_calls("fence(", OpKind::Fence);
+    for pat in [
+        ".fetch_add(",
+        ".fetch_sub(",
+        ".fetch_and(",
+        ".fetch_or(",
+        ".fetch_xor(",
+        ".fetch_max(",
+        ".fetch_min(",
+        ".swap(",
+    ] {
+        push_calls(pat, OpKind::Rmw);
+    }
+    ops.sort_by_key(|o| o.offset);
+    ops
+}
+
+// -------------------------------------------------------------- allowlist
+
+struct Allow {
+    line: usize,
+    rule: Option<Rule>,
+    reason: Option<String>,
+    raw_rule: String,
+}
+
+/// Extracts `// memlint: allow(rule) — reason` directives from the
+/// *unmasked* source (they live in comments).
+fn directives(src: &str) -> Vec<Allow> {
+    let mut v = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(p) = line.find("memlint: allow(") else {
+            continue;
+        };
+        let rest = &line[p + "memlint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let raw_rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        // Reason separator: em dash, en dash, hyphen(s) or a colon.
+        let reason = ["—", "–", "-", ":"]
+            .iter()
+            .find_map(|sep| after.strip_prefix(sep))
+            .map(|r| r.trim_start_matches(['—', '–', '-', ':', ' ']).trim())
+            .filter(|r| !r.is_empty())
+            .map(str::to_string);
+        v.push(Allow { line: idx + 1, rule: Rule::from_name(&raw_rule), reason, raw_rule });
+    }
+    v
+}
+
+// ------------------------------------------------------------------ rules
+
+/// Scans one file's source text. `file` labels the diagnostics (and
+/// exempts the facade itself from `raw-atomic-import`).
+pub fn scan_source(file: &Path, src: &str) -> Vec<Diagnostic> {
+    let mut masked = mask_code(src);
+    mask_test_regions(&mut masked);
+    let starts = line_starts(src);
+    let allows = directives(src);
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    let mut push = |rule: Rule, offset: usize, message: String| {
+        out.push(Diagnostic {
+            file: file.to_path_buf(),
+            line: line_of(&starts, offset),
+            rule,
+            message,
+            allowed: None,
+        });
+    };
+
+    // relaxed-cas-success + relaxed-store-after-claim share the op table.
+    let ops = atomic_ops(&masked);
+    for op in &ops {
+        if matches!(op.kind, OpKind::Cas) && op.order == MemOrder::Relaxed {
+            push(
+                Rule::RelaxedCasSuccess,
+                op.offset,
+                "compare_exchange success ordering is Relaxed — the winning CAS \
+                 publishes nothing; name the atomic that carries the edge"
+                    .into(),
+            );
+        }
+    }
+    for (fn_start, fn_end) in item_extents(&masked, "fn") {
+        let in_fn: Vec<&AtomicOp> =
+            ops.iter().filter(|o| o.offset > fn_start && o.offset < fn_end).collect();
+        let Some(claim_pos) =
+            in_fn.iter().position(|o| matches!(o.kind, OpKind::Cas) && o.order.acquires())
+        else {
+            continue;
+        };
+        for (i, op) in in_fn.iter().enumerate().skip(claim_pos + 1) {
+            if !matches!(op.kind, OpKind::Store) || op.order != MemOrder::Relaxed {
+                continue;
+            }
+            let published = in_fn[i + 1..].iter().any(|later| later.order.releases());
+            if !published {
+                push(
+                    Rule::RelaxedStoreAfterClaim,
+                    op.offset,
+                    "Relaxed store after an acquiring CAS with no later release \
+                     operation in this function — the claimed state is never \
+                     published"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    // raw-atomic-import: the facade file is the one sanctioned location.
+    let is_facade = file.ends_with("core/src/sync.rs");
+    if !is_facade {
+        for at in find_all(&masked, "std::sync::atomic") {
+            push(
+                Rule::RawAtomicImport,
+                at,
+                "raw std::sync::atomic use outside the gpumem_core::sync facade \
+                 — this code is invisible to the loom model checker"
+                    .into(),
+            );
+        }
+    }
+
+    // atomic-transmute: a transmute whose masked call text names an atomic.
+    let bytes = masked.as_bytes();
+    for at in find_all(&masked, "transmute") {
+        let Some(open) = masked[at..].find('(').map(|p| at + p) else {
+            continue;
+        };
+        let Some(close) = match_delim(bytes, open) else {
+            continue;
+        };
+        // Turbofish types sit between `transmute` and `(`; args inside.
+        let span = &masked[at..close];
+        if span.contains("Atomic") {
+            push(
+                Rule::AtomicTransmute,
+                at,
+                "transmute involving atomic types — layout compatibility must \
+                 be justified (incl. under cfg(loom))"
+                    .into(),
+            );
+        }
+    }
+
+    // shared-unsafe-cell: UnsafeCell fields inside struct bodies.
+    let structs = item_extents(&masked, "struct");
+    for at in find_all(&masked, "UnsafeCell<") {
+        if structs.iter().any(|&(s, e)| at > s && at < e) {
+            push(
+                Rule::SharedUnsafeCell,
+                at,
+                "UnsafeCell field — mixed atomic/non-atomic access; document \
+                 the guard that serialises it"
+                    .into(),
+            );
+        }
+    }
+
+    // Apply the allowlist, then audit the directives themselves.
+    for d in &mut out {
+        let fired = allows
+            .iter()
+            .find(|a| a.rule == Some(d.rule) && (a.line == d.line || a.line + 1 == d.line));
+        if let Some(a) = fired {
+            // A reasonless allow waives nothing: the directive itself becomes
+            // the finding (below), keeping --deny red.
+            d.allowed = a.reason.clone();
+        }
+    }
+    for a in &allows {
+        let msg = match (a.rule, &a.reason) {
+            (None, _) => format!("allow directive names unknown rule `{}`", a.raw_rule),
+            (Some(_), None) => {
+                format!("allow({}) has no reason — write `— <why this site is sound>`", a.raw_rule)
+            }
+            _ => continue,
+        };
+        out.push(Diagnostic {
+            file: file.to_path_buf(),
+            line: a.line,
+            rule: Rule::AllowMissingReason,
+            message: msg,
+            allowed: None,
+        });
+    }
+
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+// -------------------------------------------------------------- workspace
+
+/// Whether a workspace-relative path is audited. Shims are out of scope
+/// (the loom shim *implements* the facade's backend), memlint's own
+/// sources talk about the smells by name, and only `src/` trees ship.
+fn audited(rel: &Path) -> bool {
+    let s = rel.to_string_lossy();
+    if !s.ends_with(".rs") {
+        return false;
+    }
+    let under_src = s.starts_with("src/") || s.contains("/src/");
+    under_src
+        && !s.starts_with("shims/")
+        && !s.starts_with("crates/memlint/")
+        && !s.starts_with("target/")
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, files)?;
+        } else {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every audited `.rs` file under `root` (a workspace checkout).
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        if !audited(&rel) {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        report.files += 1;
+        report.diagnostics.extend(scan_source(&rel, &src));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_preserves_length_and_lines() {
+        let src = "let a = \"str // not comment\"; // real\nlet b = '\\n'; /* c\n*/ x";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+        assert!(!m.contains("not comment"));
+        assert!(!m.contains("real"));
+        assert!(m.contains("let b"));
+        assert!(m.contains(" x"));
+    }
+
+    #[test]
+    fn lifetimes_survive_masking() {
+        let m = mask_code("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(m.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cas_success_ordering_parsed_across_lines() {
+        let src = "fn f(a: &AtomicU32) {\n    let _ = a.compare_exchange_weak(\n        0,\n        1,\n        Ordering::Relaxed,\n        Ordering::Relaxed,\n    );\n}\n";
+        let d = scan_source(Path::new("x.rs"), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::RelaxedCasSuccess);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn allow_on_previous_line_waives_with_reason() {
+        let src = "fn f(a: &AtomicU32) {\n    // memlint: allow(relaxed-cas-success) — ticket ring, seq publishes\n    let _ = a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);\n}\n";
+        let d = scan_source(Path::new("x.rs"), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].allowed.as_deref(), Some("ticket ring, seq publishes"));
+    }
+
+    #[test]
+    fn reasonless_allow_still_fails() {
+        let src = "// memlint: allow(atomic-transmute)\nfn f() {}\n";
+        let d = scan_source(Path::new("x.rs"), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::AllowMissingReason);
+    }
+
+    #[test]
+    fn test_modules_are_not_audited() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(a: &AtomicU32) {\n        let _ = a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);\n    }\n}\n";
+        assert!(scan_source(Path::new("x.rs"), src).is_empty());
+    }
+}

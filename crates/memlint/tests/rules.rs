@@ -1,0 +1,89 @@
+//! Rule battery over the known-bad / known-good fixtures, plus the
+//! workspace-clean gate.
+
+use std::path::Path;
+
+use memlint::{scan_source, scan_workspace, Rule};
+
+const KNOWN_BAD: &str = include_str!("fixtures/known_bad.rs");
+const KNOWN_GOOD: &str = include_str!("fixtures/known_good.rs");
+
+fn bad() -> Vec<memlint::Diagnostic> {
+    scan_source(Path::new("known_bad.rs"), KNOWN_BAD)
+}
+
+#[test]
+fn known_bad_fires_every_rule() {
+    let hits = bad();
+    for rule in Rule::ALL {
+        assert!(
+            hits.iter().any(|d| d.rule == rule),
+            "rule {rule} did not fire on the known-bad fixture"
+        );
+    }
+}
+
+#[test]
+fn known_bad_lines_are_exact() {
+    let hits = bad();
+    let expect = [
+        (Rule::RawAtomicImport, 5),
+        (Rule::SharedUnsafeCell, 9),
+        (Rule::RelaxedCasSuccess, 14),
+        (Rule::RelaxedStoreAfterClaim, 23),
+        (Rule::RelaxedCasSuccess, 29),
+        (Rule::AtomicTransmute, 40),
+        (Rule::AllowMissingReason, 44),
+        (Rule::RelaxedCasSuccess, 46),
+    ];
+    for (rule, line) in expect {
+        assert!(
+            hits.iter().any(|d| d.rule == rule && d.line == line),
+            "expected {rule} at known_bad.rs:{line}; got {:?}",
+            hits.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn known_bad_has_nothing_waived() {
+    // The only allow directive in the bad fixture is reasonless: it waives
+    // nothing (its CAS still stands) and is itself a finding.
+    assert!(bad().iter().all(|d| d.allowed.is_none()));
+}
+
+#[test]
+fn known_good_is_clean() {
+    let hits = scan_source(Path::new("known_good.rs"), KNOWN_GOOD);
+    let standing: Vec<_> = hits.iter().filter(|d| d.allowed.is_none()).collect();
+    assert!(standing.is_empty(), "standing diagnostics on known-good fixture: {standing:?}");
+    // ...and the deliberate showcase entry is waived with its reason intact.
+    assert!(hits
+        .iter()
+        .any(|d| d.rule == Rule::RelaxedCasSuccess && d.allowed.as_deref().is_some()));
+}
+
+/// The acceptance gate: the workspace scan stands clean, every waiver has a
+/// written reason, and the audit actually covered the allocator crates.
+#[test]
+fn workspace_is_clean_under_reasoned_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root).expect("workspace scan");
+    let standing: Vec<String> = report.denied().map(|d| d.to_string()).collect();
+    assert!(standing.is_empty(), "standing diagnostics:\n{}", standing.join("\n"));
+    assert!(report.files > 30, "suspiciously few files scanned: {}", report.files);
+    for d in report.allowlisted() {
+        let reason = d.allowed.as_deref().unwrap();
+        assert!(
+            reason.len() >= 10,
+            "threadbare allowlist reason at {}:{}",
+            d.file.display(),
+            d.line
+        );
+    }
+    // The known showcase sites are present as *allowlisted* findings.
+    let waived_in =
+        |suffix: &str| report.allowlisted().any(|d| d.file.to_string_lossy().ends_with(suffix));
+    assert!(waived_in("alloc-ouroboros/src/queues.rs"));
+    assert!(waived_in("alloc-xmalloc/src/fifo.rs"));
+}

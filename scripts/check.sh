@@ -40,6 +40,37 @@ GMS_WORKERS=1 cargo test --offline --release -q --test conformance
 echo "==> repro exec-bench"
 cargo run --offline --release -q -p gpumem-bench --bin repro -- exec-bench
 
+# Atomics-ordering static pass: any non-allowlisted smell (Relaxed CAS
+# success edges, raw std::sync::atomic imports bypassing the facade, ...)
+# fails the gate; every allowlist entry must carry a written reason.
+echo "==> memlint --deny"
+cargo run --offline -q -p memlint -- --deny .
+
+# Loom model checking: the same allocator protocols, compiled against the
+# cooperative-scheduling shim (--cfg loom) and exhaustively interleaved at
+# small bounds. Separate target dir so the flag flip doesn't thrash the
+# main incremental cache.
+echo "==> loom model checks (--cfg loom)"
+for crate in loom alloc-atomic alloc-scatter alloc-ouroboros alloc-xmalloc \
+    alloc-regeff alloc-halloc gpu-sim; do
+    echo "    -> $crate"
+    RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+        cargo test --offline --release -q -p "$crate" --lib loom_
+done
+
+# Miri smoke (opt-in: MIRI=1). Interprets the ouroboros queue + regeff
+# header units under the UB checker; skipped gracefully where the miri
+# component isn't installed (e.g. offline containers).
+if [[ "${MIRI:-0}" == "1" ]]; then
+    if cargo miri --version >/dev/null 2>&1; then
+        echo "==> cargo miri test (smoke)"
+        cargo miri test --offline -q -p alloc-ouroboros --lib queues
+        cargo miri test --offline -q -p alloc-regeff --lib header
+    else
+        echo "==> MIRI=1 set but 'cargo miri' is unavailable; skipping"
+    fi
+fi
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
