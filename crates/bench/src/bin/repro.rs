@@ -16,6 +16,7 @@
 //! repro write                       # Fig 11e
 //! repro graph-init                  # Fig 11f
 //! repro graph-update                # Fig 11g
+//! repro trace -m scatter            # Perfetto trace + latency percentiles
 //! ```
 //!
 //! Common options: `-t o+s+h+c+r+x+a` (approach selector, artifact syntax),
@@ -28,9 +29,10 @@ use gpu_sim::{Device, DeviceSpec};
 use gpu_workloads::{sizes, write_test::WritePattern};
 use gpumem_bench::csv::{ms, us, Csv};
 use gpumem_bench::exec_bench;
-use gpumem_bench::registry::{ManagerKind, DEFAULT_KINDS};
+use gpumem_bench::registry::{ManagerKind, ALL_KINDS, DEFAULT_KINDS};
 use gpumem_bench::runners::{self, Bench};
 use gpumem_core::info::SURVEY_TABLE;
+use gpumem_core::trace::DEFAULT_EVENTS_PER_SM;
 
 struct Opts {
     kinds: Vec<ManagerKind>,
@@ -46,6 +48,8 @@ struct Opts {
     edges: u32,
     scale_div: u32,
     oom_heap_mb: u64,
+    manager: Option<String>,
+    trace_cap: usize,
     out: PathBuf,
 }
 
@@ -65,6 +69,8 @@ impl Default for Opts {
             edges: 20_000,
             scale_div: 64,
             oom_heap_mb: 64,
+            manager: None,
+            trace_cap: DEFAULT_EVENTS_PER_SM,
             out: PathBuf::from("results"),
         }
     }
@@ -112,6 +118,8 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
             "--edges" => opts.edges = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--scale-div" => opts.scale_div = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--oom-heap" => opts.oom_heap_mb = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "-m" | "--manager" => opts.manager = Some(next(&mut i)?),
+            "--trace-cap" => opts.trace_cap = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--out" => opts.out = PathBuf::from(next(&mut i)?),
             other => return Err(format!("unknown option: {other}\n{}", usage())),
         }
@@ -120,10 +128,11 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|audit|exec-bench|check|all> [options]\n\
+    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|trace|audit|exec-bench|check|all> [options]\n\
      (`repro --report contention` is an alias for `repro contention`)\n\
      options: -t SELECTOR --device D --num N --warp --dense --max-exp E --range LO-HI\n\
-     --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB --out DIR"
+     --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB\n\
+     -m MANAGER --trace-cap EVENTS_PER_SM --out DIR"
         .to_string()
 }
 
@@ -167,6 +176,7 @@ fn main() {
         "churn" => churn(&opts),
         "contention" => contention(&opts),
         "sanitize" => sanitize(&opts),
+        "trace" => trace(&opts),
         "audit" => audit(&opts),
         "exec-bench" => exec_overhead(&opts),
         "check" => check(&opts),
@@ -236,6 +246,8 @@ fn clone_opts(o: &Opts) -> Opts {
             edges: o.edges,
             scale_div: o.scale_div,
             oom_heap_mb: o.oom_heap_mb,
+            manager: o.manager.clone(),
+            trace_cap: o.trace_cap,
             out: o.out.clone(),
         }
     }
@@ -786,6 +798,7 @@ fn audit(opts: &Opts) {
         report.allowlisted().count()
     );
 
+    csv.comment(provenance(opts));
     let path = opts.out.join("audit.csv");
     match csv.write(&path) {
         Ok(()) => println!("wrote {}", path.display()),
@@ -875,6 +888,112 @@ fn sanitize(opts: &Opts) {
     }
 }
 
+/// Lowercases and strips non-alphanumerics so `"Ouro-S-P"`, `"ouro s p"`,
+/// and `"OuroSP"` all compare (and name files) identically.
+fn sanitize_token(name: &str) -> String {
+    name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_ascii_lowercase()
+}
+
+/// Resolves a user-supplied manager name against the registry labels by
+/// normalized prefix match (`scatter` → ScatterAlloc, `halloc` → Halloc).
+/// Exact matches win over prefix matches; ambiguity is an error listing
+/// the candidates.
+fn resolve_manager(name: &str) -> Result<ManagerKind, String> {
+    let want = sanitize_token(name);
+    if want.is_empty() {
+        return Err(format!("empty manager name: {name:?}"));
+    }
+    if let Some(&k) = ALL_KINDS.iter().find(|k| sanitize_token(k.label()) == want) {
+        return Ok(k);
+    }
+    let matches: Vec<ManagerKind> = ALL_KINDS
+        .iter()
+        .copied()
+        .filter(|k| sanitize_token(k.label()).starts_with(&want))
+        .collect();
+    let labels = |ks: &[ManagerKind]| ks.iter().map(|k| k.label()).collect::<Vec<_>>().join(", ");
+    match matches.as_slice() {
+        [k] => Ok(*k),
+        [] => Err(format!("unknown manager: {name} (available: {})", labels(&ALL_KINDS))),
+        many => Err(format!("ambiguous manager {name}: matches {}", labels(many))),
+    }
+}
+
+/// Event-tracing run (`repro trace -m scatter`): executes the mixed-size
+/// alloc/free workload on one manager with the per-SM ring-buffer recorder
+/// attached, then writes the Chrome trace-event JSON (load it in
+/// <https://ui.perfetto.dev>) plus a latency-percentile CSV derived from
+/// the same event stream.
+fn trace(opts: &Opts) {
+    let bench = bench_of(opts);
+    let (kind, token) = match &opts.manager {
+        Some(name) => match resolve_manager(name) {
+            Ok(k) => (k, sanitize_token(name)),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        None => (ManagerKind::ScatterAlloc, sanitize_token(ManagerKind::ScatterAlloc.label())),
+    };
+    let r = runners::trace_profile(&bench, kind, opts.num, opts.trace_cap);
+    if let Err(e) = gpumem_core::validate_chrome_json(&r.json) {
+        eprintln!("exported trace failed Chrome-JSON validation: {e}");
+        std::process::exit(1);
+    }
+    let json_path = opts.out.join(format!("trace_{token}.json"));
+    if let Some(parent) = json_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&json_path, &r.json) {
+        Ok(()) => println!("wrote {} ({} bytes)", json_path.display(), r.json.len()),
+        Err(e) => eprintln!("failed to write {}: {e}", json_path.display()),
+    }
+    let mut csv = Csv::new([
+        "manager", "op", "events", "dropped", "p50_ns", "p95_ns", "p99_ns", "max_ns", "mean_ns",
+    ]);
+    println!(
+        "{:<16}{:<8}{:>9}{:>9}{:>10}{:>10}{:>10}{:>12}",
+        "manager", "op", "events", "dropped", "p50_ns", "p95_ns", "p99_ns", "max_ns"
+    );
+    for (op, h) in [("malloc", &r.latencies.malloc), ("free", &r.latencies.free)] {
+        println!(
+            "{:<16}{:<8}{:>9}{:>9}{:>10}{:>10}{:>10}{:>12}",
+            r.manager,
+            op,
+            h.count(),
+            r.trace.dropped,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max_ns()
+        );
+        csv.row([
+            r.manager.to_string(),
+            op.to_string(),
+            h.count().to_string(),
+            r.trace.dropped.to_string(),
+            h.p50().to_string(),
+            h.p95().to_string(),
+            h.p99().to_string(),
+            h.max_ns().to_string(),
+            h.mean_ns().to_string(),
+        ]);
+    }
+    save(csv, opts, &format!("trace_latency_{}_{}.csv", opts.num, opts.device.name));
+    let occ = &r.occupancy;
+    println!(
+        "{} events recorded ({} dropped), span {:.3} ms; occupancy: {} samples, peak {} B in {} allocs, address range {} B",
+        r.trace.len(),
+        r.trace.dropped,
+        r.trace.span_ns() as f64 / 1e6,
+        occ.samples.len(),
+        occ.peak_live_bytes,
+        occ.peak_live_allocs,
+        occ.address_range.range()
+    );
+}
+
 /// Validates a finished run's CSVs against the paper's qualitative shapes.
 fn check(opts: &Opts) {
     let results = gpumem_bench::shapes::check_all(&opts.out);
@@ -901,7 +1020,28 @@ fn check(opts: &Opts) {
     }
 }
 
-fn save(csv: Csv, opts: &Opts, name: &str) {
+/// One-line provenance stamp attached to every CSV `repro` writes: enough
+/// to reproduce the run (git revision, worker configuration, seed) and to
+/// detect schema drift. Rendered as a `# ...` comment line above the
+/// header; `scripts/summarize_results.py` skips it.
+fn provenance(opts: &Opts) -> String {
+    let git = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    format!(
+        "git={git} device={} workers={} gms_workers={} seed=0x5eed schema=1",
+        opts.device.name,
+        Device::configured_workers(),
+        std::env::var("GMS_WORKERS").unwrap_or_else(|_| "-".to_string()),
+    )
+}
+
+fn save(mut csv: Csv, opts: &Opts, name: &str) {
+    csv.comment(provenance(opts));
     let path = opts.out.join(name);
     match csv.write(&path) {
         Ok(()) => println!("wrote {} ({} rows)", path.display(), csv.len()),

@@ -8,12 +8,27 @@ use std::path::Path;
 pub struct Csv {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Optional provenance line, emitted as a `# ...` comment above the
+    /// header (see [`Csv::comment`]).
+    comment: Option<String>,
 }
 
 impl Csv {
     /// New table with the given column names.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Csv { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Csv {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            comment: None,
+        }
+    }
+
+    /// Attaches a one-line comment (provenance stamp: git revision, worker
+    /// config, seed, schema version) rendered as `# <line>` before the
+    /// header. Newlines are flattened so the comment stays one line —
+    /// consumers (`scripts/summarize_results.py`) skip `#`-prefixed lines.
+    pub fn comment(&mut self, line: impl Into<String>) {
+        self.comment = Some(line.into().replace('\n', " "));
     }
 
     /// Appends a row (must match the header width).
@@ -36,6 +51,9 @@ impl Csv {
     /// Renders the table as CSV text.
     pub fn to_string_csv(&self) -> String {
         let mut out = String::new();
+        if let Some(c) = &self.comment {
+            let _ = writeln!(out, "# {c}");
+        }
         let esc = |s: &str| {
             if s.contains(',') || s.contains('"') || s.contains('\n') {
                 format!("\"{}\"", s.replace('"', "\"\""))
@@ -98,6 +116,14 @@ mod tests {
     fn width_mismatch_panics() {
         let mut c = Csv::new(["a", "b"]);
         c.row(["only one"]);
+    }
+
+    #[test]
+    fn comment_precedes_header_and_is_single_line() {
+        let mut c = Csv::new(["a"]);
+        c.comment("git=abc123 workers=8\nseed=0x5eed");
+        c.row([1]);
+        assert_eq!(c.to_string_csv(), "# git=abc123 workers=8 seed=0x5eed\na\n1\n");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use alloc_ouroboros::{OuroSC, OuroSP, OuroVAC, OuroVAP, OuroVLC, OuroVLP};
 use alloc_regeff::{RegEffC, RegEffCF, RegEffCFM, RegEffCM};
 use alloc_scatter::ScatterAlloc;
 use alloc_xmalloc::XMalloc;
+use gpumem_core::trace::{TraceRecorder, Traced, DEFAULT_EVENTS_PER_SM};
 use gpumem_core::{DeviceAllocator, DeviceHeap, Metrics};
 
 /// Every manager variant the framework can instantiate.
@@ -158,6 +159,7 @@ impl ManagerKind {
             heap: HeapSource::Fresh(DEFAULT_HEAP_BYTES),
             sms: DEFAULT_SMS,
             metrics: false,
+            trace: None,
         }
     }
 
@@ -225,11 +227,20 @@ enum HeapSource {
 /// embedded CUDA-allocator model, a relay handle to that model too — so hot
 /// loops record contention counters. With `metrics(false)` (the default) the
 /// handle is disabled and every recording call is a no-op on a `None` branch.
+///
+/// `trace(true)` additionally wraps the manager in the event-tracing layer
+/// (`gpumem_core::trace`): a per-SM ring [`TraceRecorder`] is attached to
+/// the metrics handle and a [`Traced`] wrapper records begin/end events with
+/// latency and retry payloads around every entry point. Tracing implies
+/// metrics. Retrieve the recorder afterwards with
+/// `alloc.metrics().tracer()`.
 pub struct ManagerBuilder {
     kind: ManagerKind,
     heap: HeapSource,
     sms: u32,
     metrics: bool,
+    /// Ring capacity per SM shard when tracing; `None` = no tracing.
+    trace: Option<usize>,
 }
 
 impl ManagerBuilder {
@@ -258,14 +269,40 @@ impl ManagerBuilder {
         self
     }
 
+    /// Enables or disables the event-tracing layer with the default ring
+    /// capacity ([`DEFAULT_EVENTS_PER_SM`] events per SM shard). Tracing
+    /// implies metrics.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled.then_some(DEFAULT_EVENTS_PER_SM);
+        self
+    }
+
+    /// Enables tracing with an explicit per-SM ring capacity.
+    pub fn trace_capacity(mut self, events_per_sm: usize) -> Self {
+        self.trace = Some(events_per_sm);
+        self
+    }
+
     /// Constructs the manager.
     pub fn build(self) -> Arc<dyn DeviceAllocator> {
         let heap = match self.heap {
             HeapSource::Fresh(bytes) => Arc::new(DeviceHeap::new(bytes)),
             HeapSource::Shared(heap) => heap,
         };
-        let metrics = if self.metrics { Metrics::enabled(self.sms) } else { Metrics::disabled() };
-        Arc::from(construct(self.kind, heap, self.sms, metrics))
+        match self.trace {
+            Some(events_per_sm) => {
+                let rec = Arc::new(TraceRecorder::new(self.sms, events_per_sm));
+                let metrics = Metrics::enabled(self.sms).with_tracer(Arc::clone(&rec));
+                let inner: Arc<dyn DeviceAllocator> =
+                    Arc::from(construct(self.kind, heap, self.sms, metrics));
+                Arc::new(Traced::new(inner, rec))
+            }
+            None => {
+                let metrics =
+                    if self.metrics { Metrics::enabled(self.sms) } else { Metrics::disabled() };
+                Arc::from(construct(self.kind, heap, self.sms, metrics))
+            }
+        }
     }
 }
 
@@ -464,6 +501,37 @@ mod tests {
         assert_eq!(labels.len(), ALL_KINDS.len());
         let colors: std::collections::HashSet<_> = ALL_KINDS.iter().map(|k| k.color()).collect();
         assert_eq!(colors.len(), ALL_KINDS.len());
+    }
+
+    #[test]
+    fn builder_trace_attaches_recorder_and_records() {
+        use gpumem_core::trace::EventKind;
+        let a = ScatterAlloc.builder().heap(HEAP).trace(true).build();
+        let m = a.metrics();
+        assert!(m.is_enabled(), "tracing implies metrics");
+        let rec = Arc::clone(m.tracer().expect("tracer attached"));
+        assert_eq!(rec.recorded(), 0);
+        let p = a.malloc(&ThreadCtx::host(), 64).unwrap();
+        a.free(&ThreadCtx::host(), p).unwrap();
+        let t = rec.snapshot();
+        assert_eq!(t.count(EventKind::MallocBegin), 1);
+        assert_eq!(t.count(EventKind::MallocEnd), 1);
+        assert_eq!(t.count(EventKind::FreeBegin), 1);
+        assert_eq!(t.count(EventKind::FreeEnd), 1);
+        assert_eq!(
+            t.events.iter().find(|e| e.kind == EventKind::MallocEnd).unwrap().args[0],
+            p.raw()
+        );
+    }
+
+    #[test]
+    fn builder_without_trace_has_no_recorder() {
+        for kind in [ScatterAlloc, Atomic] {
+            let a = kind.builder().heap(HEAP).build();
+            assert!(a.metrics().tracer().is_none(), "{kind}");
+            let b = kind.builder().heap(HEAP).metrics(true).build();
+            assert!(b.metrics().tracer().is_none(), "{kind}");
+        }
     }
 
     #[test]

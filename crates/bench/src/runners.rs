@@ -10,6 +10,9 @@ use gpu_sim::{Device, PerThread};
 use gpu_workloads::{churn, sizes, workgen, write_test};
 use gpumem_core::frag::{AddressRange, FragmentationStats};
 use gpumem_core::sanitize::{Sanitized, VIOLATION_KINDS};
+use gpumem_core::trace::{
+    chrome_trace_json, occupancy_timeline, OccupancyTimeline, OpLatencies, Trace,
+};
 use gpumem_core::{AllocError, CounterSnapshot, DeviceAllocator, DevicePtr, WarpCtx, WARP_SIZE};
 
 use crate::registry::ManagerKind;
@@ -572,6 +575,70 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
         workers_used,
         steals,
     }
+}
+
+/// Result of one manager's traced run (`repro trace`): the decoded event
+/// stream plus the three derived views.
+#[derive(Clone, Debug)]
+pub struct TraceRun {
+    pub manager: &'static str,
+    pub num: u32,
+    /// The decoded, time-sorted event stream.
+    pub trace: Trace,
+    /// Per-op latency histograms (p50/p95/p99 in the CSV).
+    pub latencies: OpLatencies,
+    /// Heap-occupancy/fragmentation timeline replayed from the trace.
+    pub occupancy: OccupancyTimeline,
+    /// Chrome trace-event JSON export (Perfetto-loadable).
+    pub json: String,
+    /// Kernel wall-clock across the alloc and free launches.
+    pub elapsed: Duration,
+}
+
+/// Runs the mixed-size alloc/free workload on `kind` with the event-tracing
+/// layer attached and derives all three trace consumers. A single traced
+/// pass (no min-of-N averaging): the product here is the *time axis*, not a
+/// robust scalar.
+pub fn trace_profile(bench: &Bench, kind: ManagerKind, num: u32, events_per_sm: usize) -> TraceRun {
+    const SIZE_LO: u64 = 16;
+    const SIZE_HI: u64 = 1024;
+    let alloc = kind
+        .builder()
+        .heap(heap_for(num, SIZE_HI))
+        .sms(bench.num_sms())
+        .trace_capacity(events_per_sm)
+        .build();
+    let m = alloc.metrics();
+    let ptrs = PerThread::<DevicePtr>::new(num as usize);
+    let rep = bench.device.launch_observed(&m, num, |ctx| {
+        let size = sizes::thread_size(bench.seed, ctx.thread_id, SIZE_LO, SIZE_HI);
+        match alloc.malloc(ctx, size) {
+            Ok(p) => ptrs.set(ctx.thread_id as usize, p),
+            Err(_) => ptrs.set(ctx.thread_id as usize, DevicePtr::NULL),
+        }
+    });
+    let mut elapsed = rep.elapsed;
+    let ptrs = ptrs.into_vec();
+    if kind.warp_level_only() {
+        let free = bench.device.launch_warps_observed(&m, num.div_ceil(WARP_SIZE), |w| {
+            let _ = alloc.free_warp_all(w);
+        });
+        elapsed += free.elapsed;
+    } else if alloc.info().supports_free {
+        let free = bench.device.launch_observed(&m, num, |ctx| {
+            let p = ptrs[ctx.thread_id as usize];
+            if !p.is_null() {
+                let _ = alloc.free(ctx, p);
+            }
+        });
+        elapsed += free.elapsed;
+    }
+    let rec = m.tracer().expect("trace_capacity attaches a recorder");
+    let trace = rec.snapshot();
+    let latencies = OpLatencies::from_trace(&trace);
+    let occupancy = occupancy_timeline(&trace, 4096);
+    let json = chrome_trace_json(&trace, kind.label());
+    TraceRun { manager: kind.label(), num, trace, latencies, occupancy, json, elapsed }
 }
 
 /// One row of the sanitizer sweep (`repro sanitize`): violation totals of a

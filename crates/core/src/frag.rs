@@ -104,6 +104,17 @@ impl FragmentationStats {
             self.address_range as f64 / self.baseline as f64
         }
     }
+
+    /// Range excess over the packed baseline in percent — the "% over
+    /// baseline" axis of Fig. 11a (0.0 = perfectly packed; 100.0 = the
+    /// range is twice the demand). 0.0 when nothing was recorded.
+    pub fn percent_over_baseline(&self) -> f64 {
+        if self.baseline == 0 {
+            0.0
+        } else {
+            (self.expansion_factor() - 1.0) * 100.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +184,66 @@ mod tests {
     fn expansion_factor_of_empty_is_zero() {
         let s = FragmentationStats::from_range(&AddressRange::new());
         assert_eq!(s.expansion_factor(), 0.0);
+    }
+
+    #[test]
+    fn null_only_stream_yields_empty_stats() {
+        let mut r = AddressRange::new();
+        for _ in 0..64 {
+            r.record(DevicePtr::NULL, 128);
+        }
+        assert_eq!((r.range(), r.demand(), r.count()), (0, 0, 0));
+        let s = FragmentationStats::from_range(&r);
+        assert_eq!(s.expansion_factor(), 0.0);
+        assert_eq!(s.percent_over_baseline(), 0.0);
+    }
+
+    #[test]
+    fn nulls_interleaved_with_real_allocations_do_not_disturb_span() {
+        let mut r = AddressRange::new();
+        r.record(DevicePtr::new(64), 32);
+        r.record(DevicePtr::NULL, 4096);
+        r.record(DevicePtr::new(256), 32);
+        assert_eq!(r.range(), 288 - 64);
+        assert_eq!(r.demand(), 64);
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "AddressRange::record overflow: offset 18446744073709551614 + size 4"
+    )]
+    fn offset_plus_size_overflow_panics_with_context() {
+        let mut r = AddressRange::new();
+        // u64::MAX itself is the NULL sentinel, so the largest recordable
+        // offset is MAX-1; any non-trivial size overflows from there.
+        r.record(DevicePtr::new(u64::MAX - 1), 4);
+    }
+
+    #[test]
+    fn percent_over_baseline_on_packed_layout() {
+        // Hand-computed: four 64 B allocations laid out back-to-back at
+        // offset 0 — range == demand == 256 B, i.e. 0% over baseline.
+        let mut packed = AddressRange::new();
+        for i in 0..4u64 {
+            packed.record(DevicePtr::new(i * 64), 64);
+        }
+        let s = FragmentationStats::from_range(&packed);
+        assert_eq!(s.address_range, 256);
+        assert_eq!(s.baseline, 256);
+        assert!((s.expansion_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(s.percent_over_baseline(), 0.0);
+
+        // Same demand with a 256 B hole between the two halves:
+        // range 512, demand 256 → 100% over baseline.
+        let mut holey = AddressRange::new();
+        holey.record(DevicePtr::new(0), 64);
+        holey.record(DevicePtr::new(64), 64);
+        holey.record(DevicePtr::new(384), 64);
+        holey.record(DevicePtr::new(448), 64);
+        let s = FragmentationStats::from_range(&holey);
+        assert_eq!(s.address_range, 512);
+        assert_eq!(s.baseline, 256);
+        assert!((s.percent_over_baseline() - 100.0).abs() < 1e-9);
     }
 }

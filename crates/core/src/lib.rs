@@ -32,6 +32,10 @@
 //!   wraps any manager and detects overlap, out-of-heap and misaligned
 //!   returns, double-/unknown-frees and redzone corruption, collecting
 //!   structured [`Violation`]s instead of panicking mid-kernel.
+//! * [`trace`] — the event-tracing layer: a per-SM ring-buffer
+//!   [`TraceRecorder`] fed by the [`Traced`] wrapper and the executor,
+//!   with latency-histogram, heap-occupancy-timeline and Chrome/Perfetto
+//!   JSON consumers.
 //!
 //! Everything here is `std`-only; no external dependencies.
 
@@ -45,6 +49,7 @@ pub mod ptr;
 pub mod regs;
 pub mod sanitize;
 pub mod sync;
+pub mod trace;
 pub mod traits;
 pub mod util;
 
@@ -57,4 +62,8 @@ pub use metrics::{AllocCounters, Counter, CounterSnapshot, Metrics};
 pub use ptr::DevicePtr;
 pub use regs::RegisterFootprint;
 pub use sanitize::{Sanitized, SanitizerConfig, SanitizerReport, Violation, ViolationKind};
+pub use trace::{
+    chrome_trace_json, occupancy_timeline, validate_chrome_json, EventKind, LatencyHistogram,
+    OccupancySample, OccupancyTimeline, OpLatencies, Trace, TraceEvent, TraceRecorder, Traced,
+};
 pub use traits::DeviceAllocator;

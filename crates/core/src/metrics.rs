@@ -185,25 +185,49 @@ pub struct Metrics {
     inner: Option<Arc<AllocCounters>>,
     /// When false, per-call accounting counters are dropped (relay mode).
     record_calls: bool,
+    /// Attached trace recorder (see [`crate::trace`]). Checked only on
+    /// paths that already found `inner` populated or recorded a non-zero
+    /// retry count, so a disabled handle still costs one branch.
+    tracer: Option<Arc<crate::trace::TraceRecorder>>,
 }
 
 impl Metrics {
     /// A handle that records nothing. This is the default state of every
     /// allocator; all record calls reduce to one branch on a `None`.
     pub fn disabled() -> Self {
-        Metrics { inner: None, record_calls: false }
+        Metrics { inner: None, record_calls: false, tracer: None }
     }
 
     /// A recording handle with one counter shard per simulated SM.
     pub fn enabled(num_sms: u32) -> Self {
-        Metrics { inner: Some(Arc::new(AllocCounters::new(num_sms))), record_calls: true }
+        Metrics {
+            inner: Some(Arc::new(AllocCounters::new(num_sms))),
+            record_calls: true,
+            tracer: None,
+        }
     }
 
     /// A clone for an *embedded* fallback allocator: shares the counter
     /// block but drops [call-accounting](Counter::is_call_accounting)
     /// events, so one outer request relayed inward is still counted once.
+    /// The tracer (if any) is shared: the fallback's contention belongs to
+    /// the same trace.
     pub fn relay(&self) -> Self {
-        Metrics { inner: self.inner.clone(), record_calls: false }
+        Metrics { inner: self.inner.clone(), record_calls: false, tracer: self.tracer.clone() }
+    }
+
+    /// Attaches a trace recorder: `OomFallback` events and per-operation
+    /// retry payloads recorded through this handle land in `rec`'s rings.
+    /// Used by the manager builder's `.trace(..)` together with the
+    /// [`Traced`](crate::trace::Traced) wrapper.
+    pub fn with_tracer(mut self, rec: Arc<crate::trace::TraceRecorder>) -> Self {
+        self.tracer = Some(rec);
+        self
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<crate::trace::TraceRecorder>> {
+        self.tracer.as_ref()
     }
 
     /// Whether this handle records events.
@@ -221,6 +245,11 @@ impl Metrics {
                 return;
             }
             c.add(sm, counter, n);
+            if counter == Counter::OomFallbacks {
+                if let Some(rec) = &self.tracer {
+                    rec.emit(sm, crate::trace::EventKind::OomFallback, [n, 0, 0, 0]);
+                }
+            }
         }
     }
 
@@ -242,6 +271,12 @@ impl Metrics {
         }
         if let Some(c) = &self.inner {
             c.record_retries(sm, retries);
+        }
+        // Feed the current thread's in-flight traced operation, so the
+        // `Traced` wrapper can stamp MallocEnd/FreeEnd events with the
+        // retries its inner call burned.
+        if self.tracer.is_some() {
+            crate::trace::note_op_retries(retries);
         }
     }
 

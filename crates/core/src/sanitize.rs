@@ -403,6 +403,15 @@ impl<A: DeviceAllocator> Sanitized<A> {
 
     fn record(&self, v: Violation) {
         self.sink.counts[v.kind as usize].fetch_add(1, Ordering::Relaxed);
+        // Violations are rare by construction; fetching the metrics handle
+        // per event is fine on this cold path.
+        if let Some(rec) = self.inner.metrics().tracer() {
+            rec.emit(
+                v.sm,
+                crate::trace::EventKind::SanitizerViolation,
+                [v.kind as u64, v.offset, v.size, 0],
+            );
+        }
         let mut rec = self.sink.recorded.lock().unwrap();
         if rec.len() < self.cfg.max_recorded {
             rec.push(v);

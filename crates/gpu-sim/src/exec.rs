@@ -29,6 +29,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use gpumem_core::trace::EventKind;
 use gpumem_core::{CounterSnapshot, Metrics, ThreadCtx, WarpCtx, WARP_SIZE};
 
 use crate::spec::DeviceSpec;
@@ -438,19 +439,36 @@ impl Device {
 
     /// As [`Device::launch`], additionally snapshotting `metrics` around the
     /// parallel section so the caller gets the per-kernel counter delta.
-    /// Snapshots are monotone, so concurrent launches sharing one handle
-    /// each observe a (superset-)delta of their own activity.
+    ///
+    /// The launch gate is taken *before* the first snapshot and held until
+    /// the second, so concurrent observed launches on this device sharing
+    /// one `Metrics` handle serialise and each report's delta covers
+    /// exactly its own launch. (Launches on *different* `Device` instances
+    /// sharing a handle still interleave — give each device its own handle
+    /// and [`CounterSnapshot::merge`] the deltas.) When the handle carries
+    /// a tracer, launch and warp lifecycle events are recorded too.
     pub fn launch_observed<F>(&self, metrics: &Metrics, n_threads: u32, kernel: F) -> LaunchReport
     where
         F: Fn(&ThreadCtx) + Sync,
     {
-        let before = metrics.snapshot();
-        let (elapsed, sched) = self.launch_with_stats(n_threads, kernel);
-        LaunchReport { elapsed, counters: metrics.snapshot().delta_since(&before), sched }
+        let n_warps = n_threads.div_ceil(WARP_SIZE);
+        let block_size = self.spec.default_block_size;
+        let num_sms = self.spec.num_sms;
+        let body = |warp_id: u32| {
+            let first = warp_id * WARP_SIZE;
+            let last = (first + WARP_SIZE).min(n_threads);
+            for tid in first..last {
+                let ctx = ThreadCtx::from_linear(tid, block_size, num_sms);
+                kernel(&ctx);
+            }
+        };
+        let sm_of =
+            |warp_id: u32| ThreadCtx::from_linear(warp_id * WARP_SIZE, block_size, num_sms).sm;
+        self.observed_run(metrics, n_warps, n_threads as u64, &body, &sm_of)
     }
 
-    /// As [`Device::launch_warps`], with the counter snapshotting of
-    /// [`Device::launch_observed`].
+    /// As [`Device::launch_warps`], with the counter snapshotting (and
+    /// per-launch delta scoping) of [`Device::launch_observed`].
     pub fn launch_warps_observed<F>(
         &self,
         metrics: &Metrics,
@@ -460,9 +478,58 @@ impl Device {
     where
         F: Fn(&WarpCtx) + Sync,
     {
-        let before = metrics.snapshot();
-        let (elapsed, sched) = self.launch_warps_with_stats(n_warps, kernel);
-        LaunchReport { elapsed, counters: metrics.snapshot().delta_since(&before), sched }
+        let block_size = self.spec.default_block_size;
+        let num_sms = self.spec.num_sms;
+        let warps_per_block = (block_size / WARP_SIZE).max(1);
+        let body = |warp_id: u32| {
+            let block = warp_id / warps_per_block;
+            let ctx = WarpCtx { warp: warp_id, block, sm: block % num_sms };
+            kernel(&ctx);
+        };
+        let sm_of = |warp_id: u32| (warp_id / warps_per_block) % num_sms;
+        self.observed_run(
+            metrics,
+            n_warps,
+            u64::from(n_warps) * u64::from(WARP_SIZE),
+            &body,
+            &sm_of,
+        )
+    }
+
+    /// Shared implementation of the observed launches: gate, snapshot, run,
+    /// snapshot. Holding the launch gate across both snapshots is what makes
+    /// the delta per-launch — before this, two concurrent observed launches
+    /// would each read the other's counter traffic into its delta. With a
+    /// tracer attached, emits `LaunchBegin`/`LaunchEnd` (on shard 0) and
+    /// per-warp `WarpDispatched`/`WarpRetired` events.
+    fn observed_run(
+        &self,
+        metrics: &Metrics,
+        n_warps: u32,
+        n_threads: u64,
+        body: &(dyn Fn(u32) + Sync),
+        sm_of_warp: &(dyn Fn(u32) -> u32 + Sync),
+    ) -> LaunchReport {
+        let _gate = lock_pool(&self.pool.launch_gate);
+        if let Some(rec) = metrics.tracer() {
+            let launch_id = rec.next_launch_id();
+            rec.emit(0, EventKind::LaunchBegin, [launch_id, n_threads, u64::from(n_warps), 0]);
+            let traced = |warp_id: u32| {
+                let sm = sm_of_warp(warp_id);
+                rec.emit(sm, EventKind::WarpDispatched, [u64::from(warp_id), launch_id, 0, 0]);
+                body(warp_id);
+                rec.emit(sm, EventKind::WarpRetired, [u64::from(warp_id), launch_id, 0, 0]);
+            };
+            let before = metrics.snapshot();
+            let (elapsed, sched) = self.run_warps_locked(n_warps, &traced);
+            let counters = metrics.snapshot().delta_since(&before);
+            rec.emit(0, EventKind::LaunchEnd, [launch_id, elapsed.as_nanos() as u64, 0, 0]);
+            LaunchReport { elapsed, counters, sched }
+        } else {
+            let before = metrics.snapshot();
+            let (elapsed, sched) = self.run_warps_locked(n_warps, body);
+            LaunchReport { elapsed, counters: metrics.snapshot().delta_since(&before), sched }
+        }
     }
 
     /// Launches `n_warps` warps running a *warp-collective* kernel, one call
@@ -490,13 +557,26 @@ impl Device {
         })
     }
 
-    /// Shared scheduling entry: dispatches `n_warps` warps onto the pool
-    /// (or runs inline for a 1-worker device) and reports the parallel
-    /// section's duration plus scheduler stats.
+    /// Shared scheduling entry: takes the launch gate (launches on one
+    /// device are serialised, pooled *and* inline — the gate is taken
+    /// before any clock starts, so waiting launches are not charged), then
+    /// dispatches via [`Device::run_warps_locked`].
     fn run_warps<F>(&self, n_warps: u32, body: F) -> (Duration, SchedStats)
     where
         F: Fn(u32) + Sync,
     {
+        let _gate = lock_pool(&self.pool.launch_gate);
+        self.run_warps_locked(n_warps, &body)
+    }
+
+    /// Dispatches `n_warps` warps onto the pool (or runs inline for a
+    /// 1-worker device) and reports the parallel section's duration plus
+    /// scheduler stats. Caller must hold the launch gate.
+    fn run_warps_locked(
+        &self,
+        n_warps: u32,
+        body: &(dyn Fn(u32) + Sync),
+    ) -> (Duration, SchedStats) {
         let workers = self.pool.workers;
         if n_warps == 0 {
             return (Duration::ZERO, SchedStats { workers, ..SchedStats::default() });
@@ -517,7 +597,7 @@ impl Device {
             };
             return (elapsed, sched);
         }
-        self.run_pooled(n_warps, &body)
+        self.run_pooled(n_warps, body)
     }
 
     /// The pooled launch protocol (see module docs): reset per-launch
@@ -527,7 +607,6 @@ impl Device {
     fn run_pooled(&self, n_warps: u32, body: &(dyn Fn(u32) + Sync)) -> (Duration, SchedStats) {
         let pool = &self.pool;
         let shared = &*pool.shared;
-        let _gate = lock_pool(&pool.launch_gate);
         let t0 = Instant::now();
         let chunk = chunk_for(n_warps, pool.workers);
 

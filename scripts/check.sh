@@ -40,6 +40,17 @@ GMS_WORKERS=1 cargo test --offline --release -q --test conformance
 echo "==> repro exec-bench"
 cargo run --offline --release -q -p gpumem-bench --bin repro -- exec-bench
 
+# Event-tracing smoke: a traced run must produce a Perfetto-loadable Chrome
+# trace (the binary validates it before writing) plus a latency-percentile
+# CSV with data rows. Cheap end-to-end coverage of recorder → exporters.
+echo "==> repro trace smoke"
+rm -rf target/trace-smoke
+cargo run --offline --release -q -p gpumem-bench --bin repro -- \
+    trace -m scatter --num 2048 --out target/trace-smoke
+test -s target/trace-smoke/trace_scatter.json
+grep -q '"ph"' target/trace-smoke/trace_scatter.json
+grep -q '^ScatterAlloc,malloc,' target/trace-smoke/trace_latency_2048_TITANV.csv
+
 # Atomics-ordering static pass: any non-allowlisted smell (Relaxed CAS
 # success edges, raw std::sync::atomic imports bypassing the facade, ...)
 # fails the gate; every allowlist entry must carry a written reason.
@@ -51,8 +62,8 @@ cargo run --offline -q -p memlint -- --deny .
 # small bounds. Separate target dir so the flag flip doesn't thrash the
 # main incremental cache.
 echo "==> loom model checks (--cfg loom)"
-for crate in loom alloc-atomic alloc-scatter alloc-ouroboros alloc-xmalloc \
-    alloc-regeff alloc-halloc gpu-sim; do
+for crate in loom gpumem-core alloc-atomic alloc-scatter alloc-ouroboros \
+    alloc-xmalloc alloc-regeff alloc-halloc gpu-sim; do
     echo "    -> $crate"
     RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
         cargo test --offline --release -q -p "$crate" --lib loom_

@@ -25,7 +25,10 @@ def load(name):
     if not path.exists():
         return []
     with open(path) as fh:
-        return list(csv.DictReader(fh))
+        # Skip provenance comments (`# git=... workers=...`) the repro
+        # binary stamps above the header.
+        lines = (ln for ln in fh if not ln.lstrip().startswith("#"))
+        return list(csv.DictReader(lines))
 
 
 def fnum(row, key):

@@ -26,6 +26,10 @@ pub mod prelude {
         all_managers, create_manager, ManagerBuilder, ManagerKind, ManagerSelection,
     };
     pub use gpumem_core::{
+        chrome_trace_json, occupancy_timeline, validate_chrome_json, EventKind, LatencyHistogram,
+        OccupancyTimeline, OpLatencies, Trace, TraceRecorder, Traced,
+    };
+    pub use gpumem_core::{
         AllocError, Counter, CounterSnapshot, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo,
         Metrics, Sanitized, SanitizerConfig, SanitizerReport, ThreadCtx, WarpCtx,
     };

@@ -164,6 +164,46 @@ fn launch_observed_reports_per_launch_deltas() {
 }
 
 #[test]
+fn concurrent_launches_do_not_cross_contaminate_deltas() {
+    // Regression: `launch_observed` used to take its before/after
+    // snapshots around an un-serialized launch, so two threads sharing
+    // one Metrics handle interleaved and each launch's delta absorbed
+    // part of the other's counts. The executor's launch gate now scopes
+    // snapshot–launch–snapshot atomically; every reported delta must
+    // equal exactly its own launch's op count.
+    let alloc = ManagerKind::ScatterAlloc.builder().heap(HEAP).sms(80).metrics(true).build();
+    let d = device();
+    let counts: Vec<u32> = (0..4u32).map(|i| N / 2 + i * 100).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .map(|&n| {
+                let alloc = Arc::clone(&alloc);
+                let d = &d;
+                scope.spawn(move || {
+                    let a = Arc::clone(&alloc);
+                    let report = d.launch_observed(&alloc.metrics(), n, move |ctx| {
+                        let _ = a.malloc(ctx, 32);
+                    });
+                    (n, report)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (n, report) = h.join().unwrap();
+            assert_eq!(
+                report.counters.malloc_calls(),
+                u64::from(n),
+                "delta must contain exactly this launch's {n} calls"
+            );
+        }
+    });
+    // The shared handle still accumulated the global total.
+    let total: u64 = counts.iter().map(|&n| u64::from(n)).sum();
+    assert_eq!(alloc.metrics().snapshot().malloc_calls(), total);
+}
+
+#[test]
 fn structural_counters_fire_for_their_families() {
     // ScatterAlloc's hashed probing must report probe steps (and, with
     // hash collisions on partially filled pages, lost claims).

@@ -1,0 +1,137 @@
+//! Conformance battery for the event-tracing layer (PR: per-SM ring-buffer
+//! trace recorder + derived views).
+//!
+//! The acceptance surface, executed black-box through the public API:
+//!
+//! 1. **End-to-end export** — a traced run emits Chrome trace-event JSON
+//!    that validates (array of objects, each carrying `ph`/`ts`/`pid`/`tid`)
+//!    and latency histograms with non-zero p50/p95/p99 for malloc and free.
+//! 2. **Opt-in only** — a manager built without `.trace(...)` has no
+//!    recorder attached and records zero events no matter what runs.
+//! 3. **No cost when disabled** — the tracer hook on the metrics record
+//!    path is one `Option` discriminant check; a release-mode nanobench
+//!    bounds the per-op cost (same style as the executor's
+//!    timing-fidelity test, ignored in debug builds).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gpumemsurvey::bench::registry::ManagerKind;
+use gpumemsurvey::bench::runners::{self, Bench};
+use gpumemsurvey::core::trace::DEFAULT_EVENTS_PER_SM;
+use gpumemsurvey::core::{validate_chrome_json, EventKind, TraceRecorder};
+use gpumemsurvey::prelude::*;
+
+const N: u32 = 4096;
+
+fn bench() -> Bench {
+    Bench::new(Device::with_workers(DeviceSpec::titan_v(), 4))
+}
+
+#[test]
+fn traced_run_exports_valid_chrome_json_with_nonzero_percentiles() {
+    let b = bench();
+    let r = runners::trace_profile(&b, ManagerKind::ScatterAlloc, N, DEFAULT_EVENTS_PER_SM);
+
+    let json_events = validate_chrome_json(&r.json).expect("export must be valid Chrome JSON");
+    assert!(json_events > 0, "export must contain events");
+
+    assert_eq!(r.latencies.malloc.count(), u64::from(N), "one MallocEnd per thread");
+    assert_eq!(r.latencies.free.count(), u64::from(N), "one FreeEnd per thread");
+    for (op, h) in [("malloc", &r.latencies.malloc), ("free", &r.latencies.free)] {
+        assert!(h.p50() > 0 && h.p95() > 0 && h.p99() > 0, "{op}: percentiles must be non-zero");
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99(), "{op}: percentiles must be ordered");
+        assert!(h.p99() <= h.max_ns(), "{op}: p99 bounded by the observed max");
+    }
+
+    // The occupancy timeline replays the same stream into a consistent
+    // heap-usage curve: every thread allocated then freed, so the peak is
+    // positive, bounded by the thread count, and the final sample is empty.
+    assert!(r.occupancy.peak_live_bytes > 0);
+    assert!(r.occupancy.peak_live_allocs > 0 && r.occupancy.peak_live_allocs <= u64::from(N));
+    assert_eq!(r.occupancy.unmatched_frees, 0, "every free matches a traced malloc");
+    let last = r.occupancy.samples.last().expect("timeline has samples");
+    assert_eq!((last.live_bytes, last.live_allocs), (0, 0), "run ends with an empty heap");
+}
+
+#[test]
+fn warp_level_manager_traces_collective_frees() {
+    // FDGMalloc has no per-pointer free; its bulk `free_warp_all` path must
+    // still produce FreeEnd events with non-zero latency.
+    let b = bench();
+    let r = runners::trace_profile(&b, ManagerKind::FDGMalloc, N, DEFAULT_EVENTS_PER_SM);
+    validate_chrome_json(&r.json).expect("warp-level export must validate");
+    assert!(r.latencies.malloc.count() > 0);
+    assert!(r.latencies.free.count() > 0, "bulk frees must be traced");
+    assert!(r.latencies.free.p50() > 0);
+}
+
+#[test]
+fn builder_without_trace_attaches_no_recorder_and_records_nothing() {
+    let alloc = ManagerKind::ScatterAlloc.builder().heap(64 << 20).sms(80).metrics(true).build();
+    assert!(alloc.metrics().tracer().is_none(), "tracing is strictly opt-in");
+
+    // A bystander recorder sees nothing from an untraced run: events only
+    // flow through an explicitly attached tracer.
+    let bystander = TraceRecorder::new(80, 256);
+    let d = Device::with_workers(DeviceSpec::titan_v(), 4);
+    let a = Arc::clone(&alloc);
+    let report = d.launch_observed(&alloc.metrics(), N, move |ctx| {
+        let _ = a.malloc(ctx, 64);
+    });
+    assert_eq!(report.counters.malloc_calls(), u64::from(N), "metrics still work untraced");
+    assert_eq!(bystander.recorded(), 0, "recorded event count must be 0 with tracing disabled");
+    assert!(bystander.snapshot().is_empty());
+    assert!(alloc.metrics().tracer().is_none(), "launches never attach tracers");
+}
+
+#[test]
+fn traced_launch_emits_lifecycle_events() {
+    // `launch_observed` on a traced manager brackets the run with
+    // LaunchBegin/End and per-warp Dispatched/Retired markers.
+    let alloc = ManagerKind::ScatterAlloc.builder().heap(64 << 20).sms(80).trace(true).build();
+    let m = alloc.metrics();
+    let d = Device::with_workers(DeviceSpec::titan_v(), 4);
+    let a = Arc::clone(&alloc);
+    d.launch_observed(&m, 256, move |ctx| {
+        let _ = a.malloc(ctx, 32);
+    });
+    let trace = m.tracer().expect("trace(true) attaches a recorder").snapshot();
+    let warps = 256usize.div_ceil(32);
+    assert_eq!(trace.count(EventKind::LaunchBegin), 1);
+    assert_eq!(trace.count(EventKind::LaunchEnd), 1);
+    assert_eq!(trace.count(EventKind::WarpDispatched), warps);
+    assert_eq!(trace.count(EventKind::WarpRetired), warps);
+    assert_eq!(trace.count(EventKind::MallocBegin), 256);
+    assert_eq!(trace.count(EventKind::MallocEnd), 256);
+}
+
+/// Overhead guard: with tracing disabled, the metrics record path must add
+/// no measurable cost. Minima over repeated trials filter scheduler noise;
+/// the bounds are generous multiples of what a branch-plus-increment can
+/// cost so the guard only fires on a real regression (e.g. an
+/// unconditional clock read or allocation sneaking into the hot path).
+#[cfg_attr(debug_assertions, ignore = "per-op timing bound: release-only (scripts/check.sh)")]
+#[test]
+fn disabled_tracing_adds_no_measurable_record_cost() {
+    const OPS: u32 = 1_000_000;
+    let per_op_ns = |m: &Metrics| {
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let t = Instant::now();
+            for i in 0..OPS {
+                m.add(i % 8, Counter::CasRetries, 1);
+                m.record_retries(i % 8, 1);
+            }
+            best = best.min(t.elapsed());
+        }
+        best.as_nanos() as f64 / f64::from(OPS)
+    };
+    // Fully disabled handle: two `Option` checks, nothing else.
+    let disabled = per_op_ns(&Metrics::disabled());
+    assert!(disabled < 20.0, "disabled record path costs {disabled:.2} ns/op (want < 20)");
+    // Enabled counters without a tracer: the tracer hook must not add
+    // beyond the sharded increments themselves.
+    let untraced = per_op_ns(&Metrics::enabled(8));
+    assert!(untraced < 200.0, "untraced record path costs {untraced:.2} ns/op (want < 200)");
+}
