@@ -8,6 +8,7 @@
 //! repro fig9  --num 100000          # Fig 9c/d
 //! repro fig9  --num 100000 --device 2080ti   # Fig 9e/f
 //! repro fig9  --num 10000 --warp    # Fig 9g   (warp-based)
+//! repro perf  --heap-backend mmap   # Fig 9 at the paper's full 8 GiB heap
 //! repro mixed --num 100000          # Fig 9h   (mixed sizes)
 //! repro scaling --max-exp 20        # Fig 10a-h
 //! repro frag                        # Fig 11a
@@ -19,8 +20,10 @@
 //! repro trace -m scatter            # Perfetto trace + latency percentiles
 //! ```
 //!
-//! Common options: `-t o+s+h+c+r+x+a` (approach selector, artifact syntax),
-//! `--device titanv|2080ti`, `--iter N`, `--timeout SECS`, `--out DIR`.
+//! Common options: `-t o+s+h+c+r+x+a` (approach selector, artifact syntax,
+//! optional `@mmap` backend suffix), `--device titanv|2080ti`, `--iter N`,
+//! `--timeout SECS`, `--out DIR`, `--heap-backend ram|mmap|numa`,
+//! `--pretouch auto|full|striped|lazy`, `--heap-mb MB`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -29,10 +32,11 @@ use gpu_sim::{Device, DeviceSpec};
 use gpu_workloads::{sizes, write_test::WritePattern};
 use gpumem_bench::csv::{ms, us, Csv};
 use gpumem_bench::exec_bench;
-use gpumem_bench::registry::{ManagerKind, ALL_KINDS, DEFAULT_KINDS};
+use gpumem_bench::registry::{ManagerKind, ManagerSelection, ALL_KINDS, DEFAULT_KINDS};
 use gpumem_bench::runners::{self, Bench};
 use gpumem_core::info::SURVEY_TABLE;
 use gpumem_core::trace::DEFAULT_EVENTS_PER_SM;
+use gpumem_core::{HeapBackendKind, Pretouch};
 
 struct Opts {
     kinds: Vec<ManagerKind>,
@@ -50,6 +54,13 @@ struct Opts {
     oom_heap_mb: u64,
     manager: Option<String>,
     trace_cap: usize,
+    /// `None` until `--heap-backend` (or a `-t …@backend` suffix) picks one;
+    /// resolved against `GMS_HEAP_BACKEND` / the RAM default at use.
+    heap_backend: Option<HeapBackendKind>,
+    pretouch: Pretouch,
+    /// `--heap-mb`: pins every cell's heap to this size instead of the
+    /// demand-derived `heap_for` sizing.
+    heap_mb: Option<u64>,
     out: PathBuf,
 }
 
@@ -71,8 +82,19 @@ impl Default for Opts {
             oom_heap_mb: 64,
             manager: None,
             trace_cap: DEFAULT_EVENTS_PER_SM,
+            heap_backend: None,
+            pretouch: Pretouch::Auto,
+            heap_mb: None,
             out: PathBuf::from("results"),
         }
+    }
+}
+
+impl Opts {
+    /// The backend every runner uses: explicit flag/selector suffix first,
+    /// then the `GMS_HEAP_BACKEND` environment default (normally RAM).
+    fn backend(&self) -> HeapBackendKind {
+        self.heap_backend.unwrap_or_else(HeapBackendKind::env_default)
     }
 }
 
@@ -93,7 +115,16 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
         let flag = args[i].clone();
         i += 1;
         match flag.as_str() {
-            "-t" => opts.kinds = ManagerKind::parse_selector(&next(&mut i)?)?,
+            "-t" => {
+                let raw = next(&mut i)?;
+                let sel: ManagerSelection = raw.parse()?;
+                opts.kinds = sel.kinds;
+                // `o+s@mmap` picks a backend inline; a plain selector leaves
+                // any `--heap-backend` choice untouched.
+                if raw.contains('@') {
+                    opts.heap_backend = Some(sel.backend);
+                }
+            }
             "--device" => {
                 let name = next(&mut i)?;
                 opts.device =
@@ -120,6 +151,9 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
             "--oom-heap" => opts.oom_heap_mb = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "-m" | "--manager" => opts.manager = Some(next(&mut i)?),
             "--trace-cap" => opts.trace_cap = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--heap-backend" => opts.heap_backend = Some(next(&mut i)?.parse()?),
+            "--pretouch" => opts.pretouch = next(&mut i)?.parse()?,
+            "--heap-mb" => opts.heap_mb = Some(next(&mut i)?.parse().map_err(|e| format!("{e}"))?),
             "--out" => opts.out = PathBuf::from(next(&mut i)?),
             other => return Err(format!("unknown option: {other}\n{}", usage())),
         }
@@ -128,11 +162,13 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|trace|audit|exec-bench|check|all> [options]\n\
-     (`repro --report contention` is an alias for `repro contention`)\n\
-     options: -t SELECTOR --device D --num N --warp --dense --max-exp E --range LO-HI\n\
-     --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB\n\
-     -m MANAGER --trace-cap EVENTS_PER_SM --out DIR"
+    "usage: repro <table1|init|fig9|perf|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|trace|audit|exec-bench|check|all> [options]\n\
+     (`repro --report contention` is an alias for `repro contention`;\n\
+      `repro perf` is fig9 at the paper's full 8 GiB heap, mmap-backed by default)\n\
+     options: -t SELECTOR[@ram|mmap|numa] --device D --num N --warp --dense --max-exp E\n\
+     --range LO-HI --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB\n\
+     -m MANAGER --trace-cap EVENTS_PER_SM --out DIR\n\
+     --heap-backend ram|mmap|numa --pretouch auto|full|striped|lazy --heap-mb MB"
         .to_string()
 }
 
@@ -140,6 +176,9 @@ fn bench_of(opts: &Opts) -> Bench {
     let mut b = Bench::new(Device::new(opts.device));
     b.iterations = opts.iterations;
     b.cell_timeout = Duration::from_secs(opts.timeout);
+    b.heap_backend = opts.backend();
+    b.pretouch = opts.pretouch;
+    b.heap_override = opts.heap_mb.map(|mb| mb << 20);
     b
 }
 
@@ -165,6 +204,7 @@ fn main() {
         "table1" => table1(&opts),
         "init" => init(&opts),
         "fig9" => fig9(&opts),
+        "perf" => perf(opts),
         "mixed" => mixed(&opts),
         "scaling" => scaling(&opts),
         "frag" => frag(&opts),
@@ -186,6 +226,27 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// `repro perf` — the Fig. 9 sweep at the paper's actual scale: an 8 GiB
+/// device heap (the TITAN V configuration of §4) instead of the
+/// demand-derived CPU-scaled sizing. Defaults to the mmap backend so the
+/// address space is reserved `MAP_NORESERVE` and only touched pages commit
+/// — a bare `repro perf` works on hosts with far less than 8 GiB free.
+/// `--heap-backend`/`--heap-mb` still override both choices.
+fn perf(opts: Opts) {
+    let opts = Opts {
+        heap_backend: Some(opts.heap_backend.unwrap_or(HeapBackendKind::Mmap)),
+        heap_mb: Some(opts.heap_mb.unwrap_or(8192)),
+        ..opts
+    };
+    println!(
+        "# perf: heap={} MiB backend={} pretouch={}",
+        opts.heap_mb.unwrap(),
+        opts.backend(),
+        opts.pretouch.resolve(opts.backend()),
+    );
+    fig9(&opts);
 }
 
 fn run_all(mut opts: Opts) {
@@ -248,6 +309,9 @@ fn clone_opts(o: &Opts) -> Opts {
             oom_heap_mb: o.oom_heap_mb,
             manager: o.manager.clone(),
             trace_cap: o.trace_cap,
+            heap_backend: o.heap_backend,
+            pretouch: o.pretouch,
+            heap_mb: o.heap_mb,
             out: o.out.clone(),
         }
     }
@@ -564,7 +628,7 @@ fn churn(opts: &Opts) {
     for &kind in &opts.kinds {
         let alloc = kind
             .builder()
-            .heap(gpumem_bench::runners::heap_for(opts.num, 256))
+            .heap_spec(bench.heap_spec(opts.num, 256))
             .sms(opts.device.num_sms)
             .build();
         let r = gpu_workloads::churn::run(
@@ -1032,11 +1096,15 @@ fn provenance(opts: &Opts) -> String {
         .filter(|o| o.status.success())
         .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
         .unwrap_or_else(|| "unknown".to_string());
+    let backend = opts.backend();
     format!(
-        "git={git} device={} workers={} gms_workers={} seed=0x5eed schema=1",
+        "git={git} device={} workers={} gms_workers={} heap_backend={backend} pretouch={} \
+         heap_mb={} seed=0x5eed schema=1",
         opts.device.name,
         Device::configured_workers(),
         std::env::var("GMS_WORKERS").unwrap_or_else(|_| "-".to_string()),
+        opts.pretouch.resolve(backend),
+        opts.heap_mb.map(|mb| mb.to_string()).unwrap_or_else(|| "-".to_string()),
     )
 }
 

@@ -19,7 +19,9 @@ use alloc_regeff::{RegEffC, RegEffCF, RegEffCFM, RegEffCM};
 use alloc_scatter::ScatterAlloc;
 use alloc_xmalloc::XMalloc;
 use gpumem_core::trace::{TraceRecorder, Traced, DEFAULT_EVENTS_PER_SM};
-use gpumem_core::{DeviceAllocator, DeviceHeap, Metrics};
+use gpumem_core::{
+    DeviceAllocator, DeviceHeap, HeapBackendKind, HeapError, HeapSpec, Metrics, Pretouch,
+};
 
 /// Every manager variant the framework can instantiate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -150,40 +152,27 @@ impl ManagerKind {
         }
     }
 
-    /// Starts a [`ManagerBuilder`] for this kind. This is the one
-    /// construction path; defaults are a fresh 64 MiB heap, 80 SMs, and
-    /// metrics disabled.
+    /// Starts a [`ManagerBuilder`] for this kind. This is the *single*
+    /// construction path of the framework (the former `create`/`create_on`
+    /// shims are gone); defaults are a fresh 64 MiB heap on the
+    /// environment-default backend (`GMS_HEAP_BACKEND`, RAM otherwise),
+    /// 80 SMs, and metrics disabled.
     pub fn builder(self) -> ManagerBuilder {
         ManagerBuilder {
             kind: self,
-            heap: HeapSource::Fresh(DEFAULT_HEAP_BYTES),
+            heap: HeapSource::Fresh(HeapSpec::new(DEFAULT_HEAP_BYTES)),
             sms: DEFAULT_SMS,
             metrics: false,
             trace: None,
         }
     }
 
-    /// Instantiates the manager over a fresh heap of `heap_bytes`
-    /// (`num_sms` feeds the SM-scattering variants).
-    #[deprecated(since = "0.2.0", note = "use `ManagerKind::builder().heap(..).sms(..).build()`")]
-    pub fn create(&self, heap_bytes: u64, num_sms: u32) -> Box<dyn DeviceAllocator> {
-        construct(*self, Arc::new(DeviceHeap::new(heap_bytes)), num_sms, Metrics::disabled())
-    }
-
-    /// Instantiates the manager over an existing heap.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ManagerKind::builder().heap_shared(..).sms(..).build()`"
-    )]
-    pub fn create_on(&self, heap: Arc<DeviceHeap>, num_sms: u32) -> Box<dyn DeviceAllocator> {
-        construct(*self, heap, num_sms, Metrics::disabled())
-    }
-
     /// Parses the artifact's selector syntax: letters chained with `+`
     /// (`o` Ouroboros, `s` ScatterAlloc, `h` Halloc, `c` CUDA-Allocator,
-    /// `r` Reg-Eff, `x` XMalloc, `f` FDGMalloc, `a` Atomic baseline).
+    /// `r` Reg-Eff, `x` XMalloc, `f` FDGMalloc, `a` Atomic baseline),
+    /// optionally suffixed with a heap backend (`o+s@mmap`).
     pub fn parse_selector(s: &str) -> Result<Vec<ManagerKind>, String> {
-        s.parse::<ManagerSelection>().map(|sel| sel.0)
+        s.parse::<ManagerSelection>().map(|sel| sel.kinds)
     }
 }
 
@@ -201,8 +190,8 @@ pub const DEFAULT_SMS: u32 = 80;
 
 /// Where a builder gets its heap from.
 enum HeapSource {
-    /// Allocate a fresh heap of this many bytes at `build()`.
-    Fresh(u64),
+    /// Construct a fresh heap from this spec at `build()`.
+    Fresh(HeapSpec),
     /// Reuse an existing heap (e.g. to isolate manager-init cost).
     Shared(Arc<DeviceHeap>),
 }
@@ -244,9 +233,42 @@ pub struct ManagerBuilder {
 }
 
 impl ManagerBuilder {
-    /// Sizes the fresh heap the manager is built over (default 64 MiB).
+    /// Sizes the fresh heap the manager is built over (default 64 MiB),
+    /// keeping any backend/pre-touch choice made so far.
     pub fn heap(mut self, bytes: u64) -> Self {
-        self.heap = HeapSource::Fresh(bytes);
+        self.heap = match self.heap {
+            HeapSource::Fresh(spec) => HeapSource::Fresh(HeapSpec { len: bytes, ..spec }),
+            HeapSource::Shared(_) => HeapSource::Fresh(HeapSpec::new(bytes)),
+        };
+        self
+    }
+
+    /// Replaces the whole fresh-heap spec: size, backend and pre-touch
+    /// policy in one call (the construction currency `Bench` hands around).
+    pub fn heap_spec(mut self, spec: HeapSpec) -> Self {
+        self.heap = HeapSource::Fresh(spec);
+        self
+    }
+
+    /// Selects the backing store of the fresh heap (`ram`, `mmap`, `numa`).
+    pub fn heap_backend(mut self, backend: HeapBackendKind) -> Self {
+        self.heap = match self.heap {
+            HeapSource::Fresh(spec) => HeapSource::Fresh(spec.with_backend(backend)),
+            HeapSource::Shared(_) => {
+                HeapSource::Fresh(HeapSpec::new(DEFAULT_HEAP_BYTES).with_backend(backend))
+            }
+        };
+        self
+    }
+
+    /// Selects the page-commit policy of the fresh heap.
+    pub fn pretouch(mut self, pretouch: Pretouch) -> Self {
+        self.heap = match self.heap {
+            HeapSource::Fresh(spec) => HeapSource::Fresh(spec.with_pretouch(pretouch)),
+            HeapSource::Shared(_) => {
+                HeapSource::Fresh(HeapSpec::new(DEFAULT_HEAP_BYTES).with_pretouch(pretouch))
+            }
+        };
         self
     }
 
@@ -283,13 +305,23 @@ impl ManagerBuilder {
         self
     }
 
-    /// Constructs the manager.
+    /// Constructs the manager, panicking on heap-construction failure.
+    ///
+    /// Thin wrapper over [`ManagerBuilder::try_build`] for tests and call
+    /// sites that treat a failed reservation as fatal.
     pub fn build(self) -> Arc<dyn DeviceAllocator> {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Constructs the manager, surfacing heap-construction failure (bad
+    /// spec, failed mmap reservation, unavailable backend) as a typed
+    /// [`HeapError`] instead of aborting.
+    pub fn try_build(self) -> Result<Arc<dyn DeviceAllocator>, HeapError> {
         let heap = match self.heap {
-            HeapSource::Fresh(bytes) => Arc::new(DeviceHeap::new(bytes)),
+            HeapSource::Fresh(spec) => Arc::new(DeviceHeap::try_new(spec)?),
             HeapSource::Shared(heap) => heap,
         };
-        match self.trace {
+        Ok(match self.trace {
             Some(events_per_sm) => {
                 let rec = Arc::new(TraceRecorder::new(self.sms, events_per_sm));
                 let metrics = Metrics::enabled(self.sms).with_tracer(Arc::clone(&rec));
@@ -302,12 +334,11 @@ impl ManagerBuilder {
                     if self.metrics { Metrics::enabled(self.sms) } else { Metrics::disabled() };
                 Arc::from(construct(self.kind, heap, self.sms, metrics))
             }
-        }
+        })
     }
 }
 
-/// The single construction match: every public path (builder and deprecated
-/// shims) funnels through here.
+/// The single construction match: every public path funnels through here.
 fn construct(
     kind: ManagerKind,
     heap: Arc<DeviceHeap>,
@@ -336,22 +367,30 @@ fn construct(
 }
 
 /// An ordered set of manager kinds selected with the artifact's Appendix A.6
-/// syntax (`o+s+h+c+r+x`). Parsing expands family letters (`o` → all six
+/// syntax (`o+s+h+c+r+x`), optionally qualified by a heap backend with an
+/// `@` suffix (`o+s@mmap`). Parsing expands family letters (`o` → all six
 /// Ouroboros variants, `r` → all four Reg-Eff variants); displaying
 /// compresses back to family letters, deduplicated in first-appearance
-/// order. Selections produced by [`FromStr`] round-trip through [`Display`].
+/// order, and appends `@backend` only when the backend is not the RAM
+/// default. Selections produced by [`FromStr`] round-trip through
+/// [`Display`].
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ManagerSelection(pub Vec<ManagerKind>);
+pub struct ManagerSelection {
+    /// The selected kinds, in selection order.
+    pub kinds: Vec<ManagerKind>,
+    /// The heap backend every selected manager is built over.
+    pub backend: HeapBackendKind,
+}
 
 impl ManagerSelection {
-    /// The paper's default evaluation set.
+    /// The paper's default evaluation set over the default backend.
     pub fn default_set() -> Self {
-        ManagerSelection(DEFAULT_KINDS.to_vec())
+        ManagerSelection { kinds: DEFAULT_KINDS.to_vec(), backend: HeapBackendKind::default() }
     }
 
     /// The selected kinds, in selection order.
     pub fn kinds(&self) -> &[ManagerKind] {
-        &self.0
+        &self.kinds
     }
 }
 
@@ -359,11 +398,18 @@ impl FromStr for ManagerSelection {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        if s.trim().is_empty() {
+        let (selector, backend) = match s.split_once('@') {
+            Some((sel, b)) => {
+                let backend = b.trim().parse::<HeapBackendKind>()?;
+                (sel, backend)
+            }
+            None => (s, HeapBackendKind::default()),
+        };
+        if selector.trim().is_empty() {
             return Err("empty approach selector".to_string());
         }
         let mut kinds = Vec::new();
-        for part in s.split('+') {
+        for part in selector.split('+') {
             match part.trim().to_ascii_lowercase().as_str() {
                 "o" => kinds.extend([OuroSP, OuroSC, OuroVAP, OuroVAC, OuroVLP, OuroVLC]),
                 "s" => kinds.push(ScatterAlloc),
@@ -376,14 +422,14 @@ impl FromStr for ManagerSelection {
                 other => return Err(format!("unknown approach selector: {other:?}")),
             }
         }
-        Ok(ManagerSelection(kinds))
+        Ok(ManagerSelection { kinds, backend })
     }
 }
 
 impl fmt::Display for ManagerSelection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut letters = Vec::new();
-        for kind in &self.0 {
+        for kind in &self.kinds {
             let c = kind.selector_letter();
             if !letters.contains(&c) {
                 letters.push(c);
@@ -394,6 +440,9 @@ impl fmt::Display for ManagerSelection {
                 f.write_str("+")?;
             }
             write!(f, "{c}")?;
+        }
+        if self.backend != HeapBackendKind::default() {
+            write!(f, "@{}", self.backend)?;
         }
         Ok(())
     }
@@ -448,11 +497,41 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_create_still_constructs() {
-        #[allow(deprecated)]
-        let a = Atomic.create(HEAP, 80);
-        assert!(!a.metrics().is_enabled());
+    fn builder_heap_spec_and_backend_thread_through() {
+        let spec = HeapSpec::ram(HEAP).with_pretouch(Pretouch::Full);
+        let a = Atomic.builder().heap_spec(spec).build();
         a.malloc(&ThreadCtx::host(), 64).unwrap();
+
+        // heap() after heap_backend() keeps the chosen backend.
+        let b = Atomic.builder().heap_backend(HeapBackendKind::Ram).heap(HEAP).build();
+        b.malloc(&ThreadCtx::host(), 64).unwrap();
+    }
+
+    #[test]
+    fn try_build_surfaces_heap_errors() {
+        let err = match Atomic.builder().heap(100).try_build() {
+            Err(e) => e,
+            Ok(_) => panic!("len 100 must be rejected"),
+        };
+        assert!(matches!(err, HeapError::InvalidLen { .. }), "{err}");
+        assert!(err.to_string().contains("multiple of 128"));
+    }
+
+    #[test]
+    fn try_build_succeeds_on_every_available_backend() {
+        for backend in HeapBackendKind::ALL {
+            if !backend.available() {
+                continue;
+            }
+            let a = Atomic
+                .builder()
+                .heap(HEAP)
+                .heap_backend(backend)
+                .pretouch(Pretouch::Auto)
+                .try_build()
+                .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            a.malloc(&ThreadCtx::host(), 64).unwrap();
+        }
     }
 
     #[test]
@@ -468,12 +547,26 @@ mod tests {
 
     #[test]
     fn selection_round_trips_through_display() {
-        for s in ["o+s+h+c+r+x", "f+a", "s", "o", "x+c"] {
+        for s in ["o+s+h+c+r+x", "f+a", "s", "o", "x+c", "o+s@mmap", "f@numa", "r+x@mmap"] {
             let sel: ManagerSelection = s.parse().unwrap();
             assert_eq!(sel.to_string(), s, "display of {s:?}");
             let again: ManagerSelection = sel.to_string().parse().unwrap();
             assert_eq!(again, sel, "round-trip of {s:?}");
         }
+    }
+
+    #[test]
+    fn selection_backend_suffix_parses() {
+        let sel: ManagerSelection = "o+s@mmap".parse().unwrap();
+        assert_eq!(sel.backend, HeapBackendKind::Mmap);
+        assert_eq!(sel.kinds.len(), 7);
+        // No suffix → RAM default, and Display omits it.
+        let plain: ManagerSelection = "o+s".parse().unwrap();
+        assert_eq!(plain.backend, HeapBackendKind::Ram);
+        assert_eq!(plain.to_string(), "o+s");
+        // Whitespace-tolerant around the suffix too.
+        let sel: ManagerSelection = " f @ ram ".parse().unwrap();
+        assert_eq!(sel.backend, HeapBackendKind::Ram);
     }
 
     #[test]
@@ -483,6 +576,8 @@ mod tests {
         assert!("o+q".parse::<ManagerSelection>().is_err());
         assert!("os".parse::<ManagerSelection>().is_err());
         assert!("o++s".parse::<ManagerSelection>().is_err());
+        assert!("o+s@disk".parse::<ManagerSelection>().is_err());
+        assert!("@mmap".parse::<ManagerSelection>().is_err());
         // Case-insensitive and whitespace-tolerant on valid letters.
         let sel: ManagerSelection = " O + S ".parse().unwrap();
         assert_eq!(sel.to_string(), "o+s");

@@ -13,7 +13,10 @@ use gpumem_core::sanitize::{Sanitized, VIOLATION_KINDS};
 use gpumem_core::trace::{
     chrome_trace_json, occupancy_timeline, OccupancyTimeline, OpLatencies, Trace,
 };
-use gpumem_core::{AllocError, CounterSnapshot, DeviceAllocator, DevicePtr, WarpCtx, WARP_SIZE};
+use gpumem_core::{
+    AllocError, CounterSnapshot, DeviceAllocator, DevicePtr, HeapBackendKind, HeapSpec, Pretouch,
+    WarpCtx, WARP_SIZE,
+};
 
 use crate::registry::ManagerKind;
 
@@ -30,16 +33,47 @@ pub struct Bench {
     /// values for the same manager are skipped (mirrors the artifact's
     /// per-process timeout).
     pub cell_timeout: Duration,
+    /// Heap substrate every runner builds managers over (default: the
+    /// `GMS_HEAP_BACKEND` environment default, normally RAM).
+    pub heap_backend: HeapBackendKind,
+    /// Page-commit policy for those heaps (default: backend-appropriate).
+    pub pretouch: Pretouch,
+    /// When set, overrides the demand-derived [`heap_for`] size for every
+    /// cell — how `repro perf` pins the paper's full 8 GiB heap.
+    pub heap_override: Option<u64>,
 }
 
 impl Bench {
     /// Context with CPU-scaled defaults on the given device.
     pub fn new(device: Device) -> Self {
-        Bench { device, iterations: 2, seed: 0x5eed, cell_timeout: Duration::from_secs(20) }
+        Bench {
+            device,
+            iterations: 2,
+            seed: 0x5eed,
+            cell_timeout: Duration::from_secs(20),
+            heap_backend: HeapBackendKind::env_default(),
+            pretouch: Pretouch::Auto,
+            heap_override: None,
+        }
     }
 
     fn num_sms(&self) -> u32 {
         self.device.spec().num_sms
+    }
+
+    /// The heap spec for a cell with a demand of `num × max_size` bytes:
+    /// [`heap_for`] sizing (unless overridden) over the context's backend
+    /// and pre-touch policy.
+    pub fn heap_spec(&self, num: u32, max_size: u64) -> HeapSpec {
+        self.heap_spec_bytes(heap_for(num, max_size))
+    }
+
+    /// A heap spec of exactly `bytes` (unless overridden) over the
+    /// context's backend and pre-touch policy.
+    pub fn heap_spec_bytes(&self, bytes: u64) -> HeapSpec {
+        HeapSpec::new(self.heap_override.unwrap_or(bytes))
+            .with_backend(self.heap_backend)
+            .with_pretouch(self.pretouch)
     }
 }
 
@@ -75,7 +109,7 @@ pub fn alloc_perf(
     size: u64,
     warp: bool,
 ) -> AllocPerfCell {
-    let alloc = kind.builder().heap(heap_for(num, size)).sms(bench.num_sms()).build();
+    let alloc = kind.builder().heap_spec(bench.heap_spec(num, size)).sms(bench.num_sms()).build();
     let mut alloc_total = Duration::ZERO;
     let mut free_total = Duration::ZERO;
     let mut free_supported = true;
@@ -148,7 +182,7 @@ pub fn alloc_perf(
 /// Runs one mixed-allocation cell (Fig. 9h): per-thread sizes uniform in
 /// `[4, upper]`.
 pub fn mixed_perf(bench: &Bench, kind: ManagerKind, num: u32, upper: u64) -> AllocPerfCell {
-    let alloc = kind.builder().heap(heap_for(num, upper)).sms(bench.num_sms()).build();
+    let alloc = kind.builder().heap_spec(bench.heap_spec(num, upper)).sms(bench.num_sms()).build();
     let mut alloc_total = Duration::ZERO;
     let mut free_total = Duration::ZERO;
     let mut free_supported = true;
@@ -219,7 +253,7 @@ pub fn fragmentation(
     size: u64,
     cycles: u32,
 ) -> FragCell {
-    let alloc = kind.builder().heap(heap_for(num, size)).sms(bench.num_sms()).build();
+    let alloc = kind.builder().heap_spec(bench.heap_spec(num, size)).sms(bench.num_sms()).build();
     let allocate = |seed_round: u64| -> Vec<DevicePtr> {
         let ptrs = PerThread::<DevicePtr>::new(num as usize);
         bench.device.launch(num, |ctx| {
@@ -287,7 +321,8 @@ pub struct OomCell {
 pub fn oom(bench: &Bench, kind: ManagerKind, heap_bytes: u64, size: u64) -> OomCell {
     use gpumem_core::sync::{AtomicU64, Ordering};
 
-    let alloc = kind.builder().heap(heap_bytes).sms(bench.num_sms()).build();
+    let alloc =
+        kind.builder().heap_spec(bench.heap_spec_bytes(heap_bytes)).sms(bench.num_sms()).build();
     let start = Instant::now();
     let mut count = 0u64;
     let mut timed_out = false;
@@ -339,14 +374,15 @@ pub fn work_generation(
     lo: u64,
     hi: u64,
 ) -> WorkGenCell {
-    let alloc = kind.builder().heap(heap_for(threads, hi)).sms(bench.num_sms()).build();
+    let alloc = kind.builder().heap_spec(bench.heap_spec(threads, hi)).sms(bench.num_sms()).build();
     let r = workgen::run_managed(alloc.as_ref(), &bench.device, threads, bench.seed, lo, hi);
     WorkGenCell { manager: kind.label(), threads, elapsed: r.elapsed, failures: r.failures }
 }
 
 /// The prefix-sum baseline row for the same workload.
 pub fn work_generation_baseline(bench: &Bench, threads: u32, lo: u64, hi: u64) -> WorkGenCell {
-    let heap = gpumem_core::DeviceHeap::new(heap_for(threads, hi));
+    let heap = gpumem_core::DeviceHeap::try_new(bench.heap_spec(threads, hi))
+        .unwrap_or_else(|e| panic!("{e}"));
     let r = workgen::run_baseline(&bench.device, &heap, threads, bench.seed, lo, hi);
     WorkGenCell { manager: "Baseline", threads, elapsed: r.elapsed, failures: r.failures }
 }
@@ -372,7 +408,8 @@ pub fn write_performance(
         write_test::WritePattern::Uniform { bytes } => bytes,
         write_test::WritePattern::Mixed { hi, .. } => hi,
     };
-    let alloc = kind.builder().heap(heap_for(threads, max)).sms(bench.num_sms()).build();
+    let alloc =
+        kind.builder().heap_spec(bench.heap_spec(threads, max)).sms(bench.num_sms()).build();
     let r = write_test::run(alloc.as_ref(), &bench.device, threads, bench.seed, pattern);
     WriteCell {
         manager: kind.label(),
@@ -395,7 +432,11 @@ pub struct GraphCell {
 pub fn graph_init(bench: &Bench, kind: ManagerKind, csr: &dyn_graph::CsrGraph) -> GraphCell {
     let demand: u64 =
         (0..csr.vertices()).map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4)).sum();
-    let alloc = kind.builder().heap(heap_for(1, demand.max(1 << 20))).sms(bench.num_sms()).build();
+    let alloc = kind
+        .builder()
+        .heap_spec(bench.heap_spec(1, demand.max(1 << 20)))
+        .sms(bench.num_sms())
+        .build();
     let (g, elapsed) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
     GraphCell { manager: kind.label(), graph: csr.name.clone(), elapsed, failures: g.failures() }
 }
@@ -411,8 +452,8 @@ pub fn graph_update(
     let demand: u64 =
         (0..csr.vertices()).map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4)).sum();
     // Updates grow a few adjacencies dramatically; generous headroom.
-    let heap = heap_for(1, (demand + n_edges as u64 * 64).max(1 << 20));
-    let alloc = kind.builder().heap(heap).sms(bench.num_sms()).build();
+    let heap = bench.heap_spec(1, (demand + n_edges as u64 * 64).max(1 << 20));
+    let alloc = kind.builder().heap_spec(heap).sms(bench.num_sms()).build();
     let (g, _) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
     let edges = if focused {
         dyn_graph::focused_edges(csr.vertices(), n_edges, 20, bench.seed)
@@ -436,7 +477,10 @@ pub struct InitCell {
 pub fn init_performance(bench: &Bench, kind: ManagerKind, heap_bytes: u64) -> InitCell {
     // Pre-create the heap so the measurement isolates the manager's own
     // initialisation, as the artifact does.
-    let heap = std::sync::Arc::new(gpumem_core::DeviceHeap::new(heap_bytes));
+    let heap = std::sync::Arc::new(
+        gpumem_core::DeviceHeap::try_new(bench.heap_spec_bytes(heap_bytes))
+            .unwrap_or_else(|e| panic!("{e}")),
+    );
     let start = Instant::now();
     let alloc = kind.builder().heap_shared(heap).sms(bench.num_sms()).build();
     let init = start.elapsed();
@@ -498,7 +542,7 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
     let run = |metrics_on: bool| -> Run {
         let alloc = kind
             .builder()
-            .heap(heap_for(num, size))
+            .heap_spec(bench.heap_spec(num, size))
             .sms(bench.num_sms())
             .metrics(metrics_on)
             .build();
@@ -604,7 +648,7 @@ pub fn trace_profile(bench: &Bench, kind: ManagerKind, num: u32, events_per_sm: 
     const SIZE_HI: u64 = 1024;
     let alloc = kind
         .builder()
-        .heap(heap_for(num, SIZE_HI))
+        .heap_spec(bench.heap_spec(num, SIZE_HI))
         .sms(bench.num_sms())
         .trace_capacity(events_per_sm)
         .build();
@@ -678,7 +722,8 @@ impl SanitizeCell {
 /// poison-on-free) and reports the violation totals.
 pub fn sanitize_run(bench: &Bench, kind: ManagerKind, num: u32, cycles: u32) -> SanitizeCell {
     const MIXED_MAX: u64 = 1024;
-    let inner = kind.builder().heap(heap_for(num, MIXED_MAX)).sms(bench.num_sms()).build();
+    let inner =
+        kind.builder().heap_spec(bench.heap_spec(num, MIXED_MAX)).sms(bench.num_sms()).build();
     let san = Sanitized::new(inner);
     let mut failures = 0u64;
 

@@ -18,6 +18,17 @@
 //!   [`DeviceHeap::write_bytes`], …) used by benchmarks that write to the
 //!   memory they allocated (the Fig. 11e access test, the graph test cases).
 //!
+//! # Backends
+//!
+//! Where the bytes physically live is delegated to a [`HeapBackend`]
+//! (see [`crate::backend`]): the original in-RAM slab, an mmap
+//! `MAP_NORESERVE` reservation that runs the paper's full 8 GiB heap on any
+//! host, or a NUMA-interleaved mapping for multi-socket fidelity.
+//! [`DeviceHeap::try_new`] selects by [`HeapSpec`] and surfaces OS refusal
+//! as a typed [`HeapError`]; [`DeviceHeap::new`] is the thin panicking
+//! wrapper tests use. The base pointer and length are cached on the heap
+//! itself, so backend dispatch never appears on allocator hot paths.
+//!
 //! # Safety model
 //!
 //! The heap hands out `&AtomicU32`/`&AtomicU64` freely: aliasing atomics is
@@ -28,16 +39,19 @@
 //! volatile-style raw-pointer ops rather than slices so that a *buggy*
 //! allocator under test produces torn data, not Rust UB on references.
 
+use crate::backend::{self, HeapBackend, HeapBackendKind, HeapError, HeapSpec};
 use crate::sync::{AtomicU32, AtomicU64, Ordering};
-use std::alloc::{alloc_zeroed, dealloc, Layout};
 
 use crate::ptr::DevicePtr;
 
 /// One contiguous region of simulated device memory.
 pub struct DeviceHeap {
+    /// Cached `backend.base()` — hot-path reads skip the vtable.
     base: *mut u8,
+    /// Cached `backend.len()`.
     len: u64,
-    layout: Layout,
+    /// Owns the mapping; dropping it releases the memory.
+    backend: Box<dyn HeapBackend>,
 }
 
 // SAFETY: all shared mutation of heap contents goes through atomics or
@@ -53,30 +67,62 @@ impl DeviceHeap {
     /// also valid segment math on simulated physical addresses.
     pub const BASE_ALIGN: usize = 128;
 
-    /// Allocates a zeroed heap of `len` bytes.
+    /// Allocates a zeroed heap of `len` bytes over the default backend
+    /// (RAM, or whatever `GMS_HEAP_BACKEND` selects) — the thin panicking
+    /// wrapper over [`DeviceHeap::try_new`] that tests and examples use.
     ///
     /// # Panics
-    /// Panics if `len` is zero, not a multiple of 128, or the host allocation
+    /// Panics if `len` is zero, not a multiple of 128, or the reservation
     /// fails.
     pub fn new(len: u64) -> Self {
-        assert!(len > 0, "heap size must be non-zero");
-        assert_eq!(len % 128, 0, "heap size must be a multiple of 128 bytes");
-        let layout =
-            Layout::from_size_align(len as usize, Self::BASE_ALIGN).expect("invalid heap layout");
-        // SAFETY: layout has non-zero size (checked above).
-        let base = unsafe { alloc_zeroed(layout) };
-        assert!(!base.is_null(), "device heap allocation of {len} bytes failed");
-        // Pre-commit the backing pages: GPU V-RAM is physically backed, so
-        // host demand-paging must not show up inside simulated kernels
-        // (it would bias timings against allocators that scatter, which is
-        // free on the device).
-        let mut off = 0usize;
-        while off < len as usize {
-            // SAFETY: in-bounds volatile write of the already-zeroed page.
-            unsafe { base.add(off).write_volatile(0) };
-            off += 4096;
-        }
-        DeviceHeap { base, len, layout }
+        Self::try_new(HeapSpec::new(len)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Constructs a heap as described by `spec`, surfacing failure (zero or
+    /// unrounded size, OS refusing the reservation, backend unavailable on
+    /// this platform) as a typed [`HeapError`].
+    pub fn try_new(spec: HeapSpec) -> Result<Self, HeapError> {
+        Ok(Self::with_backend(backend::open(spec)?))
+    }
+
+    /// Wraps an already-constructed backend (the extension point for
+    /// substrates this crate does not know about, e.g. a real-GPU mapping).
+    ///
+    /// # Panics
+    /// Panics if the backend violates its contract: zero/unrounded length
+    /// or a base pointer misaligned for [`DeviceHeap::BASE_ALIGN`].
+    pub fn with_backend(backend: Box<dyn HeapBackend>) -> Self {
+        let base = backend.base();
+        let len = backend.len();
+        assert!(
+            len > 0 && len.is_multiple_of(128),
+            "backend length {len} violates the heap contract"
+        );
+        assert!(
+            (base as usize).is_multiple_of(Self::BASE_ALIGN),
+            "backend base misaligned for BASE_ALIGN"
+        );
+        DeviceHeap { base, len, backend }
+    }
+
+    /// The backing store this heap lives in.
+    #[inline]
+    pub fn backend(&self) -> &dyn HeapBackend {
+        &*self.backend
+    }
+
+    /// Which backend family backs this heap (for provenance stamps).
+    #[inline]
+    pub fn backend_kind(&self) -> HeapBackendKind {
+        self.backend.kind()
+    }
+
+    /// Touches every page of `[offset, offset + len)` so it is physically
+    /// committed — warm-up for timing-sensitive runs on lazily committed
+    /// backends. Only call on ranges that carry no payload yet (the touch
+    /// writes zero).
+    pub fn commit(&self, offset: u64, len: u64) {
+        self.backend.commit(offset, len);
     }
 
     /// Size of the manageable memory in bytes.
@@ -229,16 +275,12 @@ impl DeviceHeap {
     }
 }
 
-impl Drop for DeviceHeap {
-    fn drop(&mut self) {
-        // SAFETY: `base` was allocated with exactly this layout in `new`.
-        unsafe { dealloc(self.base, self.layout) }
-    }
-}
-
 impl std::fmt::Debug for DeviceHeap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeviceHeap").field("len", &self.len).finish()
+        f.debug_struct("DeviceHeap")
+            .field("len", &self.len)
+            .field("backend", &self.backend.kind())
+            .finish()
     }
 }
 
@@ -332,6 +374,54 @@ mod tests {
     #[should_panic(expected = "multiple of 128")]
     fn unrounded_heap_size_panics() {
         let _ = DeviceHeap::new(100);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        assert!(matches!(
+            DeviceHeap::try_new(HeapSpec::ram(0)),
+            Err(HeapError::InvalidLen { len: 0, .. })
+        ));
+        assert!(matches!(
+            DeviceHeap::try_new(HeapSpec::ram(100)),
+            Err(HeapError::InvalidLen { len: 100, .. })
+        ));
+        // An absurd RAM demand must come back as an error, not an abort.
+        // (1 << 60 bytes = 1 EiB; no allocator grants this.)
+        assert!(matches!(
+            DeviceHeap::try_new(HeapSpec::ram(1 << 60)),
+            Err(HeapError::ReserveFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn default_heap_reports_its_backend() {
+        let h = DeviceHeap::new(4096);
+        // `new` follows GMS_HEAP_BACKEND, so only assert coherence.
+        assert_eq!(h.backend_kind(), h.backend().kind());
+        assert!(!h.backend().describe().is_empty());
+        assert!(format!("{h:?}").contains("backend"));
+    }
+
+    #[test]
+    fn every_available_backend_yields_an_equivalent_heap() {
+        for kind in HeapBackendKind::ALL {
+            if !kind.available() {
+                continue;
+            }
+            let h = DeviceHeap::try_new(HeapSpec::new(1 << 20).with_backend(kind))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(h.backend_kind(), kind);
+            assert_eq!(h.len(), 1 << 20);
+            assert_eq!(h.load_u64(0), 0, "{kind}: not zeroed");
+            assert_eq!(h.read_u8(DevicePtr::new(0), (1 << 20) - 1), 0, "{kind}");
+            h.atomic_u32(256).store(0x5eed_cafe, Ordering::SeqCst);
+            assert_eq!(h.load_u32(256), 0x5eed_cafe, "{kind}");
+            h.commit(0, 1 << 20); // idempotent on already-committed pages
+            let p = DevicePtr::new(4096);
+            h.fill(p, 512, 0x7f);
+            assert_eq!(h.read_u8(p, 511), 0x7f, "{kind}");
+        }
     }
 
     #[test]

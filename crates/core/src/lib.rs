@@ -11,6 +11,10 @@
 //!   host allocation addressed by byte offsets, with *in-heap atomic views*
 //!   so allocators can keep their headers and tables inside the managed
 //!   region, exactly like their CUDA originals.
+//! * [`backend`] — the heap substrate: a [`HeapBackend`] trait with in-RAM,
+//!   mmap (`MAP_NORESERVE`, runs the paper's full 8 GiB heap on any host)
+//!   and NUMA-interleaved implementations, selected by [`HeapSpec`] and
+//!   failing with a typed [`HeapError`].
 //! * [`DevicePtr`] — a byte offset into a [`DeviceHeap`] (the survey's
 //!   device-pointer equivalent).
 //! * [`ThreadCtx`] / [`WarpCtx`] — the identity a simulated GPU thread or
@@ -39,6 +43,7 @@
 //!
 //! Everything here is `std`-only; no external dependencies.
 
+pub mod backend;
 pub mod ctx;
 pub mod error;
 pub mod frag;
@@ -53,6 +58,7 @@ pub mod trace;
 pub mod traits;
 pub mod util;
 
+pub use backend::{HeapBackend, HeapBackendKind, HeapError, HeapSpec, Pretouch, RamBackend};
 pub use ctx::{ThreadCtx, WarpCtx, WARP_SIZE};
 pub use error::AllocError;
 pub use frag::{AddressRange, FragmentationStats};

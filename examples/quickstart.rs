@@ -7,6 +7,7 @@
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- s        # ScatterAlloc only
 //! cargo run --release --example quickstart -- o+s+h    # artifact selector
+//! cargo run --release --example quickstart -- s@mmap   # mmap-backed heap
 //! ```
 
 use std::sync::Arc;
@@ -15,11 +16,12 @@ use gpumemsurvey::bench::registry::ManagerSelection;
 use gpumemsurvey::prelude::*;
 
 fn main() {
-    // Pick managers with the artifact's selector syntax (default: all).
-    let kinds: Vec<ManagerKind> = std::env::args()
+    // Pick managers with the artifact's selector syntax (default: all);
+    // an `@mmap`/`@numa` suffix swaps the heap substrate too.
+    let sel: ManagerSelection = std::env::args()
         .nth(1)
-        .map(|s| s.parse::<ManagerSelection>().expect("bad selector").0)
-        .unwrap_or_else(|| ManagerSelection::default_set().0);
+        .map(|s| s.parse().expect("bad selector"))
+        .unwrap_or_else(ManagerSelection::default_set);
 
     // A simulated TITAN V and a small kernel: every thread allocates 64 B,
     // writes to it and (if the manager supports it) frees it again.
@@ -27,10 +29,14 @@ fn main() {
     const N: u32 = 10_000;
 
     println!("{:<16}{:>12}{:>12}{:>10}", "manager", "alloc_ms", "free_ms", "ok");
-    for kind in kinds {
+    for &kind in sel.kinds() {
         // The one declaration you swap:
-        let alloc: Arc<dyn DeviceAllocator> =
-            kind.builder().heap(256 << 20).sms(device.spec().num_sms).build();
+        let alloc: Arc<dyn DeviceAllocator> = kind
+            .builder()
+            .heap(256 << 20)
+            .heap_backend(sel.backend)
+            .sms(device.spec().num_sms)
+            .build();
 
         let ptrs = gpumemsurvey::gpu_sim::PerThread::<DevicePtr>::new(N as usize);
         let heap = alloc.heap();

@@ -35,6 +35,22 @@ cargo test --offline --release -q -p gpu-sim
 echo "==> GMS_WORKERS=1 cargo test --release --test conformance"
 GMS_WORKERS=1 cargo test --offline --release -q --test conformance
 
+# Heap-backend conformance: the cross-backend battery (RAM/mmap/NUMA heap
+# contract, per-manager runs, ram-vs-mmap byte identity) plus the env-gated
+# 8 GiB MAP_NORESERVE smoke, then the full allocator conformance battery
+# re-run with every heap swapped to the mmap backend via GMS_HEAP_BACKEND.
+echo "==> HUGE_HEAP=1 cargo test --release --test heap_backends"
+HUGE_HEAP=1 cargo test --offline --release -q --test heap_backends
+echo "==> GMS_HEAP_BACKEND=mmap cargo test --release --test conformance"
+GMS_HEAP_BACKEND=mmap cargo test --offline --release -q --test conformance
+
+# End-to-end full-scale smoke: Fig. 9 at the paper's 8 GiB heap over the
+# mmap backend, trimmed to one manager/few cells so the gate stays fast.
+echo "==> repro perf --heap-backend mmap (8 GiB smoke)"
+cargo run --offline --release -q -p gpumem-bench --bin repro -- \
+    perf --heap-backend mmap -t s --num 1000 --iter 1 --out target/perf-smoke
+grep -q 'heap_backend=mmap' target/perf-smoke/alloc_thread_1000_TITANV.csv
+
 # Launch-overhead microbenchmark; refreshes the committed BENCH_exec.json
 # perf anchor (empty-kernel latency, warp throughput, small-launch spread).
 echo "==> repro exec-bench"

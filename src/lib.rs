@@ -30,7 +30,8 @@ pub mod prelude {
         OccupancyTimeline, OpLatencies, Trace, TraceRecorder, Traced,
     };
     pub use gpumem_core::{
-        AllocError, Counter, CounterSnapshot, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo,
-        Metrics, Sanitized, SanitizerConfig, SanitizerReport, ThreadCtx, WarpCtx,
+        AllocError, Counter, CounterSnapshot, DeviceAllocator, DeviceHeap, DevicePtr, HeapBackend,
+        HeapBackendKind, HeapError, HeapSpec, ManagerInfo, Metrics, Pretouch, Sanitized,
+        SanitizerConfig, SanitizerReport, ThreadCtx, WarpCtx,
     };
 }
