@@ -1,0 +1,608 @@
+//! Committed benchmark anchors — `BENCH_<scenario>.json`.
+//!
+//! One anchor per matrix scenario: a schema-versioned JSON document holding
+//! the scenario's metric vector plus a provenance stamp (git revision,
+//! device, worker config, seed, heap backend, tier). Anchors are committed
+//! to the repository root and compared by `repro gate` (see [`crate::gate`])
+//! so a PR cannot silently regress a hot path the matrix covers.
+//!
+//! The workspace has no crates.io dependencies, so the JSON reader/writer is
+//! hand-rolled: a small recursive-descent parser over a [`Json`] value tree,
+//! and a renderer that emits metrics in insertion order so regenerated
+//! anchors diff cleanly. `Anchor::parse(anchor.render())` round-trips
+//! exactly (Rust's float formatting is shortest-round-trip).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Current anchor schema version. Version 1 was the ad-hoc
+/// `BENCH_exec.json` layout (no provenance, no metric classes); version 2
+/// is the matrix layout this module reads and writes. The gate refuses to
+/// compare across versions.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// How the gate prices a drift in one metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Wall-clock-derived, higher is better (throughput). Gated with the
+    /// scenario's `time_pct` tolerance.
+    TimeHi,
+    /// Wall-clock-derived, lower is better (latency). Gated with `time_pct`.
+    TimeLo,
+    /// Deterministic-model output, higher is better (heap utilization).
+    /// Gated with the tighter `model_pct` tolerance.
+    ModelHi,
+    /// Deterministic-model output, lower is better (coalescing cost,
+    /// fragmentation expansion). Gated with `model_pct`.
+    ModelLo,
+    /// Must match the anchor exactly (failure counts, flags).
+    Exact,
+}
+
+impl MetricClass {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricClass::TimeHi => "time_hi",
+            MetricClass::TimeLo => "time_lo",
+            MetricClass::ModelHi => "model_hi",
+            MetricClass::ModelLo => "model_lo",
+            MetricClass::Exact => "exact",
+        }
+    }
+
+    /// Whether a larger value is an improvement for this class.
+    pub fn higher_is_better(&self) -> bool {
+        matches!(self, MetricClass::TimeHi | MetricClass::ModelHi)
+    }
+}
+
+impl std::str::FromStr for MetricClass {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<MetricClass, ()> {
+        Ok(match s {
+            "time_hi" => MetricClass::TimeHi,
+            "time_lo" => MetricClass::TimeLo,
+            "model_hi" => MetricClass::ModelHi,
+            "model_lo" => MetricClass::ModelLo,
+            "exact" => MetricClass::Exact,
+            _ => return Err(()),
+        })
+    }
+}
+
+impl fmt::Display for MetricClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One gated quantity: a key like `ScatterAlloc/s16/alloc_mops`, its value,
+/// and the class that tells the gate which tolerance and direction apply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    pub key: String,
+    pub value: f64,
+    pub class: MetricClass,
+}
+
+impl Metric {
+    pub fn new(key: impl Into<String>, value: f64, class: MetricClass) -> Metric {
+        Metric { key: key.into(), value, class }
+    }
+
+    pub fn time_hi(key: impl Into<String>, value: f64) -> Metric {
+        Metric::new(key, value, MetricClass::TimeHi)
+    }
+
+    pub fn time_lo(key: impl Into<String>, value: f64) -> Metric {
+        Metric::new(key, value, MetricClass::TimeLo)
+    }
+
+    pub fn model_hi(key: impl Into<String>, value: f64) -> Metric {
+        Metric::new(key, value, MetricClass::ModelHi)
+    }
+
+    pub fn model_lo(key: impl Into<String>, value: f64) -> Metric {
+        Metric::new(key, value, MetricClass::ModelLo)
+    }
+
+    pub fn exact(key: impl Into<String>, value: f64) -> Metric {
+        Metric::new(key, value, MetricClass::Exact)
+    }
+}
+
+/// A parsed (or about-to-be-written) anchor document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Anchor {
+    pub schema: u32,
+    /// Scenario name — also names the file (`BENCH_<scenario>.json`).
+    pub scenario: String,
+    /// `smoke` or `full`; the gate refuses cross-tier comparisons.
+    pub tier: String,
+    /// Stamp describing the run: git revision, device, workers, seed,
+    /// heap backend, pre-touch policy. Insertion-ordered.
+    pub provenance: Vec<(String, String)>,
+    pub metrics: Vec<Metric>,
+}
+
+/// Typed anchor failures — parse errors, schema drift, malformed metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnchorError {
+    Json { offset: usize, reason: String },
+    MissingField(&'static str),
+    BadField { field: &'static str, reason: String },
+    SchemaMismatch { found: u32, expected: u32 },
+}
+
+impl fmt::Display for AnchorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnchorError::Json { offset, reason } => {
+                write!(f, "invalid JSON at byte {offset}: {reason}")
+            }
+            AnchorError::MissingField(field) => write!(f, "anchor is missing field {field:?}"),
+            AnchorError::BadField { field, reason } => {
+                write!(f, "anchor field {field:?} is malformed: {reason}")
+            }
+            AnchorError::SchemaMismatch { found, expected } => write!(
+                f,
+                "anchor schema version {found} does not match this binary's version {expected} \
+                 — regenerate with `repro matrix`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnchorError {}
+
+impl Anchor {
+    /// The file an anchor for `scenario` lives in, under `dir`.
+    pub fn path_for(dir: &Path, scenario: &str) -> PathBuf {
+        dir.join(format!("BENCH_{scenario}.json"))
+    }
+
+    /// Looks a metric up by key.
+    pub fn metric(&self, key: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.key == key)
+    }
+
+    /// One provenance value by key.
+    pub fn provenance_value(&self, key: &str) -> Option<&str> {
+        self.provenance.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Renders the anchor as pretty JSON, metrics in insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", self.schema));
+        out.push_str(&format!("  \"scenario\": {},\n", quote(&self.scenario)));
+        out.push_str(&format!("  \"tier\": {},\n", quote(&self.tier)));
+        out.push_str("  \"provenance\": {\n");
+        for (i, (k, v)) in self.provenance.iter().enumerate() {
+            let sep = if i + 1 == self.provenance.len() { "" } else { "," };
+            out.push_str(&format!("    {}: {}{sep}\n", quote(k), quote(v)));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let sep = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"key\": {}, \"value\": {}, \"class\": {} }}{sep}\n",
+                quote(&m.key),
+                render_number(m.value),
+                quote(m.class.as_str()),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses an anchor document, validating the schema version.
+    pub fn parse(text: &str) -> Result<Anchor, AnchorError> {
+        let value =
+            Json::parse(text).map_err(|(offset, reason)| AnchorError::Json { offset, reason })?;
+        let obj = value.as_object().ok_or(AnchorError::MissingField("<root object>"))?;
+        let schema = field(obj, "schema")?
+            .as_number()
+            .ok_or(AnchorError::BadField { field: "schema", reason: "not a number".into() })?
+            as u32;
+        if schema != SCHEMA_VERSION {
+            return Err(AnchorError::SchemaMismatch { found: schema, expected: SCHEMA_VERSION });
+        }
+        let scenario = string_field(obj, "scenario")?;
+        let tier = string_field(obj, "tier")?;
+        let provenance = field(obj, "provenance")?
+            .as_object()
+            .ok_or(AnchorError::BadField { field: "provenance", reason: "not an object".into() })?
+            .iter()
+            .map(|(k, v)| {
+                v.as_string().map(|s| (k.clone(), s.to_string())).ok_or(AnchorError::BadField {
+                    field: "provenance",
+                    reason: format!("value of {k:?} is not a string"),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let raw_metrics = field(obj, "metrics")?
+            .as_array()
+            .ok_or(AnchorError::BadField { field: "metrics", reason: "not an array".into() })?;
+        let mut metrics = Vec::with_capacity(raw_metrics.len());
+        for m in raw_metrics {
+            let mo = m.as_object().ok_or(AnchorError::BadField {
+                field: "metrics",
+                reason: "entry is not an object".into(),
+            })?;
+            let key = string_field(mo, "key").map_err(|_| AnchorError::BadField {
+                field: "metrics",
+                reason: "entry lacks a string \"key\"".into(),
+            })?;
+            let value = field(mo, "value")?.as_number().ok_or_else(|| AnchorError::BadField {
+                field: "metrics",
+                reason: format!("{key:?} has a non-numeric value"),
+            })?;
+            let class_name = string_field(mo, "class").map_err(|_| AnchorError::BadField {
+                field: "metrics",
+                reason: format!("{key:?} lacks a string \"class\""),
+            })?;
+            let class = class_name.parse().map_err(|()| AnchorError::BadField {
+                field: "metrics",
+                reason: format!("{key:?} has unknown class {class_name:?}"),
+            })?;
+            metrics.push(Metric { key, value, class });
+        }
+        Ok(Anchor { schema, scenario, tier, provenance, metrics })
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Json)], name: &'static str) -> Result<&'a Json, AnchorError> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v).ok_or(AnchorError::MissingField(name))
+}
+
+fn string_field(obj: &[(String, Json)], name: &'static str) -> Result<String, AnchorError> {
+    field(obj, name)?
+        .as_string()
+        .map(str::to_string)
+        .ok_or(AnchorError::BadField { field: name, reason: "not a string".into() })
+}
+
+/// Formats a metric value so `parse(render(v)) == v` bit-exactly: Rust's
+/// `{}` float formatting is shortest-round-trip; non-finite values render as
+/// the lenient tokens the parser also accepts (they never come out of
+/// `repro matrix`, which rejects non-finite metrics, but a hand-edited
+/// anchor must survive the round trip so the gate can flag it).
+fn render_number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value. Objects keep insertion order (anchors are rendered
+/// and diffed as text, so order stability matters).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_string(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    /// Accepts the lenient `NaN`/`Infinity`/`-Infinity` tokens so the gate
+    /// can load — and then reject — a damaged anchor instead of refusing to
+    /// read it at all.
+    pub fn parse(text: &str) -> Result<Json, (usize, String)> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err((pos, "trailing content after JSON document".into()));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, (usize, String)> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err((*pos, "unexpected end of input".into())),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
+        Some(b't') => parse_token(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_token(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_token(b, pos, "null", Json::Null),
+        Some(b'N') => parse_token(b, pos, "NaN", Json::Number(f64::NAN)),
+        Some(b'I') => parse_token(b, pos, "Infinity", Json::Number(f64::INFINITY)),
+        Some(b'-') if b.get(*pos + 1) == Some(&b'I') => {
+            *pos += 1;
+            parse_token(b, pos, "Infinity", Json::Number(f64::NEG_INFINITY))
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err((*pos, format!("unexpected byte {:?}", *c as char))),
+    }
+}
+
+fn parse_token(b: &[u8], pos: &mut usize, tok: &str, v: Json) -> Result<Json, (usize, String)> {
+    if b[*pos..].starts_with(tok.as_bytes()) {
+        *pos += tok.len();
+        Ok(v)
+    } else {
+        Err((*pos, format!("expected {tok:?}")))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, (usize, String)> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| (start, "bad utf8".to_string()))?;
+    text.parse::<f64>().map(Json::Number).map_err(|e| (start, format!("bad number: {e}")))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, (usize, String)> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err((*pos, "unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or((*pos, "truncated \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| (*pos, format!("bad \\u escape {hex:?}")))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err((*pos, format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| (*pos, "bad utf8 in string".to_string()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, (usize, String)> {
+    debug_assert_eq!(b[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err((*pos, "expected ',' or ']'".into())),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, (usize, String)> {
+    debug_assert_eq!(b[*pos], b'{');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(items));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err((*pos, "expected string key".into()));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err((*pos, "expected ':'".into()));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        items.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(items));
+            }
+            _ => return Err((*pos, "expected ',' or '}'".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Anchor {
+        Anchor {
+            schema: SCHEMA_VERSION,
+            scenario: "perf_thread".into(),
+            tier: "smoke".into(),
+            provenance: vec![
+                ("git".into(), "abc123".into()),
+                ("device".into(), "TITANV".into()),
+                ("seed".into(), "0x5eed".into()),
+            ],
+            metrics: vec![
+                Metric::time_hi("ScatterAlloc/s16/alloc_mops", 1.25),
+                Metric::exact("ScatterAlloc/s16/failures", 0.0),
+                Metric::model_lo("ScatterAlloc/s16/expansion", 1.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let a = sample();
+        let text = a.render();
+        let b = Anchor::parse(&text).unwrap();
+        assert_eq!(a, b);
+        // Text-level stability: render(parse(render(x))) == render(x).
+        assert_eq!(b.render(), text);
+    }
+
+    #[test]
+    fn parse_rejects_schema_drift() {
+        let text = sample().render().replace("\"schema\": 2", "\"schema\": 1");
+        match Anchor::parse(&text) {
+            Err(AnchorError::SchemaMismatch { found: 1, expected }) => {
+                assert_eq!(expected, SCHEMA_VERSION)
+            }
+            other => panic!("expected schema mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields_and_bad_classes() {
+        assert!(matches!(Anchor::parse("{}"), Err(AnchorError::MissingField("schema"))));
+        let bad_class = sample().render().replace("\"time_hi\"", "\"warp_speed\"");
+        assert!(matches!(Anchor::parse(&bad_class), Err(AnchorError::BadField { .. })));
+        assert!(matches!(Anchor::parse("not json"), Err(AnchorError::Json { .. })));
+    }
+
+    #[test]
+    fn non_finite_values_survive_the_round_trip() {
+        let mut a = sample();
+        a.metrics[0].value = f64::NAN;
+        a.metrics[2].value = f64::INFINITY;
+        let b = Anchor::parse(&a.render()).unwrap();
+        assert!(b.metrics[0].value.is_nan());
+        assert_eq!(b.metrics[2].value, f64::INFINITY);
+    }
+
+    #[test]
+    fn integral_values_render_with_a_decimal_point() {
+        let mut a = sample();
+        a.metrics[0].value = 7_643_670.0;
+        assert!(a.render().contains("\"value\": 7643670.0"));
+        assert_eq!(Anchor::parse(&a.render()).unwrap().metrics[0].value, 7_643_670.0);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\"y\n"}, "d": null}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].1.as_array().unwrap()[2].as_number().unwrap(), -300.0);
+        let inner = obj[1].1.as_object().unwrap();
+        assert_eq!(inner[0].1.as_string().unwrap(), "x\"y\n");
+        assert!(Json::parse("{\"a\": 1,}").is_err());
+        assert!(Json::parse("[1 2]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn metric_lookup_by_key() {
+        let a = sample();
+        assert_eq!(a.metric("ScatterAlloc/s16/alloc_mops").unwrap().value, 1.25);
+        assert!(a.metric("nope").is_none());
+        assert_eq!(a.provenance_value("git"), Some("abc123"));
+    }
+}

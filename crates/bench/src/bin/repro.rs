@@ -30,14 +30,17 @@ use std::time::Duration;
 
 use gpu_sim::{Device, DeviceSpec};
 use gpu_workloads::{sizes, write_test::WritePattern};
+use gpumem_bench::anchor::Anchor;
 use gpumem_bench::csv::{ms, us, Csv};
-use gpumem_bench::exec_bench;
+use gpumem_bench::gate::{self, Gates};
+use gpumem_bench::matrix::{self, MatrixCfg, Tier};
 use gpumem_bench::registry::{ManagerKind, ManagerSelection, ALL_KINDS, DEFAULT_KINDS};
 use gpumem_bench::runners::{self, Bench};
 use gpumem_core::info::SURVEY_TABLE;
 use gpumem_core::trace::DEFAULT_EVENTS_PER_SM;
 use gpumem_core::{HeapBackendKind, Pretouch};
 
+#[derive(Clone)]
 struct Opts {
     kinds: Vec<ManagerKind>,
     device: DeviceSpec,
@@ -62,6 +65,21 @@ struct Opts {
     /// demand-derived `heap_for` sizing.
     heap_mb: Option<u64>,
     out: PathBuf,
+    /// `matrix`/`gate` tier: `--smoke` or `--tier tiny|smoke|full`
+    /// (default full — the main-branch sizing).
+    tier: Option<Tier>,
+    /// `--seed HEX`: workload seed for matrix scenarios (default 0x5eed).
+    seed: Option<u64>,
+    /// `--anchors DIR`: where committed `BENCH_*.json` anchors live and
+    /// where `matrix` writes them (default: the repo root, `.`).
+    anchors: PathBuf,
+    /// `--gates FILE`: tolerance config for `gate`.
+    gates: PathBuf,
+    /// `--candidate DIR`: gate compares anchors in this directory instead
+    /// of rerunning scenarios (how check.sh avoids a double matrix run).
+    candidate: Option<PathBuf>,
+    /// `--scenario NAME` (repeatable): restrict matrix/gate to a subset.
+    scenarios: Vec<String>,
 }
 
 impl Default for Opts {
@@ -86,6 +104,12 @@ impl Default for Opts {
             pretouch: Pretouch::Auto,
             heap_mb: None,
             out: PathBuf::from("results"),
+            tier: None,
+            seed: None,
+            anchors: PathBuf::from("."),
+            gates: PathBuf::from("gates.toml"),
+            candidate: None,
+            scenarios: Vec::new(),
         }
     }
 }
@@ -155,6 +179,24 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
             "--pretouch" => opts.pretouch = next(&mut i)?.parse()?,
             "--heap-mb" => opts.heap_mb = Some(next(&mut i)?.parse().map_err(|e| format!("{e}"))?),
             "--out" => opts.out = PathBuf::from(next(&mut i)?),
+            "--smoke" => opts.tier = Some(Tier::Smoke),
+            "--tier" => {
+                let t = next(&mut i)?;
+                opts.tier =
+                    Some(t.parse().map_err(|()| format!("unknown tier: {t} (tiny|smoke|full)"))?);
+            }
+            "--seed" => {
+                let s = next(&mut i)?;
+                let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => s.parse(),
+                };
+                opts.seed = Some(parsed.map_err(|e| format!("bad seed {s:?}: {e}"))?);
+            }
+            "--anchors" => opts.anchors = PathBuf::from(next(&mut i)?),
+            "--gates" => opts.gates = PathBuf::from(next(&mut i)?),
+            "--candidate" => opts.candidate = Some(PathBuf::from(next(&mut i)?)),
+            "--scenario" => opts.scenarios.push(next(&mut i)?),
             other => return Err(format!("unknown option: {other}\n{}", usage())),
         }
     }
@@ -162,13 +204,17 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|perf|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|trace|audit|exec-bench|check|all> [options]\n\
+    "usage: repro <table1|init|fig9|perf|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|trace|audit|exec-bench|matrix|gate|check|all> [options]\n\
      (`repro --report contention` is an alias for `repro contention`;\n\
-      `repro perf` is fig9 at the paper's full 8 GiB heap, mmap-backed by default)\n\
+      `repro perf` is fig9 at the paper's full 8 GiB heap, mmap-backed by default;\n\
+      `repro matrix` regenerates the committed BENCH_<scenario>.json anchors,\n\
+      `repro gate` reruns and compares them against gates.toml tolerances)\n\
      options: -t SELECTOR[@ram|mmap|numa] --device D --num N --warp --dense --max-exp E\n\
      --range LO-HI --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB\n\
      -m MANAGER --trace-cap EVENTS_PER_SM --out DIR\n\
-     --heap-backend ram|mmap|numa --pretouch auto|full|striped|lazy --heap-mb MB"
+     --heap-backend ram|mmap|numa --pretouch auto|full|striped|lazy --heap-mb MB\n\
+     matrix/gate: --smoke | --tier tiny|smoke|full, --seed HEX, --anchors DIR,\n\
+     --gates FILE, --candidate DIR, --scenario NAME (repeatable)"
         .to_string()
 }
 
@@ -219,6 +265,8 @@ fn main() {
         "trace" => trace(&opts),
         "audit" => audit(&opts),
         "exec-bench" => exec_overhead(&opts),
+        "matrix" => matrix_cmd(&opts),
+        "gate" => gate_cmd(&opts),
         "check" => check(&opts),
         "all" => run_all(opts),
         other => {
@@ -259,7 +307,7 @@ fn run_all(mut opts: Opts) {
     println!("== Figure 9a/9b: thread-based alloc/free ({}) ==", opts.num);
     fig9(&opts);
     println!("== Figure 9g: warp-based alloc ==");
-    let mut warp = Opts { warp: true, ..clone_opts(&opts) };
+    let mut warp = Opts { warp: true, ..opts.clone() };
     warp.num = opts.num.min(4096) * 32 / 32;
     fig9(&warp);
     println!("== Figure 9h: mixed allocation ==");
@@ -273,7 +321,7 @@ fn run_all(mut opts: Opts) {
     println!("== Figure 11c: work generation 4-64 B ==");
     workgen(&opts);
     println!("== Figure 11d: work generation 4-4096 B ==");
-    let wide = Opts { range: (4, 4096), ..clone_opts(&opts) };
+    let wide = Opts { range: (4, 4096), ..opts.clone() };
     workgen(&wide);
     println!("== Figure 11e: write performance ==");
     write_perf(&opts);
@@ -286,35 +334,6 @@ fn run_all(mut opts: Opts) {
     println!("== Sanitizer sweep ==");
     sanitize(&opts);
     println!("done; results in {}", opts.out.display());
-}
-
-fn clone_opts(o: &Opts) -> Opts {
-    Opts {
-        kinds: o.kinds.clone(),
-        device: o.device,
-        out: o.out.clone(),
-        ..Opts {
-            kinds: Vec::new(),
-            device: o.device,
-            num: o.num,
-            warp: o.warp,
-            dense: o.dense,
-            max_exp: o.max_exp,
-            range: o.range,
-            iterations: o.iterations,
-            timeout: o.timeout,
-            cycles: o.cycles,
-            edges: o.edges,
-            scale_div: o.scale_div,
-            oom_heap_mb: o.oom_heap_mb,
-            manager: o.manager.clone(),
-            trace_cap: o.trace_cap,
-            heap_backend: o.heap_backend,
-            pretouch: o.pretouch,
-            heap_mb: o.heap_mb,
-            out: o.out.clone(),
-        }
-    }
 }
 
 fn table1(opts: &Opts) {
@@ -575,7 +594,10 @@ fn graph_init(opts: &Opts) {
             if kind.warp_level_only() {
                 continue; // no general free → cannot run the graph cases
             }
-            let c = runners::graph_init(&bench, kind, &csr);
+            let c = runners::graph_init(&bench, kind, &csr).unwrap_or_else(|e| {
+                eprintln!("graph-init {name}: {e}");
+                std::process::exit(1);
+            });
             csv.row([
                 c.manager.to_string(),
                 c.graph.clone(),
@@ -600,7 +622,11 @@ fn graph_update(opts: &Opts) {
                 continue; // update requires general free
             }
             for focused in [false, true] {
-                let c = runners::graph_update(&bench, kind, &csr, opts.edges, focused);
+                let c = runners::graph_update(&bench, kind, &csr, opts.edges, focused)
+                    .unwrap_or_else(|e| {
+                        eprintln!("graph-update {name}: {e}");
+                        std::process::exit(1);
+                    });
                 csv.row([
                     c.manager.to_string(),
                     c.graph.clone(),
@@ -750,33 +776,186 @@ fn contention(opts: &Opts) {
 }
 
 /// Launch-overhead microbenchmark: empty-kernel latency and warp throughput
-/// of the pooled executor vs the spawn-per-launch baseline. Writes the
-/// committed perf-trajectory baseline `BENCH_exec.json` (repo root, not
-/// `--out`: it is a tracked anchor, not a result CSV).
+/// of the pooled executor vs the spawn-per-launch baseline. Alias for the
+/// matrix's `exec` scenario: refreshes `BENCH_exec.json` in `--anchors`
+/// (default: the repo root) in the schema-versioned anchor format. Use
+/// `--smoke` to regenerate the committed (smoke-tier) anchor.
 fn exec_overhead(opts: &Opts) {
-    let bench = bench_of(opts);
-    let r = exec_bench::run(&bench.device, opts.iterations.max(16));
+    let cfg = matrix_cfg(opts);
+    let spec = matrix::scenario("exec").expect("exec scenario registered");
+    let anchor = matrix::run_scenario(&cfg, spec).unwrap_or_else(|e| {
+        eprintln!("exec-bench: {e}");
+        std::process::exit(1);
+    });
+    let get = |k: &str| anchor.metric(k).map(|m| m.value).unwrap_or(f64::NAN);
     println!(
-        "empty kernel: pooled {} µs vs spawn {} µs ({:.1}x); call cost {} µs vs {} µs",
-        us(r.empty_pooled),
-        us(r.empty_spawn),
-        r.latency_speedup(),
-        us(r.call_pooled),
-        us(r.call_spawn),
+        "empty kernel: pooled {:.0} ns vs spawn {:.0} ns ({:.1}x); call cost {:.0} ns vs {:.0} ns",
+        get("empty_pooled_ns"),
+        get("empty_spawn_ns"),
+        get("launch_speedup"),
+        get("call_pooled_ns"),
+        get("call_spawn_ns"),
     );
     println!(
-        "throughput ({} warps): pooled {:.0} warps/s vs spawn {:.0} warps/s",
-        r.throughput_warps, r.pooled_warps_per_sec, r.spawn_warps_per_sec
+        "throughput ({:.0} warps): pooled {:.0} warps/s vs spawn {:.0} warps/s",
+        get("throughput_warps"),
+        get("pooled_warps_per_sec"),
+        get("spawn_warps_per_sec"),
     );
     println!(
-        "small launch ({} warps on {} workers): {} workers used",
-        r.workers, r.workers, r.small_launch_workers_used
+        "small launch: {:.0}% of {:.0} workers used",
+        get("small_launch_worker_frac") * 100.0,
+        get("workers"),
     );
-    let path = PathBuf::from("BENCH_exec.json");
-    match std::fs::write(&path, r.to_json()) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    write_anchor(&anchor, &opts.anchors, spec.name);
+}
+
+/// Matrix/gate configuration from the command line: tier (default full),
+/// seed, device, backend. Iteration counts and timeouts are tier-pinned so
+/// anchors of the same tier are always comparable.
+fn matrix_cfg(opts: &Opts) -> MatrixCfg {
+    let mut cfg = MatrixCfg::new(opts.tier.unwrap_or(Tier::Full));
+    cfg.device = opts.device;
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
     }
+    cfg.heap_backend = opts.backend();
+    cfg.pretouch = opts.pretouch;
+    cfg
+}
+
+/// The scenario subset selected with `--scenario` (all when none given).
+fn selected_scenarios(opts: &Opts) -> Vec<&'static matrix::ScenarioSpec> {
+    if opts.scenarios.is_empty() {
+        return matrix::SCENARIOS.iter().collect();
+    }
+    opts.scenarios
+        .iter()
+        .map(|name| {
+            matrix::scenario(name).unwrap_or_else(|| {
+                eprintln!("{}", matrix::MatrixError::UnknownScenario(name.clone()));
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// Writes one anchor file, exiting nonzero on failure — a silently missing
+/// anchor would let a gated CI run pass vacuously.
+fn write_anchor(anchor: &Anchor, dir: &std::path::Path, name: &str) {
+    let path = Anchor::path_for(dir, name);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&path, anchor.render()) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("  wrote {} ({} metrics, tier {})", path.display(), anchor.metrics.len(), anchor.tier);
+}
+
+/// `repro matrix` — run the scenario registry at the selected tier and
+/// write one `BENCH_<scenario>.json` anchor per scenario.
+fn matrix_cmd(opts: &Opts) {
+    let cfg = matrix_cfg(opts);
+    let specs = selected_scenarios(opts);
+    println!(
+        "# matrix tier={} seed={:#x} backend={} anchors={}",
+        cfg.tier.as_str(),
+        cfg.seed,
+        cfg.heap_backend,
+        opts.anchors.display()
+    );
+    for spec in specs {
+        let started = std::time::Instant::now();
+        match matrix::run_scenario(&cfg, spec) {
+            Ok(anchor) => {
+                print!("{:<14} {:>6.1}s", spec.name, started.elapsed().as_secs_f64());
+                write_anchor(&anchor, &opts.anchors, spec.name);
+            }
+            Err(e) => {
+                eprintln!("matrix {}: {e}", spec.name);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `repro gate` — load committed anchors, rerun the same scenarios (or read
+/// a `--candidate` directory), and fail on drift beyond `gates.toml`.
+fn gate_cmd(opts: &Opts) {
+    let gates = match std::fs::read_to_string(&opts.gates) {
+        Ok(text) => match Gates::parse(&text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.gates.display());
+            std::process::exit(2);
+        }
+    };
+    let cfg = matrix_cfg(opts);
+    let load = |path: &std::path::Path| -> Result<Anchor, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Anchor::parse(&text).map_err(|e| e.to_string())
+    };
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for spec in selected_scenarios(opts) {
+        let path = Anchor::path_for(&opts.anchors, spec.name);
+        let anchor = match load(&path) {
+            Ok(a) => a,
+            Err(e) => {
+                println!("FAIL {}: anchor {}: {e}", spec.name, path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let current = if let Some(dir) = &opts.candidate {
+            let cpath = Anchor::path_for(dir, spec.name);
+            match load(&cpath) {
+                Ok(a) => a,
+                Err(e) => {
+                    println!("FAIL {}: candidate {}: {e}", spec.name, cpath.display());
+                    failures += 1;
+                    continue;
+                }
+            }
+        } else {
+            match matrix::run_scenario(&cfg, spec) {
+                Ok(a) => a,
+                Err(e) => {
+                    println!("FAIL {}: rerun: {e}", spec.name);
+                    failures += 1;
+                    continue;
+                }
+            }
+        };
+        let tol = gates.tolerances(spec.name);
+        let report = gate::compare(&anchor, &current, &tol);
+        compared += report.compared;
+        for f in &report.findings {
+            println!("  {}: {f}", spec.name);
+        }
+        let n_fail = report.failures().count();
+        failures += n_fail;
+        println!(
+            "{} {} ({} metrics, time ±{}%, model ±{}%)",
+            if n_fail == 0 { "pass" } else { "FAIL" },
+            spec.name,
+            report.compared,
+            tol.time_pct,
+            tol.model_pct
+        );
+    }
+    if failures > 0 {
+        eprintln!("gate: {failures} failure(s) across {compared} compared metrics");
+        std::process::exit(1);
+    }
+    println!("gate: all scenarios pass ({compared} metrics compared)");
 }
 
 /// Concurrency-audit summary: runs the memlint atomics-ordering pass over
@@ -866,7 +1045,10 @@ fn audit(opts: &Opts) {
     let path = opts.out.join("audit.csv");
     match csv.write(&path) {
         Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
     if standing > 0 {
         std::process::exit(2);
@@ -1011,7 +1193,10 @@ fn trace(opts: &Opts) {
     }
     match std::fs::write(&json_path, &r.json) {
         Ok(()) => println!("wrote {} ({} bytes)", json_path.display(), r.json.len()),
-        Err(e) => eprintln!("failed to write {}: {e}", json_path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", json_path.display());
+            std::process::exit(1);
+        }
     }
     let mut csv = Csv::new([
         "manager", "op", "events", "dropped", "p50_ns", "p95_ns", "p99_ns", "max_ns", "mean_ns",
@@ -1113,6 +1298,11 @@ fn save(mut csv: Csv, opts: &Opts, name: &str) {
     let path = opts.out.join(name);
     match csv.write(&path) {
         Ok(()) => println!("wrote {} ({} rows)", path.display(), csv.len()),
-        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        Err(e) => {
+            // Exiting nonzero here is load-bearing: a result file that
+            // silently failed to land would let a gated CI run pass vacuously.
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }

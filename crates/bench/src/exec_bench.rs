@@ -2,8 +2,10 @@
 //!
 //! Records the perf trajectory of the executor itself: empty-kernel launch
 //! latency and warp throughput on the pooled executor, side by side with
-//! the spawn-per-launch baseline it replaced. The JSON file is committed so
-//! future executor changes have a before/after anchor.
+//! the spawn-per-launch baseline it replaced. The committed anchor is the
+//! schema-versioned `exec` scenario of `crate::matrix` (serialisation via
+//! `crate::matrix::exec_metrics` + `crate::anchor`), so future executor
+//! changes have a before/after baseline the gate enforces.
 
 use std::time::{Duration, Instant};
 
@@ -47,30 +49,6 @@ impl ExecBenchResult {
         } else {
             self.empty_spawn.as_secs_f64() / p
         }
-    }
-
-    /// Renders the result as a small stable JSON document.
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"bench\": \"exec_launch_overhead\",\n  \"device\": \"{}\",\n  \
-             \"workers\": {},\n  \"empty_kernel\": {{\n    \"pooled_ns\": {},\n    \
-             \"spawn_ns\": {},\n    \"speedup\": {:.2},\n    \"call_pooled_ns\": {},\n    \
-             \"call_spawn_ns\": {}\n  }},\n  \"throughput\": {{\n    \"warps\": {},\n    \
-             \"pooled_warps_per_sec\": {:.0},\n    \"spawn_warps_per_sec\": {:.0}\n  }},\n  \
-             \"small_launch\": {{\n    \"n_warps\": {},\n    \"workers_used\": {}\n  }}\n}}\n",
-            self.device,
-            self.workers,
-            self.empty_pooled.as_nanos(),
-            self.empty_spawn.as_nanos(),
-            self.latency_speedup(),
-            self.call_pooled.as_nanos(),
-            self.call_spawn.as_nanos(),
-            self.throughput_warps,
-            self.pooled_warps_per_sec,
-            self.spawn_warps_per_sec,
-            self.workers,
-            self.small_launch_workers_used,
-        )
     }
 }
 
@@ -155,10 +133,9 @@ mod tests {
         let r = run(&d, 8);
         assert_eq!(r.workers, 2);
         assert!(r.small_launch_workers_used >= 1);
-        let json = r.to_json();
-        assert!(json.contains("\"bench\": \"exec_launch_overhead\""));
-        assert!(json.contains("\"workers\": 2"));
-        // Well-formed enough for downstream tooling: balanced braces.
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The anchor serialisation lives in matrix::exec_metrics; here the
+        // raw readings must at least be usable as gate bases.
+        assert!(r.latency_speedup().is_finite() && r.latency_speedup() > 0.0);
+        assert!(r.pooled_warps_per_sec > 0.0);
     }
 }

@@ -1,0 +1,469 @@
+//! The regression gate — compares a fresh matrix run against committed
+//! `BENCH_<scenario>.json` anchors and fails on drift beyond the
+//! per-scenario tolerances in `gates.toml`.
+//!
+//! Comparison rules, per metric class (see [`MetricClass`]):
+//!
+//! * `time_hi`/`time_lo` — wall-clock metrics (throughput, latency
+//!   percentiles). A regression beyond the scenario's `time_pct` fails:
+//!   throughput dropping below `anchor × (1 − pct/100)`, or latency rising
+//!   above `anchor × (1 + pct/100)`. Improvements never fail (they print a
+//!   re-baseline hint).
+//! * `model_hi`/`model_lo` — outputs of deterministic models (heap
+//!   utilization, coalescing cost, fragmentation expansion). Same rule with
+//!   the tighter `model_pct`.
+//! * `exact` — failure counts and structural flags; any difference fails.
+//!
+//! Guards: a non-finite value on either side fails, and an anchor whose
+//! higher-is-better metric is ≤ 0 (a zero-throughput anchor) fails loudly —
+//! dividing by it would otherwise turn every comparison into a vacuous pass
+//! or an infinite regression.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::anchor::{Anchor, Metric, MetricClass};
+
+/// Tolerances for one scenario, in percent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerances {
+    /// Allowed drift for `time_*` metrics (regression direction only).
+    pub time_pct: f64,
+    /// Allowed drift for `model_*` metrics.
+    pub model_pct: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { time_pct: 60.0, model_pct: 25.0 }
+    }
+}
+
+/// Parsed `gates.toml`: a `[default]` section plus per-scenario overrides.
+#[derive(Clone, Debug, Default)]
+pub struct Gates {
+    pub default: Tolerances,
+    pub per_scenario: BTreeMap<String, Tolerances>,
+}
+
+impl Gates {
+    /// Effective tolerances for `scenario` (override or default).
+    pub fn tolerances(&self, scenario: &str) -> Tolerances {
+        self.per_scenario.get(scenario).copied().unwrap_or(self.default)
+    }
+
+    /// Parses the checked-in `gates.toml` subset: `[section]` headers and
+    /// `key = <number>` lines, `#` comments. Unknown keys are errors so a
+    /// typo cannot silently leave a scenario ungated.
+    pub fn parse(text: &str) -> Result<Gates, String> {
+        let mut gates = Gates::default();
+        let mut section: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                if name.is_empty() {
+                    return Err(format!("gates.toml line {}: empty section name", lineno + 1));
+                }
+                if name != "default" {
+                    gates.per_scenario.entry(name.clone()).or_insert(gates.default);
+                }
+                section = Some(name);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("gates.toml line {}: expected key = value", lineno + 1))?;
+            let key = key.trim();
+            let value: f64 = value.trim().parse().map_err(|e| {
+                format!("gates.toml line {}: bad number for {key:?}: {e}", lineno + 1)
+            })?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "gates.toml line {}: tolerance {key:?} must be a finite non-negative percent",
+                    lineno + 1
+                ));
+            }
+            let sec = section
+                .clone()
+                .ok_or_else(|| format!("gates.toml line {}: key outside a section", lineno + 1))?;
+            let tol = if sec == "default" {
+                &mut gates.default
+            } else {
+                gates.per_scenario.get_mut(&sec).expect("section inserted on header")
+            };
+            match key {
+                "time_pct" => tol.time_pct = value,
+                "model_pct" => tol.model_pct = value,
+                other => {
+                    return Err(format!(
+                        "gates.toml line {}: unknown key {other:?} (expected time_pct/model_pct)",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        // Overrides declared before [default] still inherit the final
+        // defaults for keys they did not set? No — sections snapshot the
+        // defaults seen so far; keep [default] first in the file.
+        Ok(gates)
+    }
+}
+
+/// Why one comparison failed (or is worth a note).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FindingKind {
+    /// Metric drifted in the regression direction beyond tolerance.
+    Regression,
+    /// Metric improved beyond tolerance — not a failure; re-baseline hint.
+    Improvement,
+    /// `exact`-class metric differs.
+    ExactMismatch,
+    /// Metric present in the anchor but absent from the current run.
+    MissingMetric,
+    /// Anchor value unusable (NaN, infinite, or ≤ 0 for a ratio base).
+    InvalidAnchor,
+    /// Current value unusable (NaN or infinite).
+    InvalidCurrent,
+    /// Scenario names differ between the two documents.
+    ScenarioMismatch,
+    /// Tier (smoke/full) differs — parameters are not comparable.
+    TierMismatch,
+    /// Metric present in the current run but not the anchor (informational).
+    NewMetric,
+}
+
+impl FindingKind {
+    /// Whether this finding fails the gate.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, FindingKind::Improvement | FindingKind::NewMetric)
+    }
+}
+
+/// One comparison outcome.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub kind: FindingKind,
+    pub key: String,
+    pub anchor: f64,
+    pub current: f64,
+    /// Signed drift in percent, positive = regression direction.
+    pub drift_pct: f64,
+    /// The tolerance that applied.
+    pub limit_pct: f64,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FindingKind::Regression => write!(
+                f,
+                "REGRESSION {}: {:.4} -> {:.4} ({:+.1}% past the {:.0}% tolerance)",
+                self.key, self.anchor, self.current, self.drift_pct, self.limit_pct
+            ),
+            FindingKind::Improvement => write!(
+                f,
+                "improved {}: {:.4} -> {:.4} ({:.1}% better; consider re-baselining)",
+                self.key,
+                self.anchor,
+                self.current,
+                self.drift_pct.abs()
+            ),
+            FindingKind::ExactMismatch => write!(
+                f,
+                "EXACT MISMATCH {}: anchor {:.4} != current {:.4}",
+                self.key, self.anchor, self.current
+            ),
+            FindingKind::MissingMetric => {
+                write!(f, "MISSING {}: in anchor but not in the current run", self.key)
+            }
+            FindingKind::InvalidAnchor => write!(
+                f,
+                "INVALID ANCHOR {}: value {} cannot gate (NaN/inf/zero-throughput)",
+                self.key, self.anchor
+            ),
+            FindingKind::InvalidCurrent => {
+                write!(f, "INVALID CURRENT {}: value {} is not finite", self.key, self.current)
+            }
+            FindingKind::ScenarioMismatch => {
+                write!(f, "SCENARIO MISMATCH: comparing against anchor {:?}", self.key)
+            }
+            FindingKind::TierMismatch => {
+                write!(f, "TIER MISMATCH {}: anchors from one tier cannot gate another", self.key)
+            }
+            FindingKind::NewMetric => {
+                write!(f, "new metric {} = {:.4} (not in anchor)", self.key, self.current)
+            }
+        }
+    }
+}
+
+/// Result of gating one scenario.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    pub scenario: String,
+    pub findings: Vec<Finding>,
+    /// Metrics compared (excluding structural findings).
+    pub compared: usize,
+}
+
+impl GateReport {
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.kind.is_failure())
+    }
+
+    pub fn passed(&self) -> bool {
+        self.failures().next().is_none()
+    }
+}
+
+/// Compares a current run against its committed anchor.
+pub fn compare(anchor: &Anchor, current: &Anchor, tol: &Tolerances) -> GateReport {
+    let mut findings = Vec::new();
+    let mut compared = 0usize;
+    if anchor.scenario != current.scenario {
+        findings.push(Finding {
+            kind: FindingKind::ScenarioMismatch,
+            key: anchor.scenario.clone(),
+            anchor: 0.0,
+            current: 0.0,
+            drift_pct: 0.0,
+            limit_pct: 0.0,
+        });
+    }
+    if anchor.tier != current.tier {
+        findings.push(Finding {
+            kind: FindingKind::TierMismatch,
+            key: format!("{} (anchor) vs {} (current)", anchor.tier, current.tier),
+            anchor: 0.0,
+            current: 0.0,
+            drift_pct: 0.0,
+            limit_pct: 0.0,
+        });
+    }
+    for am in &anchor.metrics {
+        let Some(cm) = current.metric(&am.key) else {
+            findings.push(Finding {
+                kind: FindingKind::MissingMetric,
+                key: am.key.clone(),
+                anchor: am.value,
+                current: f64::NAN,
+                drift_pct: 0.0,
+                limit_pct: 0.0,
+            });
+            continue;
+        };
+        compared += 1;
+        if let Some(finding) = compare_metric(am, cm, tol) {
+            findings.push(finding);
+        }
+    }
+    for cm in &current.metrics {
+        if anchor.metric(&cm.key).is_none() {
+            findings.push(Finding {
+                kind: FindingKind::NewMetric,
+                key: cm.key.clone(),
+                anchor: f64::NAN,
+                current: cm.value,
+                drift_pct: 0.0,
+                limit_pct: 0.0,
+            });
+        }
+    }
+    GateReport { scenario: anchor.scenario.clone(), findings, compared }
+}
+
+fn compare_metric(am: &Metric, cm: &Metric, tol: &Tolerances) -> Option<Finding> {
+    let finding = |kind: FindingKind, drift_pct: f64, limit_pct: f64| {
+        Some(Finding {
+            kind,
+            key: am.key.clone(),
+            anchor: am.value,
+            current: cm.value,
+            drift_pct,
+            limit_pct,
+        })
+    };
+    // NaN/zero-throughput guard: ratio comparisons need a finite, positive
+    // base for every non-exact class (latency anchors of 0 ns are equally
+    // meaningless). Fail loudly instead of passing vacuously.
+    if am.class != MetricClass::Exact && (!am.value.is_finite() || am.value <= 0.0) {
+        return finding(FindingKind::InvalidAnchor, 0.0, 0.0);
+    }
+    if !am.value.is_finite() {
+        return finding(FindingKind::InvalidAnchor, 0.0, 0.0);
+    }
+    if !cm.value.is_finite() {
+        return finding(FindingKind::InvalidCurrent, 0.0, 0.0);
+    }
+    let limit = match am.class {
+        MetricClass::TimeHi | MetricClass::TimeLo => tol.time_pct,
+        MetricClass::ModelHi | MetricClass::ModelLo => tol.model_pct,
+        MetricClass::Exact => {
+            return if am.value == cm.value {
+                None
+            } else {
+                finding(FindingKind::ExactMismatch, 0.0, 0.0)
+            };
+        }
+    };
+    // Drift in percent, signed so the regression direction is positive.
+    let drift = if am.class.higher_is_better() {
+        (am.value - cm.value) / am.value * 100.0
+    } else {
+        (cm.value - am.value) / am.value * 100.0
+    };
+    if drift > limit {
+        finding(FindingKind::Regression, drift, limit)
+    } else if drift < -limit {
+        finding(FindingKind::Improvement, drift, limit)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::SCHEMA_VERSION;
+
+    fn anchor_with(metrics: Vec<Metric>) -> Anchor {
+        Anchor {
+            schema: SCHEMA_VERSION,
+            scenario: "t".into(),
+            tier: "smoke".into(),
+            provenance: vec![("git".into(), "x".into())],
+            metrics,
+        }
+    }
+
+    fn tol(time_pct: f64, model_pct: f64) -> Tolerances {
+        Tolerances { time_pct, model_pct }
+    }
+
+    #[test]
+    fn tolerance_boundary_passes_exactly_at_limit() {
+        // Anchor throughput 100, tolerance 20%: current 80 is exactly the
+        // boundary (drift == limit) and passes; 79.999 fails.
+        let a = anchor_with(vec![Metric::time_hi("m/tp", 100.0)]);
+        let at = anchor_with(vec![Metric::time_hi("m/tp", 80.0)]);
+        let past = anchor_with(vec![Metric::time_hi("m/tp", 79.999)]);
+        assert!(compare(&a, &at, &tol(20.0, 5.0)).passed());
+        let r = compare(&a, &past, &tol(20.0, 5.0));
+        assert!(!r.passed());
+        assert_eq!(r.failures().next().unwrap().kind, FindingKind::Regression);
+    }
+
+    #[test]
+    fn lower_is_better_metrics_gate_the_other_direction() {
+        // p99 latency anchor 1000 ns, tolerance 50%: 1500 passes, 1501 fails;
+        // a *drop* to 100 ns is an improvement, never a failure.
+        let a = anchor_with(vec![Metric::time_lo("m/p99", 1000.0)]);
+        assert!(compare(&a, &anchor_with(vec![Metric::time_lo("m/p99", 1500.0)]), &tol(50.0, 5.0))
+            .passed());
+        assert!(!compare(
+            &a,
+            &anchor_with(vec![Metric::time_lo("m/p99", 1501.0)]),
+            &tol(50.0, 5.0)
+        )
+        .passed());
+        let better =
+            compare(&a, &anchor_with(vec![Metric::time_lo("m/p99", 100.0)]), &tol(50.0, 5.0));
+        assert!(better.passed());
+        assert_eq!(better.findings[0].kind, FindingKind::Improvement);
+    }
+
+    #[test]
+    fn model_class_uses_model_tolerance() {
+        let a = anchor_with(vec![Metric::model_lo("m/cost", 2.0)]);
+        // 10% worse: fails under model_pct 5 even though time_pct 60 allows it.
+        let worse = anchor_with(vec![Metric::model_lo("m/cost", 2.2)]);
+        assert!(!compare(&a, &worse, &tol(60.0, 5.0)).passed());
+        assert!(compare(&a, &worse, &tol(60.0, 15.0)).passed());
+    }
+
+    #[test]
+    fn exact_metrics_fail_on_any_difference() {
+        let a = anchor_with(vec![Metric::exact("m/failures", 0.0)]);
+        assert!(compare(&a, &anchor_with(vec![Metric::exact("m/failures", 0.0)]), &tol(60.0, 5.0))
+            .passed());
+        let r = compare(&a, &anchor_with(vec![Metric::exact("m/failures", 1.0)]), &tol(60.0, 5.0));
+        assert_eq!(r.failures().next().unwrap().kind, FindingKind::ExactMismatch);
+    }
+
+    #[test]
+    fn missing_metric_in_current_run_fails() {
+        let a = anchor_with(vec![Metric::time_hi("m/tp", 100.0), Metric::time_hi("m/extra", 1.0)]);
+        let c = anchor_with(vec![Metric::time_hi("m/tp", 100.0)]);
+        let r = compare(&a, &c, &tol(60.0, 5.0));
+        assert!(!r.passed());
+        assert!(r.failures().any(|f| f.kind == FindingKind::MissingMetric && f.key == "m/extra"));
+    }
+
+    #[test]
+    fn scenario_and_tier_mismatches_fail() {
+        let a = anchor_with(vec![]);
+        let mut c = anchor_with(vec![]);
+        c.scenario = "other".into();
+        assert!(compare(&a, &c, &tol(60.0, 5.0))
+            .failures()
+            .any(|f| f.kind == FindingKind::ScenarioMismatch));
+        let mut full = anchor_with(vec![]);
+        full.tier = "full".into();
+        assert!(compare(&a, &full, &tol(60.0, 5.0))
+            .failures()
+            .any(|f| f.kind == FindingKind::TierMismatch));
+    }
+
+    #[test]
+    fn nan_and_zero_throughput_anchors_fail_loudly() {
+        for bad in [f64::NAN, 0.0, -1.0, f64::INFINITY] {
+            let a = anchor_with(vec![Metric::time_hi("m/tp", bad)]);
+            let c = anchor_with(vec![Metric::time_hi("m/tp", 100.0)]);
+            let r = compare(&a, &c, &tol(60.0, 5.0));
+            assert_eq!(
+                r.failures().next().map(|f| f.kind.clone()),
+                Some(FindingKind::InvalidAnchor),
+                "anchor value {bad} must be rejected"
+            );
+        }
+        // NaN on the current side fails too (a NaN never trips a plain
+        // `drift > limit` comparison, so it needs the explicit guard).
+        let a = anchor_with(vec![Metric::time_hi("m/tp", 100.0)]);
+        let c = anchor_with(vec![Metric::time_hi("m/tp", f64::NAN)]);
+        let r = compare(&a, &c, &tol(60.0, 5.0));
+        assert_eq!(r.failures().next().map(|f| f.kind.clone()), Some(FindingKind::InvalidCurrent));
+    }
+
+    #[test]
+    fn new_metrics_are_informational_only() {
+        let a = anchor_with(vec![]);
+        let c = anchor_with(vec![Metric::time_hi("m/new", 5.0)]);
+        let r = compare(&a, &c, &tol(60.0, 5.0));
+        assert!(r.passed());
+        assert_eq!(r.findings[0].kind, FindingKind::NewMetric);
+    }
+
+    #[test]
+    fn gates_toml_parses_defaults_and_overrides() {
+        let g = Gates::parse(
+            "# comment\n[default]\ntime_pct = 60\nmodel_pct = 25\n\n[exec]\ntime_pct = 75 # loose\n",
+        )
+        .unwrap();
+        assert_eq!(g.default, Tolerances { time_pct: 60.0, model_pct: 25.0 });
+        assert_eq!(g.tolerances("exec"), Tolerances { time_pct: 75.0, model_pct: 25.0 });
+        assert_eq!(g.tolerances("unlisted"), g.default);
+    }
+
+    #[test]
+    fn gates_toml_rejects_typos_and_bad_values() {
+        assert!(Gates::parse("[default]\ntime_percent = 60\n").is_err());
+        assert!(Gates::parse("time_pct = 60\n").is_err(), "key outside section");
+        assert!(Gates::parse("[default]\ntime_pct = -5\n").is_err());
+        assert!(Gates::parse("[default]\ntime_pct = NaN\n").is_err());
+        assert!(Gates::parse("[]\n").is_err());
+    }
+}

@@ -13,13 +13,23 @@
 //!
 //! * [`shapes`] — mechanical verification that a finished run exhibits the
 //!   paper's qualitative results (`repro check`).
+//! * [`anchor`] — the schema-versioned `BENCH_<scenario>.json` format
+//!   (provenance-stamped, classed metrics) with a dependency-free parser.
+//! * [`matrix`] — the declarative scenario registry behind `repro matrix`:
+//!   the whole paper grid at smoke/full tier, one anchor per scenario.
+//! * [`gate`] — the `repro gate` comparator: committed anchors vs a fresh
+//!   run, per-scenario tolerances from `gates.toml`.
 //!
 //! The `repro` binary (in `src/bin`) drives everything:
-//! `repro all` writes one CSV per figure into `results/`, and
-//! `repro check` validates the shapes against the paper.
+//! `repro all` writes one CSV per figure into `results/`,
+//! `repro check` validates the shapes against the paper, and
+//! `repro matrix` / `repro gate` maintain the committed anchors.
 
+pub mod anchor;
 pub mod csv;
 pub mod exec_bench;
+pub mod gate;
+pub mod matrix;
 pub mod registry;
 pub mod runners;
 pub mod shapes;

@@ -1,0 +1,626 @@
+//! `repro matrix` — the declarative scenario registry behind the committed
+//! `BENCH_<scenario>.json` anchors.
+//!
+//! One [`ScenarioSpec`] per paper test-case family (scenario × manager
+//! family × thread/warp variant), each producing a schema-versioned
+//! [`Anchor`] with provenance stamps. Three tiers size the same grid:
+//!
+//! * `smoke` — small counts; the committed anchors and the PR-CI gate.
+//! * `full` — paper-scale counts (perf/mixed to 1M, scaling 2¹–2²⁰); the
+//!   main-branch CI job, uploaded as artifacts rather than committed.
+//! * `tiny` — test-only sizing so the golden-file tests stay fast.
+//!
+//! Metric keys are `{manager}/{cell}/{measure}` and stable across runs of
+//! the same tier; the gate (`crate::gate`) treats a vanished key as a
+//! failure, so anything nondeterministic enough to appear or disappear
+//! between runs must not become a metric.
+
+use std::time::Duration;
+
+use gpu_sim::{Device, DeviceSpec};
+use gpu_workloads::write_test::WritePattern;
+use gpumem_core::trace::DEFAULT_EVENTS_PER_SM;
+use gpumem_core::{HeapBackendKind, Pretouch};
+
+use crate::anchor::{Anchor, Metric, SCHEMA_VERSION};
+use crate::exec_bench;
+use crate::registry::ManagerKind;
+use crate::runners::{self, Bench, SizingError};
+
+/// Which rung of the matrix ladder a run sizes for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Test-only sizing: the golden-file tests run real scenarios cheaply.
+    Tiny,
+    /// Committed-anchor sizing: completes in minutes, gates every PR.
+    Smoke,
+    /// Paper-scale sizing (1M allocations, 2¹–2²⁰ scaling): main branch.
+    Full,
+}
+
+impl Tier {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Tier::Tiny => "tiny",
+            Tier::Smoke => "smoke",
+            Tier::Full => "full",
+        }
+    }
+
+    /// Tier-scaled allocation count: `(tiny, smoke, full)`.
+    fn pick(&self, tiny: u32, smoke: u32, full: u32) -> u32 {
+        match self {
+            Tier::Tiny => tiny,
+            Tier::Smoke => smoke,
+            Tier::Full => full,
+        }
+    }
+}
+
+impl std::str::FromStr for Tier {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Tier, ()> {
+        match s {
+            "tiny" => Ok(Tier::Tiny),
+            "smoke" => Ok(Tier::Smoke),
+            "full" => Ok(Tier::Full),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Everything a scenario needs to size and seed itself.
+#[derive(Clone, Debug)]
+pub struct MatrixCfg {
+    pub device: DeviceSpec,
+    pub tier: Tier,
+    pub seed: u64,
+    pub iterations: u32,
+    pub timeout: Duration,
+    pub heap_backend: HeapBackendKind,
+    pub pretouch: Pretouch,
+}
+
+impl MatrixCfg {
+    /// Tier defaults on the TITAN V spec with the paper's workload seed.
+    pub fn new(tier: Tier) -> Self {
+        MatrixCfg {
+            device: DeviceSpec::titan_v(),
+            tier,
+            seed: 0x5eed,
+            iterations: match tier {
+                Tier::Tiny => 1,
+                Tier::Smoke => 2,
+                Tier::Full => 3,
+            },
+            timeout: Duration::from_secs(if tier == Tier::Full { 30 } else { 20 }),
+            heap_backend: HeapBackendKind::env_default(),
+            pretouch: Pretouch::Auto,
+        }
+    }
+
+    /// The shared runner context for one scenario.
+    pub fn bench(&self) -> Bench {
+        let mut b = Bench::new(Device::new(self.device));
+        b.iterations = self.iterations;
+        b.seed = self.seed;
+        b.cell_timeout = self.timeout;
+        b.heap_backend = self.heap_backend;
+        b.pretouch = self.pretouch;
+        b
+    }
+}
+
+/// Why a scenario could not produce an anchor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixError {
+    /// A runner's demand computation overflowed (satellite bugfix: checked
+    /// arithmetic instead of silent wrap/under-provision).
+    Sizing(SizingError),
+    /// A metric came out NaN/infinite — committing it would poison the gate.
+    NonFinite { scenario: &'static str, key: String },
+    /// `--scenario` named something not in [`SCENARIOS`].
+    UnknownScenario(String),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::Sizing(e) => write!(f, "sizing: {e}"),
+            MatrixError::NonFinite { scenario, key } => {
+                write!(f, "scenario {scenario}: metric {key} is not finite")
+            }
+            MatrixError::UnknownScenario(s) => {
+                let names: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+                write!(f, "unknown scenario {s:?} (available: {})", names.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<SizingError> for MatrixError {
+    fn from(e: SizingError) -> Self {
+        MatrixError::Sizing(e)
+    }
+}
+
+/// One row of the matrix registry.
+pub struct ScenarioSpec {
+    /// Anchor name: the file is `BENCH_<name>.json`.
+    pub name: &'static str,
+    /// Paper family the scenario reproduces (figure/section).
+    pub family: &'static str,
+    /// Variant within the family (thread/warp, size range, graph mode...).
+    pub variant: &'static str,
+    run: fn(&MatrixCfg) -> Result<Vec<Metric>, MatrixError>,
+}
+
+/// The paper grid, one anchor per scenario.
+pub const SCENARIOS: &[ScenarioSpec] = &[
+    ScenarioSpec {
+        name: "perf_thread",
+        family: "Fig. 9a-f alloc/free performance",
+        variant: "thread-based, sizes 16/512 B",
+        run: perf_thread,
+    },
+    ScenarioSpec {
+        name: "perf_warp",
+        family: "Fig. 9g alloc/free performance",
+        variant: "warp-based, 256 B",
+        run: perf_warp,
+    },
+    ScenarioSpec {
+        name: "mixed",
+        family: "Fig. 9h mixed allocation",
+        variant: "thread-based, uniform [4, 1024/4096] B",
+        run: mixed,
+    },
+    ScenarioSpec {
+        name: "scaling",
+        family: "Fig. 10 scaling sweep",
+        variant: "thread counts 2^1..2^N, 16 B",
+        run: scaling,
+    },
+    ScenarioSpec {
+        name: "frag",
+        family: "Fig. 11a fragmentation",
+        variant: "address-range expansion, 64/4096 B",
+        run: frag,
+    },
+    ScenarioSpec {
+        name: "oom",
+        family: "Fig. 11b out-of-memory",
+        variant: "1 KiB storm until first denial",
+        run: oom,
+    },
+    ScenarioSpec {
+        name: "workgen",
+        family: "Fig. 11c/d work generation",
+        variant: "managed vs prefix-sum baseline, 4-64/4-4096 B",
+        run: workgen,
+    },
+    ScenarioSpec {
+        name: "coalescing",
+        family: "Fig. 11e write performance",
+        variant: "coalescing-model relative cost",
+        run: coalescing,
+    },
+    ScenarioSpec {
+        name: "graph_init",
+        family: "Fig. 11f dynamic graph init",
+        variant: "fe_body CSR build",
+        run: graph_init,
+    },
+    ScenarioSpec {
+        name: "graph_update",
+        family: "Fig. 11g dynamic graph updates",
+        variant: "focused + uniform edge inserts",
+        run: graph_update,
+    },
+    ScenarioSpec {
+        name: "latency",
+        family: "event-trace latency percentiles",
+        variant: "malloc/free p50/p99 via per-SM rings",
+        run: latency,
+    },
+    ScenarioSpec {
+        name: "exec",
+        family: "executor launch overhead",
+        variant: "pooled vs spawn-per-launch",
+        run: exec,
+    },
+];
+
+/// Looks a scenario up by anchor name.
+pub fn scenario(name: &str) -> Option<&'static ScenarioSpec> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// Runs one scenario and wraps its metrics into a provenance-stamped anchor.
+/// Every metric is checked finite here so a NaN can never reach a committed
+/// anchor (the gate would then reject it as `InvalidAnchor`).
+pub fn run_scenario(cfg: &MatrixCfg, spec: &ScenarioSpec) -> Result<Anchor, MatrixError> {
+    let metrics = (spec.run)(cfg)?;
+    for m in &metrics {
+        if !m.value.is_finite() {
+            return Err(MatrixError::NonFinite { scenario: spec.name, key: m.key.clone() });
+        }
+    }
+    Ok(Anchor {
+        schema: SCHEMA_VERSION,
+        scenario: spec.name.to_string(),
+        tier: cfg.tier.as_str().to_string(),
+        provenance: provenance(cfg),
+        metrics,
+    })
+}
+
+/// The provenance stamps every anchor carries: enough to reproduce the run
+/// and to spot an apples/oranges comparison. Informational — the gate never
+/// compares provenance values (the git sha differs on every commit by
+/// design).
+fn provenance(cfg: &MatrixCfg) -> Vec<(String, String)> {
+    let git = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    vec![
+        ("git".to_string(), git),
+        ("device".to_string(), cfg.device.name.to_string()),
+        ("sms".to_string(), cfg.device.num_sms.to_string()),
+        ("workers".to_string(), Device::configured_workers().to_string()),
+        (
+            "gms_workers".to_string(),
+            std::env::var("GMS_WORKERS").unwrap_or_else(|_| "-".to_string()),
+        ),
+        ("seed".to_string(), format!("{:#x}", cfg.seed)),
+        ("heap_backend".to_string(), cfg.heap_backend.to_string()),
+        ("pretouch".to_string(), cfg.pretouch.resolve(cfg.heap_backend).to_string()),
+        ("iterations".to_string(), cfg.iterations.to_string()),
+    ]
+}
+
+/// Throughput in million operations per second; the duration is floored to
+/// 1 ns so a sub-tick timer reading cannot mint an infinite (ungateable)
+/// anchor.
+fn mops(ops: u32, d: Duration) -> f64 {
+    ops as f64 * 1e3 / d.as_nanos().max(1) as f64
+}
+
+/// Thousand operations per second (work generation runs whole milliseconds).
+fn kops(ops: u32, d: Duration) -> f64 {
+    ops as f64 * 1e6 / d.as_nanos().max(1) as f64
+}
+
+/// Latency reading in nanoseconds, floored to 1 so `time_lo` anchors stay
+/// positive (the gate rejects a 0 base).
+fn lat_ns(ns: u64) -> f64 {
+    ns.max(1) as f64
+}
+
+/// The eight-manager core set used where the full 15-kind sweep would make
+/// a scenario's runtime dominate the matrix: one representative per family
+/// (standard + virtualized Ouroboros, ScatterAlloc, Halloc, CUDA model,
+/// XMalloc, Reg-Eff, the Atomic baseline).
+const CORE_KINDS: [ManagerKind; 8] = [
+    ManagerKind::OuroSP,
+    ManagerKind::OuroVAP,
+    ManagerKind::ScatterAlloc,
+    ManagerKind::Halloc,
+    ManagerKind::CudaAllocator,
+    ManagerKind::XMalloc,
+    ManagerKind::RegEffC,
+    ManagerKind::Atomic,
+];
+
+/// Managers the dynamic-graph scenarios run: general free required (no
+/// FDGMalloc), and Atomic cannot update in place.
+const GRAPH_KINDS: [ManagerKind; 4] = [
+    ManagerKind::OuroVLP,
+    ManagerKind::OuroSP,
+    ManagerKind::ScatterAlloc,
+    ManagerKind::CudaAllocator,
+];
+
+fn perf_thread(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let num = cfg.tier.pick(256, 2048, 1_000_000);
+    let mut metrics = Vec::new();
+    for kind in crate::registry::DEFAULT_KINDS {
+        for size in [16u64, 512] {
+            let c = runners::alloc_perf(&bench, kind, num, size, false);
+            let k = format!("{}/s{size}", kind.label());
+            metrics.push(Metric::time_hi(format!("{k}/alloc_mops"), mops(num, c.alloc)));
+            if let Some(free) = c.free {
+                metrics.push(Metric::time_hi(format!("{k}/free_mops"), mops(num, free)));
+            }
+            metrics.push(Metric::exact(format!("{k}/failures"), c.failures as f64));
+        }
+    }
+    Ok(metrics)
+}
+
+fn perf_warp(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let warps = cfg.tier.pick(128, 1024, 10_000);
+    let mut metrics = Vec::new();
+    for kind in crate::registry::DEFAULT_KINDS {
+        let c = runners::alloc_perf(&bench, kind, warps, 256, true);
+        let k = format!("{}/w256", kind.label());
+        metrics.push(Metric::time_hi(format!("{k}/alloc_mops"), mops(warps, c.alloc)));
+        metrics.push(Metric::exact(format!("{k}/failures"), c.failures as f64));
+    }
+    Ok(metrics)
+}
+
+fn mixed(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let num = cfg.tier.pick(256, 2048, 1_000_000);
+    let mut metrics = Vec::new();
+    for kind in crate::registry::DEFAULT_KINDS {
+        for upper in [1024u64, 4096] {
+            let c = runners::mixed_perf(&bench, kind, num, upper);
+            let k = format!("{}/u{upper}", kind.label());
+            metrics.push(Metric::time_hi(format!("{k}/alloc_mops"), mops(num, c.alloc)));
+            metrics.push(Metric::exact(format!("{k}/failures"), c.failures as f64));
+        }
+    }
+    Ok(metrics)
+}
+
+fn scaling(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let max_exp = match cfg.tier {
+        Tier::Tiny => 4,
+        Tier::Smoke => 8,
+        Tier::Full => 20,
+    };
+    let mut metrics = Vec::new();
+    for kind in CORE_KINDS {
+        let mut failures = 0u64;
+        let mut top: Option<runners::AllocPerfCell> = None;
+        for e in 1..=max_exp {
+            let c = runners::alloc_perf(&bench, kind, 1u32 << e, 16, false);
+            failures += c.failures;
+            let timed_out = c.timed_out;
+            top = Some(c);
+            if timed_out {
+                break;
+            }
+        }
+        // The top-of-sweep cell is the headline: if a manager stops scaling
+        // (times out earlier than before), the `e{max_exp}` key vanishes and
+        // the gate reports it as a missing metric.
+        if let Some(c) = top {
+            if !c.timed_out {
+                metrics.push(Metric::time_hi(
+                    format!("{}/e{max_exp}/alloc_mops", kind.label()),
+                    mops(c.num, c.alloc),
+                ));
+            }
+            metrics
+                .push(Metric::exact(format!("{}/failures_total", kind.label()), failures as f64));
+        }
+    }
+    Ok(metrics)
+}
+
+fn frag(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let num = cfg.tier.pick(512, 2048, 100_000);
+    let cycles = match cfg.tier {
+        Tier::Tiny => 2,
+        Tier::Smoke => 4,
+        Tier::Full => 10,
+    };
+    let mut metrics = Vec::new();
+    for kind in crate::registry::DEFAULT_KINDS {
+        for size in [64u64, 4096] {
+            let c = runners::fragmentation(&bench, kind, num, size, cycles);
+            let k = format!("{}/s{size}", kind.label());
+            metrics.push(Metric::model_lo(format!("{k}/expansion"), c.initial.expansion_factor()));
+            let growth = c.max_range_after_cycles as f64 / c.initial.address_range.max(1) as f64;
+            metrics.push(Metric::model_lo(format!("{k}/cycle_growth"), growth));
+        }
+    }
+    Ok(metrics)
+}
+
+fn oom(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let heap = if cfg.tier == Tier::Full { 256u64 << 20 } else { 64 << 20 };
+    let mut metrics = Vec::new();
+    for kind in [ManagerKind::OuroSP, ManagerKind::ScatterAlloc, ManagerKind::Halloc] {
+        let c = runners::oom(&bench, kind, heap, 1024);
+        metrics.push(Metric::model_hi(format!("{}/utilization", kind.label()), c.utilization));
+        metrics.push(Metric::exact(
+            format!("{}/timed_out", kind.label()),
+            if c.timed_out { 1.0 } else { 0.0 },
+        ));
+    }
+    Ok(metrics)
+}
+
+fn workgen(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let threads = cfg.tier.pick(256, 2048, 100_000);
+    let mut metrics = Vec::new();
+    for (lo, hi) in [(4u64, 64u64), (4, 4096)] {
+        let base = runners::work_generation_baseline(&bench, threads, lo, hi);
+        metrics.push(Metric::time_hi(
+            format!("Baseline/r{lo}-{hi}/kops"),
+            kops(threads, base.elapsed),
+        ));
+        for kind in CORE_KINDS {
+            let c = runners::work_generation(&bench, kind, threads, lo, hi);
+            let k = format!("{}/r{lo}-{hi}", kind.label());
+            metrics.push(Metric::time_hi(format!("{k}/kops"), kops(threads, c.elapsed)));
+            metrics.push(Metric::exact(format!("{k}/failures"), c.failures as f64));
+        }
+    }
+    Ok(metrics)
+}
+
+fn coalescing(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let threads = cfg.tier.pick(1024, 4096, 65_536);
+    let mut metrics = Vec::new();
+    for (tag, pattern) in [
+        ("u16", WritePattern::Uniform { bytes: 16 }),
+        ("m16-128", WritePattern::Mixed { lo: 16, hi: 128 }),
+    ] {
+        for kind in CORE_KINDS {
+            let c = runners::write_performance(&bench, kind, threads, pattern);
+            let k = format!("{}/{tag}", kind.label());
+            metrics.push(Metric::model_lo(format!("{k}/relative_cost"), c.relative_cost));
+            metrics.push(Metric::exact(format!("{k}/failures"), c.failures as f64));
+        }
+    }
+    Ok(metrics)
+}
+
+fn graph_init(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let div = match cfg.tier {
+        Tier::Tiny => 512,
+        Tier::Smoke => 256,
+        Tier::Full => 64,
+    };
+    let csr = dyn_graph::generate("fe_body", div, bench.seed);
+    let edges = csr.edges() as u32;
+    let mut metrics = Vec::new();
+    for kind in GRAPH_KINDS {
+        let c = runners::graph_init(&bench, kind, &csr)?;
+        let k = format!("{}/fe_body", kind.label());
+        metrics.push(Metric::time_hi(format!("{k}/edges_mops"), mops(edges, c.elapsed)));
+        metrics.push(Metric::exact(format!("{k}/failures"), c.failures as f64));
+    }
+    Ok(metrics)
+}
+
+fn graph_update(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let div = match cfg.tier {
+        Tier::Tiny => 512,
+        Tier::Smoke => 256,
+        Tier::Full => 64,
+    };
+    let edges = cfg.tier.pick(500, 2000, 20_000);
+    let csr = dyn_graph::generate("fe_body", div, bench.seed);
+    let mut metrics = Vec::new();
+    for kind in GRAPH_KINDS {
+        for (mode, focused) in [("focused", true), ("uniform", false)] {
+            let c = runners::graph_update(&bench, kind, &csr, edges, focused)?;
+            let k = format!("{}/{mode}", kind.label());
+            metrics.push(Metric::time_hi(format!("{k}/edges_mops"), mops(edges, c.elapsed)));
+            metrics.push(Metric::exact(format!("{k}/failures"), c.failures as f64));
+        }
+    }
+    Ok(metrics)
+}
+
+fn latency(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let num = cfg.tier.pick(512, 2048, 100_000);
+    let mut metrics = Vec::new();
+    for kind in [ManagerKind::ScatterAlloc, ManagerKind::OuroSP, ManagerKind::Halloc] {
+        let r = runners::trace_profile(&bench, kind, num, DEFAULT_EVENTS_PER_SM);
+        let k = kind.label();
+        metrics
+            .push(Metric::time_lo(format!("{k}/malloc_p50_ns"), lat_ns(r.latencies.malloc.p50())));
+        metrics
+            .push(Metric::time_lo(format!("{k}/malloc_p99_ns"), lat_ns(r.latencies.malloc.p99())));
+        metrics.push(Metric::time_lo(format!("{k}/free_p99_ns"), lat_ns(r.latencies.free.p99())));
+    }
+    Ok(metrics)
+}
+
+fn exec(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    let bench = cfg.bench();
+    let trials = if cfg.tier == Tier::Full { 16 } else { 8 };
+    let r = exec_bench::run(&bench.device, trials);
+    Ok(exec_metrics(&r))
+}
+
+/// Converts the executor microbenchmark result into anchor metrics — the
+/// schema-v2 replacement of the old hand-formatted `BENCH_exec.json`. The
+/// headline `launch_speedup` is what the docs quote (formerly a hardcoded
+/// "61x"); the worker fraction is a model metric so a collapse of the
+/// small-launch spread fails even when absolute timings drift.
+pub fn exec_metrics(r: &exec_bench::ExecBenchResult) -> Vec<Metric> {
+    vec![
+        Metric::time_lo("empty_pooled_ns", lat_ns(r.empty_pooled.as_nanos() as u64)),
+        Metric::time_lo("empty_spawn_ns", lat_ns(r.empty_spawn.as_nanos() as u64)),
+        Metric::time_hi("launch_speedup", r.latency_speedup()),
+        Metric::time_lo("call_pooled_ns", lat_ns(r.call_pooled.as_nanos() as u64)),
+        Metric::time_lo("call_spawn_ns", lat_ns(r.call_spawn.as_nanos() as u64)),
+        Metric::time_hi("pooled_warps_per_sec", r.pooled_warps_per_sec),
+        Metric::time_hi("spawn_warps_per_sec", r.spawn_warps_per_sec),
+        Metric::exact("throughput_warps", r.throughput_warps as f64),
+        Metric::exact("workers", r.workers as f64),
+        Metric::model_hi(
+            "small_launch_worker_frac",
+            r.small_launch_workers_used as f64 / r.workers.max(1) as f64,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SCENARIOS {
+            assert!(seen.insert(s.name), "duplicate scenario {}", s.name);
+            assert!(scenario(s.name).is_some());
+        }
+        assert!(SCENARIOS.len() >= 8, "acceptance floor: >= 8 anchors");
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn tier_round_trips_and_scales() {
+        for t in [Tier::Tiny, Tier::Smoke, Tier::Full] {
+            assert_eq!(t.as_str().parse(), Ok(t));
+        }
+        assert_eq!("medium".parse::<Tier>(), Err(()));
+        assert_eq!(Tier::Smoke.pick(1, 2, 3), 2);
+    }
+
+    #[test]
+    fn mops_guards_zero_duration() {
+        assert!(mops(1000, Duration::ZERO).is_finite());
+        assert!(lat_ns(0) > 0.0);
+    }
+
+    #[test]
+    fn exec_scenario_produces_schema_v2_anchor() {
+        let cfg = MatrixCfg::new(Tier::Tiny);
+        let spec = scenario("exec").unwrap();
+        let a = run_scenario(&cfg, spec).unwrap();
+        assert_eq!(a.schema, SCHEMA_VERSION);
+        assert_eq!(a.tier, "tiny");
+        assert!(a.metric("launch_speedup").is_some());
+        assert!(a.provenance_value("seed").is_some());
+        // Round-trips through the parser byte-identically.
+        let again = Anchor::parse(&a.render()).unwrap();
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn oom_scenario_metrics_are_gateable() {
+        let cfg = MatrixCfg::new(Tier::Tiny);
+        let a = run_scenario(&cfg, scenario("oom").unwrap()).unwrap();
+        let util = a.metric("Ouro-S-P/utilization").unwrap();
+        assert!(util.value > 0.0 && util.value <= 1.0, "{}", util.value);
+        assert_eq!(a.metric("Ouro-S-P/timed_out").unwrap().value, 0.0);
+    }
+}

@@ -68,6 +68,14 @@ impl Bench {
         self.heap_spec_bytes(heap_for(num, max_size))
     }
 
+    /// Like [`Bench::heap_spec`] but surfaces a demand-computation overflow
+    /// as a typed [`SizingError`] instead of saturating — the path matrix
+    /// scenarios take, where a wrapped size must abort the anchor rather
+    /// than silently under-provision it.
+    pub fn try_heap_spec(&self, num: u32, max_size: u64) -> Result<HeapSpec, SizingError> {
+        Ok(self.heap_spec_bytes(try_heap_for(num, max_size)?))
+    }
+
     /// A heap spec of exactly `bytes` (unless overridden) over the
     /// context's backend and pre-touch policy.
     pub fn heap_spec_bytes(&self, bytes: u64) -> HeapSpec {
@@ -77,13 +85,58 @@ impl Bench {
     }
 }
 
+/// Typed sizing failures of the demand arithmetic in this module. Before
+/// these, `heap_for` and the graph demand sums used unchecked multiplies
+/// that could wrap at matrix scale (1M–10M allocations × KiB-to-page sizes)
+/// and silently under-provision the heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizingError {
+    /// `num × max_size` does not fit in `u64`.
+    DemandOverflow { num: u32, size: u64 },
+    /// A per-vertex adjacency demand (`next_pow2(degree × 4)`) has no
+    /// representable power-of-two size.
+    AdjacencyOverflow { vertex: u32, degree: u64 },
+    /// The per-vertex demand sum (plus update headroom) overflowed `u64`.
+    DemandSumOverflow { vertices: u32 },
+}
+
+impl std::fmt::Display for SizingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizingError::DemandOverflow { num, size } => {
+                write!(f, "heap demand {num} x {size} B overflows u64")
+            }
+            SizingError::AdjacencyOverflow { vertex, degree } => {
+                write!(f, "adjacency demand of vertex {vertex} (degree {degree}) overflows u64")
+            }
+            SizingError::DemandSumOverflow { vertices } => {
+                write!(f, "graph demand sum over {vertices} vertices overflows u64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SizingError {}
+
 /// Sizes a per-manager heap for a demand of `num × max_size` bytes: six-fold
 /// headroom (fragmentation, per-manager metadata, repeated iterations for
 /// managers without free), clamped to sane host bounds.
+///
+/// On demand overflow the result saturates to the 6 GiB clamp ceiling —
+/// the same size any over-demand cell gets — instead of wrapping below it.
+/// Callers that must *distinguish* overflow use [`try_heap_for`].
 pub fn heap_for(num: u32, max_size: u64) -> u64 {
-    let demand = num as u64 * max_size.max(16);
+    try_heap_for(num, max_size).unwrap_or(6 << 30)
+}
+
+/// Checked [`heap_for`]: a `num × max_size` product that does not fit in
+/// `u64` is a typed [`SizingError`], not a wrapped (under-provisioned) size.
+pub fn try_heap_for(num: u32, max_size: u64) -> Result<u64, SizingError> {
+    let demand = (num as u64)
+        .checked_mul(max_size.max(16))
+        .ok_or(SizingError::DemandOverflow { num, size: max_size })?;
     let raw = (demand.saturating_mul(6)).clamp(64 << 20, 6 << 30);
-    raw.div_ceil(4 << 20) * (4 << 20)
+    Ok(raw.div_ceil(4 << 20) * (4 << 20))
 }
 
 /// One cell of the allocation-performance experiments (Figures 9/10).
@@ -351,7 +404,9 @@ pub fn oom(bench: &Bench, kind: ManagerKind, heap_bytes: u64, size: u64) -> OomC
         manager: kind.label(),
         size,
         allocations: count,
-        utilization: (count * size) as f64 / heap_bytes as f64,
+        // f64 throughout: `count * size` in u64 can overflow once a full-tier
+        // storm grants billions of bytes.
+        utilization: count as f64 * size as f64 / heap_bytes as f64,
         timed_out,
     }
 }
@@ -428,17 +483,49 @@ pub struct GraphCell {
     pub failures: u64,
 }
 
+/// Total adjacency-array demand of `csr` (each vertex's list rounded up to
+/// the next power of two, 4 B per edge slot) plus 64 B of headroom per
+/// expected update edge — all checked: a pathological degree or vertex
+/// count surfaces as a [`SizingError`] instead of wrapping the sum and
+/// under-provisioning the heap (the `next_pow2(degree*4)` sums were
+/// previously unchecked).
+pub fn graph_demand(csr: &dyn_graph::CsrGraph, extra_edges: u32) -> Result<u64, SizingError> {
+    let mut demand = 0u64;
+    for v in 0..csr.vertices() {
+        let degree = csr.degree(v);
+        let slot = degree
+            .max(1)
+            .checked_mul(4)
+            .and_then(gpumem_core::util::checked_next_pow2)
+            .ok_or(SizingError::AdjacencyOverflow { vertex: v, degree })?;
+        demand = demand
+            .checked_add(slot)
+            .ok_or(SizingError::DemandSumOverflow { vertices: csr.vertices() })?;
+    }
+    demand
+        .checked_add(extra_edges as u64 * 64)
+        .ok_or(SizingError::DemandSumOverflow { vertices: csr.vertices() })
+}
+
 /// Graph initialisation (Fig. 11f).
-pub fn graph_init(bench: &Bench, kind: ManagerKind, csr: &dyn_graph::CsrGraph) -> GraphCell {
-    let demand: u64 =
-        (0..csr.vertices()).map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4)).sum();
+pub fn graph_init(
+    bench: &Bench,
+    kind: ManagerKind,
+    csr: &dyn_graph::CsrGraph,
+) -> Result<GraphCell, SizingError> {
+    let demand = graph_demand(csr, 0)?;
     let alloc = kind
         .builder()
-        .heap_spec(bench.heap_spec(1, demand.max(1 << 20)))
+        .heap_spec(bench.try_heap_spec(1, demand.max(1 << 20))?)
         .sms(bench.num_sms())
         .build();
     let (g, elapsed) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
-    GraphCell { manager: kind.label(), graph: csr.name.clone(), elapsed, failures: g.failures() }
+    Ok(GraphCell {
+        manager: kind.label(),
+        graph: csr.name.clone(),
+        elapsed,
+        failures: g.failures(),
+    })
 }
 
 /// Graph updates (Fig. 11g): insert `n_edges`, focused or uniform.
@@ -448,11 +535,10 @@ pub fn graph_update(
     csr: &dyn_graph::CsrGraph,
     n_edges: u32,
     focused: bool,
-) -> GraphCell {
-    let demand: u64 =
-        (0..csr.vertices()).map(|v| gpumem_core::util::next_pow2(csr.degree(v).max(1) * 4)).sum();
+) -> Result<GraphCell, SizingError> {
     // Updates grow a few adjacencies dramatically; generous headroom.
-    let heap = bench.heap_spec(1, (demand + n_edges as u64 * 64).max(1 << 20));
+    let demand = graph_demand(csr, n_edges)?;
+    let heap = bench.try_heap_spec(1, demand.max(1 << 20))?;
     let alloc = kind.builder().heap_spec(heap).sms(bench.num_sms()).build();
     let (g, _) = dyn_graph::DynGraph::init(alloc.as_ref(), &bench.device, csr);
     let edges = if focused {
@@ -461,7 +547,12 @@ pub fn graph_update(
         dyn_graph::uniform_edges(csr.vertices(), n_edges, bench.seed)
     };
     let elapsed = g.insert_edges(&bench.device, &edges);
-    GraphCell { manager: kind.label(), graph: csr.name.clone(), elapsed, failures: g.failures() }
+    Ok(GraphCell {
+        manager: kind.label(),
+        graph: csr.name.clone(),
+        elapsed,
+        failures: g.failures(),
+    })
 }
 
 /// One row of the initialisation & register experiment (§4.1).
@@ -804,6 +895,31 @@ mod tests {
     }
 
     #[test]
+    fn heap_sizing_overflow_is_typed_not_wrapped() {
+        // u32::MAX allocations of 2^40 B: the demand product overflows u64.
+        let err = try_heap_for(u32::MAX, 1 << 40).unwrap_err();
+        assert!(matches!(err, SizingError::DemandOverflow { .. }), "{err}");
+        assert!(err.to_string().contains("overflows"));
+        // The infallible wrapper saturates to the clamp ceiling instead of
+        // wrapping below it (the old `num as u64 * max_size` could yield a
+        // tiny heap for a huge demand).
+        assert_eq!(heap_for(u32::MAX, 1 << 40), 6 << 30);
+        // Non-overflowing inputs agree between the two paths.
+        assert_eq!(try_heap_for(100_000, 8192).unwrap(), heap_for(100_000, 8192));
+    }
+
+    #[test]
+    fn graph_demand_checked_and_matches_scale() {
+        let b = bench();
+        let csr = dyn_graph::generate("fe_body", 256, 3);
+        let d = graph_demand(&csr, 0).unwrap();
+        // Every vertex needs at least one 4 B slot; headroom adds on top.
+        assert!(d >= csr.vertices() as u64 * 4);
+        assert!(graph_demand(&csr, 1000).unwrap() == d + 1000 * 64);
+        let _ = b;
+    }
+
+    #[test]
     fn alloc_perf_runs_for_every_default_kind() {
         let b = bench();
         for kind in crate::registry::DEFAULT_KINDS {
@@ -899,9 +1015,9 @@ mod tests {
     fn graph_init_and_update_run() {
         let b = bench();
         let csr = dyn_graph::generate("fe_body", 256, 3);
-        let init = graph_init(&b, ManagerKind::OuroVLP, &csr);
+        let init = graph_init(&b, ManagerKind::OuroVLP, &csr).unwrap();
         assert_eq!(init.failures, 0);
-        let upd = graph_update(&b, ManagerKind::OuroVLP, &csr, 2000, true);
+        let upd = graph_update(&b, ManagerKind::OuroVLP, &csr, 2000, true).unwrap();
         assert_eq!(upd.failures, 0);
     }
 

@@ -17,12 +17,28 @@ pub const fn align_down(v: u64, align: u64) -> u64 {
 }
 
 /// Next power of two ≥ `v` (with `next_pow2(0) == 1`).
+///
+/// Values above `1 << 63` have no representable next power of two; use
+/// [`checked_next_pow2`] where the input is demand-derived and can reach
+/// that range (matrix-scale allocation counts multiplied by sizes).
 #[inline]
 pub const fn next_pow2(v: u64) -> u64 {
     if v <= 1 {
         1
     } else {
         1u64 << (64 - (v - 1).leading_zeros())
+    }
+}
+
+/// Next power of two ≥ `v`, or `None` when `v > 1 << 63` (the shift in
+/// [`next_pow2`] would overflow — debug-panic or silently wrap to 0 in
+/// release, under-provisioning whatever heap was being sized).
+#[inline]
+pub const fn checked_next_pow2(v: u64) -> Option<u64> {
+    if v > 1u64 << 63 {
+        None
+    } else {
+        Some(next_pow2(v))
     }
 }
 
@@ -114,6 +130,14 @@ mod tests {
         assert_eq!(next_pow2(4), 4);
         assert_eq!(next_pow2(4097), 8192);
         assert_eq!(next_pow2(1 << 40), 1 << 40);
+    }
+
+    #[test]
+    fn checked_next_pow2_boundaries() {
+        assert_eq!(checked_next_pow2(0), Some(1));
+        assert_eq!(checked_next_pow2(1 << 63), Some(1 << 63));
+        assert_eq!(checked_next_pow2((1 << 63) + 1), None);
+        assert_eq!(checked_next_pow2(u64::MAX), None);
     }
 
     #[test]

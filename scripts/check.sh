@@ -51,10 +51,18 @@ cargo run --offline --release -q -p gpumem-bench --bin repro -- \
     perf --heap-backend mmap -t s --num 1000 --iter 1 --out target/perf-smoke
 grep -q 'heap_backend=mmap' target/perf-smoke/alloc_thread_1000_TITANV.csv
 
-# Launch-overhead microbenchmark; refreshes the committed BENCH_exec.json
-# perf anchor (empty-kernel latency, warp throughput, small-launch spread).
-echo "==> repro exec-bench"
-cargo run --offline --release -q -p gpumem-bench --bin repro -- exec-bench
+# Repro-matrix smoke gate: regenerate every smoke-tier scenario into a
+# scratch dir, then compare against the committed BENCH_*.json anchors with
+# the per-scenario tolerances in gates.toml. Exits nonzero on regression,
+# exact-metric drift, or a missing/damaged anchor. GMS_WORKERS is pinned so
+# throughput anchors are comparable across machines; re-baseline with
+# `repro matrix --smoke` (see gates.toml header) after intentional changes.
+echo "==> repro matrix --smoke + gate"
+rm -rf target/matrix-smoke
+GMS_WORKERS="${GMS_WORKERS:-4}" cargo run --offline --release -q -p gpumem-bench --bin repro -- \
+    matrix --smoke --anchors target/matrix-smoke
+GMS_WORKERS="${GMS_WORKERS:-4}" cargo run --offline --release -q -p gpumem-bench --bin repro -- \
+    gate --smoke --candidate target/matrix-smoke
 
 # Event-tracing smoke: a traced run must produce a Perfetto-loadable Chrome
 # trace (the binary validates it before writing) plus a latency-percentile
