@@ -17,9 +17,13 @@ use std::path::{Path, PathBuf};
 
 /// Current anchor schema version. Version 1 was the ad-hoc
 /// `BENCH_exec.json` layout (no provenance, no metric classes); version 2
-/// is the matrix layout this module reads and writes. The gate refuses to
-/// compare across versions.
-pub const SCHEMA_VERSION: u32 = 2;
+/// was the matrix layout. Version 3 keeps the same document shape but marks
+/// the magazine-cache generation: the latency scenario covers every default
+/// family (with `free_p99_ns` emitted only where the free path runs), and
+/// the cached twin scenarios (`perf_thread_cached`, `mixed_cached`) exist —
+/// a v2 anchor set would gate-pass while silently missing them. The gate
+/// refuses to compare across versions.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// How the gate prices a drift in one metric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -551,7 +555,8 @@ mod tests {
 
     #[test]
     fn parse_rejects_schema_drift() {
-        let text = sample().render().replace("\"schema\": 2", "\"schema\": 1");
+        let text =
+            sample().render().replace(&format!("\"schema\": {SCHEMA_VERSION}"), "\"schema\": 1");
         match Anchor::parse(&text) {
             Err(AnchorError::SchemaMismatch { found: 1, expected }) => {
                 assert_eq!(expected, SCHEMA_VERSION)

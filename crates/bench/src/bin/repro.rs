@@ -64,6 +64,10 @@ struct Opts {
     /// `--heap-mb`: pins every cell's heap to this size instead of the
     /// demand-derived `heap_for` sizing.
     heap_mb: Option<u64>,
+    /// `--cached` (or a `-t …@cached` suffix): wrap every manager in the
+    /// `Cached` magazine decorator, with one untimed warm-up pass in the
+    /// perf runners so timed iterations measure the hot path.
+    cached: bool,
     out: PathBuf,
     /// `matrix`/`gate` tier: `--smoke` or `--tier tiny|smoke|full`
     /// (default full — the main-branch sizing).
@@ -103,6 +107,7 @@ impl Default for Opts {
             heap_backend: None,
             pretouch: Pretouch::Auto,
             heap_mb: None,
+            cached: false,
             out: PathBuf::from("results"),
             tier: None,
             seed: None,
@@ -148,6 +153,9 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
                 if raw.contains('@') {
                     opts.heap_backend = Some(sel.backend);
                 }
+                if sel.cached {
+                    opts.cached = true;
+                }
             }
             "--device" => {
                 let name = next(&mut i)?;
@@ -178,6 +186,7 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
             "--heap-backend" => opts.heap_backend = Some(next(&mut i)?.parse()?),
             "--pretouch" => opts.pretouch = next(&mut i)?.parse()?,
             "--heap-mb" => opts.heap_mb = Some(next(&mut i)?.parse().map_err(|e| format!("{e}"))?),
+            "--cached" => opts.cached = true,
             "--out" => opts.out = PathBuf::from(next(&mut i)?),
             "--smoke" => opts.tier = Some(Tier::Smoke),
             "--tier" => {
@@ -209,9 +218,9 @@ fn usage() -> String {
       `repro perf` is fig9 at the paper's full 8 GiB heap, mmap-backed by default;\n\
       `repro matrix` regenerates the committed BENCH_<scenario>.json anchors,\n\
       `repro gate` reruns and compares them against gates.toml tolerances)\n\
-     options: -t SELECTOR[@ram|mmap|numa] --device D --num N --warp --dense --max-exp E\n\
+     options: -t SELECTOR[@ram|mmap|numa][+cached] --device D --num N --warp --dense --max-exp E\n\
      --range LO-HI --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB\n\
-     -m MANAGER --trace-cap EVENTS_PER_SM --out DIR\n\
+     -m MANAGER --trace-cap EVENTS_PER_SM --out DIR --cached\n\
      --heap-backend ram|mmap|numa --pretouch auto|full|striped|lazy --heap-mb MB\n\
      matrix/gate: --smoke | --tier tiny|smoke|full, --seed HEX, --anchors DIR,\n\
      --gates FILE, --candidate DIR, --scenario NAME (repeatable)"
@@ -225,6 +234,10 @@ fn bench_of(opts: &Opts) -> Bench {
     b.heap_backend = opts.backend();
     b.pretouch = opts.pretouch;
     b.heap_override = opts.heap_mb.map(|mb| mb << 20);
+    b.cached = opts.cached;
+    // Cached runs get one untimed warm-up pass so the timed iterations
+    // measure the magazine hot path, not the cold first fill.
+    b.warmup = opts.cached as u32;
     b
 }
 
@@ -935,7 +948,7 @@ fn gate_cmd(opts: &Opts) {
             }
         };
         let tol = gates.tolerances(spec.name);
-        let report = gate::compare(&anchor, &current, &tol);
+        let report = gate::compare_with_gates(&anchor, &current, &gates);
         compared += report.compared;
         for f in &report.findings {
             println!("  {}: {f}", spec.name);
@@ -943,7 +956,7 @@ fn gate_cmd(opts: &Opts) {
         let n_fail = report.failures().count();
         failures += n_fail;
         println!(
-            "{} {} ({} metrics, time ±{}%, model ±{}%)",
+            "{} {} ({} metrics, base time ±{}%, model ±{}%; per-family overrides apply)",
             if n_fail == 0 { "pass" } else { "FAIL" },
             spec.name,
             report.compared,

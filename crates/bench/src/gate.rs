@@ -39,7 +39,10 @@ impl Default for Tolerances {
     }
 }
 
-/// Parsed `gates.toml`: a `[default]` section plus per-scenario overrides.
+/// Parsed `gates.toml`: a `[default]` section, per-scenario overrides
+/// (`[latency]`), and per-family overrides within a scenario
+/// (`[latency.CUDA-Allocator]`) — the family is the metric-key prefix
+/// before the first `/`, i.e. the manager label.
 #[derive(Clone, Debug, Default)]
 pub struct Gates {
     pub default: Tolerances,
@@ -50,6 +53,20 @@ impl Gates {
     /// Effective tolerances for `scenario` (override or default).
     pub fn tolerances(&self, scenario: &str) -> Tolerances {
         self.per_scenario.get(scenario).copied().unwrap_or(self.default)
+    }
+
+    /// Effective tolerances for one metric of `scenario`: the most specific
+    /// of `[scenario.family]`, `[scenario]`, `[default]`, where the family
+    /// is `metric_key` up to its first `/` (the manager label in every
+    /// matrix scenario's `{manager}/{cell}/{measure}` key scheme).
+    pub fn tolerances_for(&self, scenario: &str, metric_key: &str) -> Tolerances {
+        let family = metric_key.split('/').next().unwrap_or("");
+        if !family.is_empty() {
+            if let Some(t) = self.per_scenario.get(&format!("{scenario}.{family}")) {
+                return *t;
+            }
+        }
+        self.tolerances(scenario)
     }
 
     /// Parses the checked-in `gates.toml` subset: `[section]` headers and
@@ -69,7 +86,15 @@ impl Gates {
                     return Err(format!("gates.toml line {}: empty section name", lineno + 1));
                 }
                 if name != "default" {
-                    gates.per_scenario.entry(name.clone()).or_insert(gates.default);
+                    // A `[scenario.family]` section starts from its
+                    // scenario's tolerances (if declared above it), so a
+                    // family override of one knob keeps the other one's
+                    // scenario-level value.
+                    let seed = name
+                        .split_once('.')
+                        .and_then(|(scenario, _)| gates.per_scenario.get(scenario).copied())
+                        .unwrap_or(gates.default);
+                    gates.per_scenario.entry(name.clone()).or_insert(seed);
                 }
                 section = Some(name);
                 continue;
@@ -220,8 +245,25 @@ impl GateReport {
     }
 }
 
-/// Compares a current run against its committed anchor.
+/// Compares a current run against its committed anchor with one flat
+/// tolerance for every metric.
 pub fn compare(anchor: &Anchor, current: &Anchor, tol: &Tolerances) -> GateReport {
+    compare_by(anchor, current, &|_key| *tol)
+}
+
+/// Compares a current run against its committed anchor, resolving the
+/// tolerance per metric through [`Gates::tolerances_for`] — so
+/// `[latency.CUDA-Allocator]` can loosen one family's percentile gates
+/// without loosening the whole scenario.
+pub fn compare_with_gates(anchor: &Anchor, current: &Anchor, gates: &Gates) -> GateReport {
+    compare_by(anchor, current, &|key| gates.tolerances_for(&anchor.scenario, key))
+}
+
+fn compare_by(
+    anchor: &Anchor,
+    current: &Anchor,
+    tol_for: &dyn Fn(&str) -> Tolerances,
+) -> GateReport {
     let mut findings = Vec::new();
     let mut compared = 0usize;
     if anchor.scenario != current.scenario {
@@ -257,7 +299,7 @@ pub fn compare(anchor: &Anchor, current: &Anchor, tol: &Tolerances) -> GateRepor
             continue;
         };
         compared += 1;
-        if let Some(finding) = compare_metric(am, cm, tol) {
+        if let Some(finding) = compare_metric(am, cm, &tol_for(&am.key)) {
             findings.push(finding);
         }
     }
@@ -456,6 +498,49 @@ mod tests {
         assert_eq!(g.default, Tolerances { time_pct: 60.0, model_pct: 25.0 });
         assert_eq!(g.tolerances("exec"), Tolerances { time_pct: 75.0, model_pct: 25.0 });
         assert_eq!(g.tolerances("unlisted"), g.default);
+    }
+
+    #[test]
+    fn per_family_sections_resolve_most_specific_first() {
+        let g = Gates::parse(
+            "[default]\ntime_pct = 60\nmodel_pct = 25\n\
+             [latency]\ntime_pct = 150\n\
+             [latency.CUDA-Allocator]\ntime_pct = 250\n",
+        )
+        .unwrap();
+        // Family override wins for its own metrics...
+        let t = g.tolerances_for("latency", "CUDA-Allocator/malloc_p99_ns");
+        assert_eq!(t.time_pct, 250.0);
+        // ...and inherits the scenario section's other knob, not the default.
+        assert_eq!(t.model_pct, 25.0);
+        // Other families in the scenario keep the scenario override.
+        assert_eq!(g.tolerances_for("latency", "Halloc/malloc_p99_ns").time_pct, 150.0);
+        // Other scenarios are untouched by the dotted section.
+        assert_eq!(g.tolerances_for("mixed", "CUDA-Allocator/u1024/alloc_mops").time_pct, 60.0);
+    }
+
+    #[test]
+    fn compare_with_gates_applies_family_tolerance_per_metric() {
+        let g = Gates::parse(
+            "[default]\ntime_pct = 60\nmodel_pct = 25\n\
+             [t]\ntime_pct = 50\n\
+             [t.Loose]\ntime_pct = 300\n",
+        )
+        .unwrap();
+        let a = anchor_with(vec![
+            Metric::time_lo("Loose/p99", 1000.0),
+            Metric::time_lo("Tight/p99", 1000.0),
+        ]);
+        // Both families regress 2x: Loose passes under its 300% gate, Tight
+        // fails its scenario-level 50% gate — within one compare call.
+        let c = anchor_with(vec![
+            Metric::time_lo("Loose/p99", 2000.0),
+            Metric::time_lo("Tight/p99", 2000.0),
+        ]);
+        let r = compare_with_gates(&a, &c, &g);
+        assert!(!r.passed());
+        let failed: Vec<&str> = r.failures().map(|f| f.key.as_str()).collect();
+        assert_eq!(failed, vec!["Tight/p99"]);
     }
 
     #[test]

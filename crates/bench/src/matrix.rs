@@ -110,6 +110,16 @@ impl MatrixCfg {
         b.pretouch = self.pretouch;
         b
     }
+
+    /// [`MatrixCfg::bench`] with the `Cached` magazine decorator enabled and
+    /// one untimed warm-up pass, so the timed iterations measure the
+    /// steady-state magazine hot path rather than the cold first fill.
+    pub fn cached_bench(&self) -> Bench {
+        let mut b = self.bench();
+        b.cached = true;
+        b.warmup = 1;
+        b
+    }
 }
 
 /// Why a scenario could not produce an anchor.
@@ -177,6 +187,18 @@ pub const SCENARIOS: &[ScenarioSpec] = &[
         family: "Fig. 9h mixed allocation",
         variant: "thread-based, uniform [4, 1024/4096] B",
         run: mixed,
+    },
+    ScenarioSpec {
+        name: "perf_thread_cached",
+        family: "Fig. 9a-f alloc/free performance",
+        variant: "thread-based, sizes 16/512 B, magazine-cached + warm-up",
+        run: perf_thread_cached,
+    },
+    ScenarioSpec {
+        name: "mixed_cached",
+        family: "Fig. 9h mixed allocation",
+        variant: "thread-based, uniform [4, 1024/4096] B, magazine-cached + warm-up",
+        run: mixed_cached,
     },
     ScenarioSpec {
         name: "scaling",
@@ -329,7 +351,17 @@ const GRAPH_KINDS: [ManagerKind; 4] = [
 ];
 
 fn perf_thread(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
-    let bench = cfg.bench();
+    perf_thread_body(cfg, cfg.bench())
+}
+
+/// Same grid and metric keys as [`perf_thread`], but through the magazine
+/// decorator: the key identity is what lets `BENCH_perf_thread_cached.json`
+/// be diffed metric-for-metric against `BENCH_perf_thread.json`.
+fn perf_thread_cached(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    perf_thread_body(cfg, cfg.cached_bench())
+}
+
+fn perf_thread_body(cfg: &MatrixCfg, bench: Bench) -> Result<Vec<Metric>, MatrixError> {
     let num = cfg.tier.pick(256, 2048, 1_000_000);
     let mut metrics = Vec::new();
     for kind in crate::registry::DEFAULT_KINDS {
@@ -360,7 +392,18 @@ fn perf_warp(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
 }
 
 fn mixed(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
-    let bench = cfg.bench();
+    mixed_body(cfg, cfg.bench())
+}
+
+/// Cached twin of [`mixed`]; see [`perf_thread_cached`] on key identity.
+/// This is the contention scenario the magazines target: mixed sizes land in
+/// a handful of size classes, so the warmed magazines absorb most of the
+/// timed traffic that would otherwise hit shared manager metadata.
+fn mixed_cached(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
+    mixed_body(cfg, cfg.cached_bench())
+}
+
+fn mixed_body(cfg: &MatrixCfg, bench: Bench) -> Result<Vec<Metric>, MatrixError> {
     let num = cfg.tier.pick(256, 2048, 1_000_000);
     let mut metrics = Vec::new();
     for kind in crate::registry::DEFAULT_KINDS {
@@ -529,14 +572,21 @@ fn latency(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
     let bench = cfg.bench();
     let num = cfg.tier.pick(512, 2048, 100_000);
     let mut metrics = Vec::new();
-    for kind in [ManagerKind::ScatterAlloc, ManagerKind::OuroSP, ManagerKind::Halloc] {
+    for kind in crate::registry::DEFAULT_KINDS {
         let r = runners::trace_profile(&bench, kind, num, DEFAULT_EVENTS_PER_SM);
         let k = kind.label();
         metrics
             .push(Metric::time_lo(format!("{k}/malloc_p50_ns"), lat_ns(r.latencies.malloc.p50())));
         metrics
             .push(Metric::time_lo(format!("{k}/malloc_p99_ns"), lat_ns(r.latencies.malloc.p99())));
-        metrics.push(Metric::time_lo(format!("{k}/free_p99_ns"), lat_ns(r.latencies.free.p99())));
+        // Warp-level-only and no-free families emit no `FreeEnd` events, so
+        // an unconditional key would anchor a meaningless `lat_ns(0)` floor
+        // and the gate would then "pass" on noise. Emit only when the free
+        // path actually ran.
+        if r.latencies.free.count() > 0 {
+            metrics
+                .push(Metric::time_lo(format!("{k}/free_p99_ns"), lat_ns(r.latencies.free.p99())));
+        }
     }
     Ok(metrics)
 }

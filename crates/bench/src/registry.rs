@@ -20,7 +20,7 @@ use alloc_scatter::ScatterAlloc;
 use alloc_xmalloc::XMalloc;
 use gpumem_core::trace::{TraceRecorder, Traced, DEFAULT_EVENTS_PER_SM};
 use gpumem_core::{
-    DeviceAllocator, DeviceHeap, HeapBackendKind, HeapError, HeapSpec, Metrics, Pretouch,
+    Cached, DeviceAllocator, DeviceHeap, HeapBackendKind, HeapError, HeapSpec, Metrics, Pretouch,
 };
 
 /// Every manager variant the framework can instantiate.
@@ -164,6 +164,7 @@ impl ManagerKind {
             sms: DEFAULT_SMS,
             metrics: false,
             trace: None,
+            cached: false,
         }
     }
 
@@ -230,6 +231,8 @@ pub struct ManagerBuilder {
     metrics: bool,
     /// Ring capacity per SM shard when tracing; `None` = no tracing.
     trace: Option<usize>,
+    /// Wrap the manager in the [`Cached`] magazine decorator.
+    cached: bool,
 }
 
 impl ManagerBuilder {
@@ -305,6 +308,19 @@ impl ManagerBuilder {
         self
     }
 
+    /// Wraps the manager in the [`Cached`] decorator: per-SM size-class
+    /// magazines of recently freed blocks serve repeat allocations without
+    /// touching the manager's shared metadata, and a warp's uncacheable
+    /// frees are batched into one inner publication. For managers without
+    /// general free support (warp-level-only FDGMalloc, the monotonic
+    /// Atomic baseline) the wrapper is a transparent pass-through. When
+    /// tracing is also enabled the wrap order is `Traced<Cached<A>>`, so
+    /// latency records measure the cached hot path.
+    pub fn cached(mut self, enabled: bool) -> Self {
+        self.cached = enabled;
+        self
+    }
+
     /// Constructs the manager, panicking on heap-construction failure.
     ///
     /// Thin wrapper over [`ManagerBuilder::try_build`] for tests and call
@@ -321,18 +337,25 @@ impl ManagerBuilder {
             HeapSource::Fresh(spec) => Arc::new(DeviceHeap::try_new(spec)?),
             HeapSource::Shared(heap) => heap,
         };
+        let wrap_cached = |inner: Arc<dyn DeviceAllocator>| -> Arc<dyn DeviceAllocator> {
+            if self.cached {
+                Arc::new(Cached::new(inner, self.sms))
+            } else {
+                inner
+            }
+        };
         Ok(match self.trace {
             Some(events_per_sm) => {
                 let rec = Arc::new(TraceRecorder::new(self.sms, events_per_sm));
                 let metrics = Metrics::enabled(self.sms).with_tracer(Arc::clone(&rec));
                 let inner: Arc<dyn DeviceAllocator> =
                     Arc::from(construct(self.kind, heap, self.sms, metrics));
-                Arc::new(Traced::new(inner, rec))
+                Arc::new(Traced::new(wrap_cached(inner), rec))
             }
             None => {
                 let metrics =
                     if self.metrics { Metrics::enabled(self.sms) } else { Metrics::disabled() };
-                Arc::from(construct(self.kind, heap, self.sms, metrics))
+                wrap_cached(Arc::from(construct(self.kind, heap, self.sms, metrics)))
             }
         })
     }
@@ -367,25 +390,33 @@ fn construct(
 }
 
 /// An ordered set of manager kinds selected with the artifact's Appendix A.6
-/// syntax (`o+s+h+c+r+x`), optionally qualified by a heap backend with an
-/// `@` suffix (`o+s@mmap`). Parsing expands family letters (`o` → all six
-/// Ouroboros variants, `r` → all four Reg-Eff variants); displaying
-/// compresses back to family letters, deduplicated in first-appearance
-/// order, and appends `@backend` only when the backend is not the RAM
-/// default. Selections produced by [`FromStr`] round-trip through
-/// [`Display`].
+/// syntax (`o+s+h+c+r+x`), optionally qualified with an `@` suffix of
+/// `+`-chained modifiers: a heap backend (`o+s@mmap`) and/or the `cached`
+/// magazine decorator (`o+s@cached`, `o+s@mmap+cached`). Parsing expands
+/// family letters (`o` → all six Ouroboros variants, `r` → all four
+/// Reg-Eff variants); displaying compresses back to family letters,
+/// deduplicated in first-appearance order, and appends modifiers only when
+/// they differ from the defaults. Selections produced by [`FromStr`]
+/// round-trip through [`Display`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ManagerSelection {
     /// The selected kinds, in selection order.
     pub kinds: Vec<ManagerKind>,
     /// The heap backend every selected manager is built over.
     pub backend: HeapBackendKind,
+    /// Whether every selected manager is wrapped in the [`Cached`]
+    /// magazine decorator.
+    pub cached: bool,
 }
 
 impl ManagerSelection {
     /// The paper's default evaluation set over the default backend.
     pub fn default_set() -> Self {
-        ManagerSelection { kinds: DEFAULT_KINDS.to_vec(), backend: HeapBackendKind::default() }
+        ManagerSelection {
+            kinds: DEFAULT_KINDS.to_vec(),
+            backend: HeapBackendKind::default(),
+            cached: false,
+        }
     }
 
     /// The selected kinds, in selection order.
@@ -398,12 +429,23 @@ impl FromStr for ManagerSelection {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (selector, backend) = match s.split_once('@') {
-            Some((sel, b)) => {
-                let backend = b.trim().parse::<HeapBackendKind>()?;
-                (sel, backend)
+        let (selector, backend, cached) = match s.split_once('@') {
+            Some((sel, suffix)) => {
+                let mut backend = None;
+                let mut cached = false;
+                for token in suffix.split('+') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("cached") {
+                        cached = true;
+                    } else if backend.is_none() {
+                        backend = Some(token.parse::<HeapBackendKind>()?);
+                    } else {
+                        return Err(format!("duplicate heap backend in selector: {token:?}"));
+                    }
+                }
+                (sel, backend.unwrap_or_default(), cached)
             }
-            None => (s, HeapBackendKind::default()),
+            None => (s, HeapBackendKind::default(), false),
         };
         if selector.trim().is_empty() {
             return Err("empty approach selector".to_string());
@@ -422,7 +464,7 @@ impl FromStr for ManagerSelection {
                 other => return Err(format!("unknown approach selector: {other:?}")),
             }
         }
-        Ok(ManagerSelection { kinds, backend })
+        Ok(ManagerSelection { kinds, backend, cached })
     }
 }
 
@@ -441,8 +483,15 @@ impl fmt::Display for ManagerSelection {
             }
             write!(f, "{c}")?;
         }
+        let mut modifiers = Vec::new();
         if self.backend != HeapBackendKind::default() {
-            write!(f, "@{}", self.backend)?;
+            modifiers.push(self.backend.to_string());
+        }
+        if self.cached {
+            modifiers.push("cached".to_string());
+        }
+        if !modifiers.is_empty() {
+            write!(f, "@{}", modifiers.join("+"))?;
         }
         Ok(())
     }
@@ -627,6 +676,55 @@ mod tests {
             let b = kind.builder().heap(HEAP).metrics(true).build();
             assert!(b.metrics().tracer().is_none(), "{kind}");
         }
+    }
+
+    #[test]
+    fn builder_cached_wraps_every_kind() {
+        for kind in ALL_KINDS {
+            let a = kind.builder().heap(HEAP).cached(true).build();
+            // info() forwards through the decorator unchanged.
+            assert_eq!(a.info().label(), kind.label().replace("Ouro-", "Ouroboros-"), "{kind}");
+            let ctx = ThreadCtx::host();
+            let p = a.malloc(&ctx, 64).unwrap();
+            if a.info().supports_free {
+                a.free(&ctx, p).unwrap();
+                let q = a.malloc(&ctx, 64).unwrap();
+                assert_eq!(q, p, "{kind}: repeat allocation must hit the magazine");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_cached_with_trace_records_hot_path() {
+        use gpumem_core::trace::EventKind;
+        let a = ScatterAlloc.builder().heap(HEAP).cached(true).trace(true).build();
+        let ctx = ThreadCtx::host();
+        let p = a.malloc(&ctx, 64).unwrap();
+        a.free(&ctx, p).unwrap();
+        let _ = a.malloc(&ctx, 64).unwrap();
+        let m = a.metrics();
+        assert_eq!(m.snapshot().magazine_hits(), 1);
+        let t = m.tracer().expect("tracer attached").snapshot();
+        assert_eq!(t.count(EventKind::CacheHit), 1, "hit event lands in the shared trace");
+        assert_eq!(t.count(EventKind::MallocEnd), 2, "Traced wraps outside Cached");
+    }
+
+    #[test]
+    fn selection_cached_modifier_parses_and_round_trips() {
+        for s in ["o+s@cached", "s@mmap+cached", "f+a@cached", "o@numa+cached"] {
+            let sel: ManagerSelection = s.parse().unwrap();
+            assert!(sel.cached, "{s}");
+            assert_eq!(sel.to_string(), s, "display of {s:?}");
+        }
+        let sel: ManagerSelection = "s@CACHED".parse().unwrap();
+        assert!(sel.cached);
+        let plain: ManagerSelection = "o+s".parse().unwrap();
+        assert!(!plain.cached);
+        // Backend order is canonicalized backend-first on display.
+        let sel: ManagerSelection = "s@cached+mmap".parse().unwrap();
+        assert_eq!(sel.backend, HeapBackendKind::Mmap);
+        assert_eq!(sel.to_string(), "s@mmap+cached");
+        assert!("s@mmap+ram".parse::<ManagerSelection>().is_err(), "two backends");
     }
 
     #[test]

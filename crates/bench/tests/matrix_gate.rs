@@ -54,6 +54,16 @@ fn committed_gates_toml_parses() {
         let tol = gates.tolerances(spec.name);
         assert!(tol.time_pct > 0.0 && tol.model_pct > 0.0, "{}", spec.name);
     }
+    // Every section (including `[scenario.family]` overrides) must name a
+    // real scenario, so a typo'd section cannot sit there gating nothing.
+    for (name, tol) in &gates.per_scenario {
+        assert!(tol.time_pct > 0.0 && tol.model_pct > 0.0, "{name}");
+        let scenario_name = name.split('.').next().unwrap();
+        assert!(
+            scenario(scenario_name).is_some(),
+            "gates.toml section [{name}] names unknown scenario {scenario_name:?}"
+        );
+    }
 }
 
 /// `repro matrix` output is deterministic where it promises to be: two runs

@@ -32,6 +32,11 @@
 //!   counters ([`Metrics`], [`CounterSnapshot`]) that attribute cost to the
 //!   algorithmic structure the paper blames (CAS retries, probe chains,
 //!   queue spins, list walks).
+//! * [`cache`] — the hot-path caching decorator: [`Cached`] parks recently
+//!   freed blocks in per-SM size-class magazines (Halloc's class table
+//!   generalized) so repeat allocations skip the inner allocator's shared
+//!   metadata, and batches a warp's leftover frees into one inner
+//!   publication.
 //! * [`sanitize`] — the shadow-heap allocation sanitizer: [`Sanitized`]
 //!   wraps any manager and detects overlap, out-of-heap and misaligned
 //!   returns, double-/unknown-frees and redzone corruption, collecting
@@ -44,6 +49,7 @@
 //! Everything here is `std`-only; no external dependencies.
 
 pub mod backend;
+pub mod cache;
 pub mod ctx;
 pub mod error;
 pub mod frag;
@@ -59,6 +65,7 @@ pub mod traits;
 pub mod util;
 
 pub use backend::{HeapBackend, HeapBackendKind, HeapError, HeapSpec, Pretouch, RamBackend};
+pub use cache::{Cached, CachedConfig};
 pub use ctx::{ThreadCtx, WarpCtx, WARP_SIZE};
 pub use error::AllocError;
 pub use frag::{AddressRange, FragmentationStats};

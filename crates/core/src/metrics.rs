@@ -61,10 +61,19 @@ pub enum Counter {
     /// Lane requests served through a warp-aggregated fast path instead of
     /// an individual atomic (XMalloc / Halloc / FDGMalloc coalescing).
     WarpCoalesced = 9,
+    /// Allocations served from a [`Cached`](crate::cache::Cached) per-SM
+    /// magazine instead of the inner allocator's shared metadata.
+    MagazineHits = 10,
+    /// Cached-path allocations that fell through to the inner allocator
+    /// (empty magazine, oversize, or caching disabled for the class).
+    MagazineMisses = 11,
+    /// Parked blocks evicted back to the inner allocator (magazine
+    /// overflow or an explicit / drop-time drain).
+    MagazineFlushes = 12,
 }
 
 /// Number of [`Counter`] slots.
-pub const NUM_COUNTERS: usize = 10;
+pub const NUM_COUNTERS: usize = 13;
 
 /// All counters in display order.
 pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
@@ -78,6 +87,9 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::ListHops,
     Counter::OomFallbacks,
     Counter::WarpCoalesced,
+    Counter::MagazineHits,
+    Counter::MagazineMisses,
+    Counter::MagazineFlushes,
 ];
 
 impl Counter {
@@ -102,6 +114,9 @@ impl Counter {
             Counter::ListHops => "list_hops",
             Counter::OomFallbacks => "oom_fallbacks",
             Counter::WarpCoalesced => "warp_coalesced",
+            Counter::MagazineHits => "magazine_hits",
+            Counter::MagazineMisses => "magazine_misses",
+            Counter::MagazineFlushes => "magazine_flushes",
         }
     }
 }
@@ -363,6 +378,21 @@ impl CounterSnapshot {
     /// Lane requests served via warp aggregation.
     pub fn warp_coalesced(&self) -> u64 {
         self.get(Counter::WarpCoalesced)
+    }
+
+    /// Allocations served from a per-SM magazine.
+    pub fn magazine_hits(&self) -> u64 {
+        self.get(Counter::MagazineHits)
+    }
+
+    /// Cached-path allocations that fell through to the inner allocator.
+    pub fn magazine_misses(&self) -> u64 {
+        self.get(Counter::MagazineMisses)
+    }
+
+    /// Parked blocks evicted back to the inner allocator.
+    pub fn magazine_flushes(&self) -> u64 {
+        self.get(Counter::MagazineFlushes)
     }
 
     /// Successful allocations still unreleased at snapshot time, derived

@@ -50,7 +50,7 @@ use crate::ptr::DevicePtr;
 use crate::regs::RegisterFootprint;
 use crate::sync::{AtomicU64, Ordering};
 use crate::traits::DeviceAllocator;
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -109,10 +109,17 @@ pub enum EventKind {
     /// An observed launch completed. `args = [launch_id, elapsed_ns, 0,
     /// 0]`; recorded on shard 0.
     LaunchEnd = 9,
+    /// A [`Cached`](crate::cache::Cached) magazine served an allocation
+    /// without touching the inner allocator.
+    /// `args = [ptr_raw_or_lane_count, class_size, 0, warp (1 = collective)]`.
+    CacheHit = 10,
+    /// A `Cached` magazine evicted or drained parked blocks back to the
+    /// inner allocator. `args = [count, class_size, 0, warp]`.
+    CacheFlush = 11,
 }
 
 /// Number of event kinds.
-pub const EVENT_KINDS: usize = 10;
+pub const EVENT_KINDS: usize = 12;
 
 /// All event kinds, in tag order.
 pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
@@ -126,6 +133,8 @@ pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
     EventKind::WarpRetired,
     EventKind::LaunchBegin,
     EventKind::LaunchEnd,
+    EventKind::CacheHit,
+    EventKind::CacheFlush,
 ];
 
 impl EventKind {
@@ -142,6 +151,8 @@ impl EventKind {
             EventKind::WarpRetired => "warp_retired",
             EventKind::LaunchBegin => "launch_begin",
             EventKind::LaunchEnd => "launch_end",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheFlush => "cache_flush",
         }
     }
 
@@ -160,6 +171,8 @@ impl EventKind {
             8 => Some(EventKind::WarpRetired),
             9 => Some(EventKind::LaunchBegin),
             10 => Some(EventKind::LaunchEnd),
+            11 => Some(EventKind::CacheHit),
+            12 => Some(EventKind::CacheFlush),
             _ => None,
         }
     }
@@ -389,25 +402,44 @@ impl TraceRecorder {
     }
 }
 
-// Per-thread accumulator bridging `Metrics::record_retries` (called from
+// Per-thread scope stack bridging `Metrics::record_retries` (called from
 // inside the managers, which know nothing about tracing) to the `Traced`
 // wrapper timing the enclosing operation on the same thread. Kernel bodies
 // run entirely on one worker thread, so begin/accumulate/drain never cross
 // threads.
+//
+// A *stack* (not a single cell) because decorators nest: in
+// `Traced<Cached<Traced<A>>>` the outer wrapper's operation encloses the
+// inner wrapper's. Each `Traced` entry point pushes a fresh frame before
+// calling inward and pops it when the call returns, so retries noted by a
+// layer land in the innermost open frame — the operation of the layer that
+// caused them — and are neither double-counted by the outer record nor
+// stolen from it when an inner wrapper begins.
 thread_local! {
-    static OP_RETRIES: Cell<u64> = const { Cell::new(0) };
+    static OP_RETRIES: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Adds `n` CAS retries to the current thread's in-flight operation.
-/// Called by `Metrics::record_retries` when a tracer is attached.
+/// Adds `n` CAS retries to the innermost in-flight traced operation on this
+/// thread. Called by `Metrics::record_retries` when a tracer is attached;
+/// a no-op when no traced operation is open (nothing to attribute to).
 #[inline]
 pub(crate) fn note_op_retries(n: u64) {
-    OP_RETRIES.with(|c| c.set(c.get().saturating_add(n)));
+    OP_RETRIES.with(|c| {
+        if let Some(top) = c.borrow_mut().last_mut() {
+            *top = top.saturating_add(n);
+        }
+    });
 }
 
-/// Returns and clears the current thread's retry accumulator.
-fn take_op_retries() -> u64 {
-    OP_RETRIES.with(|c| c.replace(0))
+/// Opens a retry-attribution frame for one traced operation.
+fn begin_op_scope() {
+    OP_RETRIES.with(|c| c.borrow_mut().push(0));
+}
+
+/// Closes the innermost frame, returning the retries noted while it was
+/// open (excluding those captured by deeper frames).
+fn end_op_scope() -> u64 {
+    OP_RETRIES.with(|c| c.borrow_mut().pop().unwrap_or(0))
 }
 
 /// [`DeviceAllocator`] wrapper that records `MallocBegin/End` and
@@ -453,9 +485,9 @@ impl<A: DeviceAllocator> DeviceAllocator for Traced<A> {
     fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
         let t0 = self.rec.now_ns();
         self.rec.emit_at(t0, ctx.sm, EventKind::MallocBegin, [size, ctx.thread_id as u64, 0, 0]);
-        let _ = take_op_retries();
+        begin_op_scope();
         let r = self.inner.malloc(ctx, size);
-        let retries = take_op_retries();
+        let retries = end_op_scope();
         let t1 = self.rec.now_ns();
         let ptr = match &r {
             Ok(p) => p.raw(),
@@ -470,9 +502,9 @@ impl<A: DeviceAllocator> DeviceAllocator for Traced<A> {
     fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
         let t0 = self.rec.now_ns();
         self.rec.emit_at(t0, ctx.sm, EventKind::FreeBegin, [ptr.raw(), ctx.thread_id as u64, 1, 0]);
-        let _ = take_op_retries();
+        begin_op_scope();
         let r = self.inner.free(ctx, ptr);
-        let retries = take_op_retries();
+        let retries = end_op_scope();
         let t1 = self.rec.now_ns();
         self.rec.emit_at(
             t1,
@@ -498,9 +530,9 @@ impl<A: DeviceAllocator> DeviceAllocator for Traced<A> {
             EventKind::MallocBegin,
             [total, leader.thread_id as u64, 0, 0],
         );
-        let _ = take_op_retries();
+        begin_op_scope();
         let r = self.inner.malloc_warp(warp, sizes, out);
-        let retries = take_op_retries();
+        let retries = end_op_scope();
         let t1 = self.rec.now_ns();
         let latency = (t1 - t0).max(1);
         match &r {
@@ -537,9 +569,9 @@ impl<A: DeviceAllocator> DeviceAllocator for Traced<A> {
             EventKind::FreeBegin,
             [u64::MAX, leader.thread_id as u64, live, 0],
         );
-        let _ = take_op_retries();
+        begin_op_scope();
         let r = self.inner.free_warp(warp, ptrs);
-        let retries = take_op_retries();
+        let retries = end_op_scope();
         let t1 = self.rec.now_ns();
         let latency = (t1 - t0).max(1);
         // `ok` reflects the collective result: `free_warp` reports only the
@@ -567,9 +599,9 @@ impl<A: DeviceAllocator> DeviceAllocator for Traced<A> {
             EventKind::FreeBegin,
             [u64::MAX, leader.thread_id as u64, 0, 0],
         );
-        let _ = take_op_retries();
+        begin_op_scope();
         let r = self.inner.free_warp_all(warp);
-        let retries = take_op_retries();
+        let retries = end_op_scope();
         let t1 = self.rec.now_ns();
         // Bulk free: the individual pointers are the manager's private
         // state, so the event carries the null sentinel and the occupancy
@@ -1055,6 +1087,26 @@ pub fn chrome_trace_json(trace: &Trace, label: &str) -> String {
                     e.args[2]
                 ));
             }
+            EventKind::CacheHit => {
+                push(format!(
+                    "{{\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{sm},\"s\":\"t\",\
+                     \"cat\":\"cache\",\"name\":\"cache_hit\",\
+                     \"args\":{{\"class_size\":{},\"warp\":{}}}}}",
+                    us(e.ts_ns),
+                    e.args[1],
+                    e.args[3]
+                ));
+            }
+            EventKind::CacheFlush => {
+                push(format!(
+                    "{{\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{sm},\"s\":\"t\",\
+                     \"cat\":\"cache\",\"name\":\"cache_flush\",\
+                     \"args\":{{\"count\":{},\"class_size\":{}}}}}",
+                    us(e.ts_ns),
+                    e.args[0],
+                    e.args[1]
+                ));
+            }
             EventKind::MallocBegin | EventKind::FreeBegin => {}
         }
     }
@@ -1355,7 +1407,7 @@ mod tests {
             assert_eq!(EventKind::from_tag(kind.tag() as u32), Some(kind), "{}", kind.name());
         }
         assert_eq!(EventKind::from_tag(0), None, "tag 0 is reserved for unwritten slots");
-        assert_eq!(EventKind::from_tag(11), None);
+        assert_eq!(EventKind::from_tag(EVENT_KINDS as u32 + 1), None);
     }
 
     #[test]
@@ -1539,15 +1591,121 @@ mod tests {
 
     #[test]
     fn retry_accumulator_is_per_thread() {
+        begin_op_scope();
         note_op_retries(5);
         note_op_retries(2);
         let h = std::thread::spawn(|| {
+            begin_op_scope();
             note_op_retries(100);
-            take_op_retries()
+            end_op_scope()
         });
         assert_eq!(h.join().unwrap(), 100);
-        assert_eq!(take_op_retries(), 7);
-        assert_eq!(take_op_retries(), 0);
+        assert_eq!(end_op_scope(), 7);
+        assert_eq!(end_op_scope(), 0, "empty stack drains to zero");
+    }
+
+    #[test]
+    fn retries_outside_any_scope_are_dropped() {
+        note_op_retries(9);
+        begin_op_scope();
+        assert_eq!(end_op_scope(), 0, "orphan retries must not leak into the next op");
+    }
+
+    #[test]
+    fn nested_scopes_attribute_retries_per_layer() {
+        begin_op_scope(); // outer wrapper's operation
+        note_op_retries(2); // middle layer's own retries
+        begin_op_scope(); // inner wrapper's operation
+        note_op_retries(3); // innermost manager's retries
+        assert_eq!(end_op_scope(), 3, "inner op sees only its own retries");
+        assert_eq!(end_op_scope(), 2, "outer op keeps the middle layer's retries");
+    }
+
+    /// Regression test for the nested-decorator retry bridge: in
+    /// `Traced<Middle<Traced<Inner>>>` the outer `MallocEnd` must carry
+    /// only the middle layer's retries (2) and the inner `MallocEnd` only
+    /// the innermost manager's (3) — with a single shared accumulator the
+    /// inner wrapper's clear-on-begin destroyed the middle layer's count
+    /// and its drain misattributed the total.
+    #[test]
+    fn nested_traced_wrappers_scope_retries_per_layer() {
+        struct Inner {
+            heap: Arc<DeviceHeap>,
+            m: Metrics,
+        }
+        impl DeviceAllocator for Inner {
+            fn info(&self) -> ManagerInfo {
+                ManagerInfo::builder("Inner").supports_free(true).build()
+            }
+            fn heap(&self) -> &DeviceHeap {
+                &self.heap
+            }
+            fn malloc(&self, ctx: &ThreadCtx, _size: u64) -> Result<DevicePtr, AllocError> {
+                self.m.record_retries(ctx.sm, 3);
+                Ok(DevicePtr::new(0))
+            }
+            fn free(&self, _ctx: &ThreadCtx, _ptr: DevicePtr) -> Result<(), AllocError> {
+                Ok(())
+            }
+            fn register_footprint(&self) -> RegisterFootprint {
+                RegisterFootprint { malloc: 1, free: 1 }
+            }
+            fn metrics(&self) -> Metrics {
+                self.m.clone()
+            }
+        }
+
+        struct Middle<A> {
+            inner: A,
+            m: Metrics,
+        }
+        impl<A: DeviceAllocator> DeviceAllocator for Middle<A> {
+            fn info(&self) -> ManagerInfo {
+                self.inner.info()
+            }
+            fn heap(&self) -> &DeviceHeap {
+                self.inner.heap()
+            }
+            fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
+                // The middle layer burns retries of its own (e.g. magazine
+                // CAS contention) before delegating.
+                self.m.record_retries(ctx.sm, 2);
+                self.inner.malloc(ctx, size)
+            }
+            fn free(&self, ctx: &ThreadCtx, ptr: DevicePtr) -> Result<(), AllocError> {
+                self.inner.free(ctx, ptr)
+            }
+            fn register_footprint(&self) -> RegisterFootprint {
+                self.inner.register_footprint()
+            }
+            fn metrics(&self) -> Metrics {
+                self.inner.metrics()
+            }
+        }
+
+        let rec = Arc::new(TraceRecorder::new(1, 16));
+        let m = Metrics::enabled(1).with_tracer(Arc::clone(&rec));
+        let inner = Inner { heap: Arc::new(DeviceHeap::new(4096)), m: m.clone() };
+        let stack = Traced::new(
+            Middle { inner: Traced::new(inner, Arc::clone(&rec)), m: m.relay() },
+            Arc::clone(&rec),
+        );
+
+        let ctx = ThreadCtx::host();
+        stack.malloc(&ctx, 64).unwrap();
+
+        let trace = rec.snapshot();
+        let retries: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::MallocEnd)
+            .map(|e| e.args[3])
+            .collect();
+        // Events sort by timestamp: the inner wrapper's end precedes the
+        // outer's.
+        assert_eq!(retries, vec![3, 2], "inner op keeps 3, outer op keeps 2");
+        let total: u64 = retries.iter().sum();
+        assert_eq!(total, 5, "no retry double-counted or lost across layers");
     }
 }
 

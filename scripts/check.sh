@@ -64,6 +64,19 @@ GMS_WORKERS="${GMS_WORKERS:-4}" cargo run --offline --release -q -p gpumem-bench
 GMS_WORKERS="${GMS_WORKERS:-4}" cargo run --offline --release -q -p gpumem-bench --bin repro -- \
     gate --smoke --candidate target/matrix-smoke
 
+# Magazine-cache smoke: regenerate just the cached twin scenarios and gate
+# them against their committed anchors. Redundant with the full matrix run
+# above by construction, but isolates a cache regression in its own stage
+# (and exercises the --scenario selection + @cached plumbing end to end).
+echo "==> repro matrix --smoke (cached scenarios) + gate"
+rm -rf target/matrix-cached
+GMS_WORKERS="${GMS_WORKERS:-4}" cargo run --offline --release -q -p gpumem-bench --bin repro -- \
+    matrix --smoke --scenario perf_thread_cached --scenario mixed_cached \
+    --anchors target/matrix-cached
+GMS_WORKERS="${GMS_WORKERS:-4}" cargo run --offline --release -q -p gpumem-bench --bin repro -- \
+    gate --smoke --scenario perf_thread_cached --scenario mixed_cached \
+    --candidate target/matrix-cached
+
 # Event-tracing smoke: a traced run must produce a Perfetto-loadable Chrome
 # trace (the binary validates it before writing) plus a latency-percentile
 # CSV with data rows. Cheap end-to-end coverage of recorder → exporters.

@@ -172,3 +172,24 @@ fn every_default_manager_is_clean_under_sanitized_churn() {
         }
     }
 }
+
+/// Same battery with the magazine cache between the sanitizer and every
+/// manager (`Sanitized<Cached<A>>`). The sanitizer wraps outside, so a
+/// parked free must retire its shadow entry exactly like a real one and a
+/// magazine hit must re-admit the recycled block cleanly — caching must be
+/// invisible to the shadow heap across all families, including those where
+/// the cache disables itself (no-free and warp-level-only managers).
+#[test]
+fn every_default_manager_is_clean_under_sanitized_cached_churn() {
+    let device = Device::with_workers(DeviceSpec::titan_v(), 2);
+    for kind in DEFAULT_KINDS {
+        let alloc = kind.builder().heap(64 << 20).sms(80).cached(true).build();
+        let san = Sanitized::new(alloc);
+        churn::run(&san, &device, 256, 64, 4);
+        let report = san.take_report();
+        assert!(report.is_clean(), "{} (cached): {report}", kind.label());
+        if san.info().supports_free {
+            assert_eq!(report.live, 0, "{} (cached): churn must drain fully", kind.label());
+        }
+    }
+}
