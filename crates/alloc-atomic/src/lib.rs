@@ -17,7 +17,6 @@
 use gpumem_core::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gpumem_core::util::align_up;
 use gpumem_core::{
     AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
     RegisterFootprint, ThreadCtx,
@@ -84,9 +83,22 @@ impl DeviceAllocator for AtomicAlloc {
             self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(0));
         }
-        let aligned = align_up(size, ALIGNMENT);
+        // Checked rounding: near-`u64::MAX` requests must not wrap to a
+        // small aligned size (release builds wrap silently).
+        let Some(aligned) = size.checked_next_multiple_of(ALIGNMENT) else {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+            return Err(AllocError::UnsupportedSize(size));
+        };
+        // Reject heap-sized requests before the bump: a `fetch_add` of a
+        // near-`u64::MAX` aligned size would wrap the shared offset back
+        // towards zero and resurrect an exhausted heap with overlapping
+        // allocations.
+        if aligned > self.heap.len() {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+            return Err(AllocError::OutOfMemory(size));
+        }
         let offset = self.offset.fetch_add(aligned, Ordering::Relaxed);
-        if offset + aligned > self.heap.len() {
+        if offset.checked_add(aligned).is_none_or(|end| end > self.heap.len()) {
             // NOTE: like the original baseline, the offset is not rolled
             // back — once exhausted, the manager stays exhausted.
             self.metrics.tick(ctx.sm, Counter::MallocFailures);
@@ -202,6 +214,28 @@ mod tests {
         let fp = alloc().register_footprint();
         assert!(fp.malloc <= 10, "baseline should be near-free: {fp}");
         assert_eq!(fp.free, 0);
+    }
+
+    #[test]
+    fn near_max_request_fails_instead_of_wrapping() {
+        // Regression (memlint unchecked-offset-arithmetic): both the align
+        // rounding and the `offset + aligned` exhaustion check used to wrap
+        // for near-u64::MAX requests.
+        let a = alloc();
+        let ctx = ThreadCtx::host();
+        // `u64::MAX` overflows the aligned rounding; `u64::MAX - 15` is
+        // already 16-aligned and would wrap the shared offset back towards
+        // zero if it reached the `fetch_add` (resurrecting the heap with
+        // overlapping allocations). Both are rejected before the bump, so
+        // the allocator stays usable.
+        for size in [u64::MAX, u64::MAX - ALIGNMENT + 1, u64::MAX / 2] {
+            assert!(a.malloc(&ctx, size).is_err(), "size {size:#x} must be rejected");
+        }
+        assert!(a.malloc(&ctx, 16).is_ok());
+        // A genuine capacity miss still leaves the offset past the end —
+        // the baseline deliberately never rolls back.
+        assert!(a.malloc(&ctx, 1 << 16).is_err());
+        assert!(a.malloc(&ctx, 16).is_err(), "exhaustion is sticky by design");
     }
 }
 

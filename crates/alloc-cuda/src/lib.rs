@@ -181,10 +181,13 @@ impl DeviceAllocator for CudaAllocModel {
             self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(0));
         }
-        if size + HEADER > self.len {
+        // `checked_add`: a request near `u64::MAX` must fail here, not wrap
+        // and sail through as a tiny large-path allocation.
+        if size.checked_add(HEADER).is_none_or(|need| need > self.len) {
             self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(size));
         }
+        // memlint: allow(hot-path-panic) — the host Mutex stands in for the device-wide lock of the real CUDA allocator; it only poisons after a prior panic, which the harness treats as fatal anyway
         let mut st = self.state.lock().unwrap();
         if size <= SMALL_LIMIT {
             // Consistency walk (see `State::units`): the modelled
@@ -204,6 +207,7 @@ impl DeviceAllocator for CudaAllocModel {
                             return Err(AllocError::OutOfMemory(size));
                         }
                     }
+                    // memlint: allow(hot-path-panic) — carve_unit returned Some on the line above, and its postcondition is a non-empty class stack
                     st.pop_class(idx).expect("carve_unit populates the class")
                 }
             };
@@ -241,6 +245,7 @@ impl DeviceAllocator for CudaAllocModel {
             return fail(AllocError::InvalidPointer);
         }
         let magic = self.heap.load_u32(header);
+        // memlint: allow(hot-path-panic) — the host Mutex stands in for the device-wide lock of the real CUDA allocator; it only poisons after a prior panic, which the harness treats as fatal anyway
         let mut st = self.state.lock().unwrap();
         match magic {
             MAGIC_SMALL => {
@@ -426,6 +431,21 @@ mod tests {
         spans.sort_unstable();
         for w in spans.windows(2) {
             assert!(w[0].0 + w[0].1 <= w[1].0, "overlap between {:?} and {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn near_max_request_fails_instead_of_wrapping() {
+        // Regression (memlint unchecked-offset-arithmetic): `size + HEADER`
+        // used to wrap for near-u64::MAX requests, slipping past the length
+        // guard and carving a tiny large-path block for an absurd request.
+        let a = model();
+        let ctx = ThreadCtx::host();
+        for size in [u64::MAX, u64::MAX - HEADER + 1, u64::MAX - HEADER] {
+            assert!(
+                matches!(a.malloc(&ctx, size), Err(AllocError::UnsupportedSize(_))),
+                "size {size:#x} must be rejected, not wrapped"
+            );
         }
     }
 }

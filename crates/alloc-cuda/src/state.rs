@@ -47,6 +47,7 @@ impl State {
 
     /// Pushes a block header back onto its class stack.
     pub fn push_class(&mut self, class_idx: usize, header: u64) {
+        // memlint: allow(hot-path-host-alloc) — the class free stacks model the in-heap LIFO lists of the real allocator; host Vec growth is modeling substrate, the protocol cost is metered as list hops
         self.class_free[class_idx].push(header);
     }
 
@@ -81,11 +82,13 @@ impl State {
         let start = self.units.len().saturating_sub(UNIT_SCAN_WINDOW);
         debug_assert!(!self.units[start..].contains(&base), "carve produced a duplicate unit base");
         let _ = start;
+        // memlint: allow(hot-path-host-alloc) — the unit registry models the allocator's in-heap bookkeeping whose walk cost is the paper's observed degradation; the Vec is substrate, the walk is metered
         self.units.push(base);
         let footprint = class_bytes + HEADER;
         let n = (unit / footprint).max(1);
         // Push in reverse so the unit is handed out low-to-high (LIFO pop).
         for i in (0..n).rev() {
+            // memlint: allow(hot-path-host-alloc) — carving a unit fills the in-heap class stack; the Vec push is modeling substrate for blocks that live at in-heap offsets
             self.class_free[class_idx].push(base + i * footprint);
         }
         Some(())
@@ -101,6 +104,7 @@ impl State {
             if len >= need {
                 if len - need >= UNIT {
                     // Split, keeping the remainder in place.
+                    // memlint: allow(unchecked-offset-arithmetic) — free-list invariant: need <= len (checked two lines up) and off + len never exceeds the region top, so off + need cannot wrap
                     self.large_free[i] = (off + need, len - need);
                 } else {
                     self.large_free.remove(i);
@@ -120,11 +124,13 @@ impl State {
     /// folding into the top frontier when adjacent.
     pub fn free_large(&mut self, header: u64, len: u64) {
         let idx = self.large_free.partition_point(|&(off, _)| off < header);
+        // memlint: allow(hot-path-host-alloc) — the sorted large free list models in-heap boundary tags; the Vec insert is substrate, the first-fit walk it feeds is metered as list hops
         self.large_free.insert(idx, (header, len));
         // Coalesce with successor.
         if idx + 1 < self.large_free.len() {
             let (off, l) = self.large_free[idx];
             let (noff, nl) = self.large_free[idx + 1];
+            // memlint: allow(unchecked-offset-arithmetic) — coalesce equality test on in-region list entries: off + l is the block end, bounded by the region top by construction
             if off + l == noff {
                 self.large_free[idx] = (off, l + nl);
                 self.large_free.remove(idx + 1);
@@ -142,6 +148,7 @@ impl State {
         // Fold a block that reaches the frontier back into it.
         if let Some(&(off, l)) = self.large_free.last() {
             if off == self.large_top {
+                // memlint: allow(unchecked-offset-arithmetic) — folding the sorted last block into the frontier: off == large_top and off + l <= region end by the free-list invariant
                 self.large_top = off + l;
                 self.large_free.pop();
                 // The frontier moved up; nothing else can touch it (the list

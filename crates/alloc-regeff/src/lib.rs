@@ -39,7 +39,7 @@ use gpumem_core::sync::{AtomicU64, Ordering};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use gpumem_core::util::{align_down, align_up};
+use gpumem_core::util::align_down;
 use gpumem_core::{
     AllocError, Counter, DeviceAllocator, DeviceHeap, DevicePtr, ManagerInfo, Metrics,
     RegisterFootprint, ThreadCtx,
@@ -227,7 +227,13 @@ impl<H: HeaderCodec, const MULTI: bool> DeviceAllocator for RegEff<H, MULTI> {
             self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(0));
         }
-        let need = align_up(size + H::SIZE, 8);
+        // Checked inflation: `size + H::SIZE` (then rounding) must not wrap
+        // for near-`u64::MAX` requests and masquerade as a small chunk.
+        let Some(need) = size.checked_add(H::SIZE).and_then(|n| n.checked_next_multiple_of(8))
+        else {
+            self.metrics.tick(ctx.sm, Counter::MallocFailures);
+            return Err(AllocError::UnsupportedSize(size));
+        };
         if need > self.region_len {
             self.metrics.tick(ctx.sm, Counter::MallocFailures);
             return Err(AllocError::UnsupportedSize(size));
@@ -431,7 +437,7 @@ mod tests {
         // Second allocation lands right after the first's split remainder.
         assert_ne!(p1, p2);
         assert!(p2.offset() > p1.offset());
-        assert_eq!(p2.offset() - p1.offset(), align_up(64 + 8, 8));
+        assert_eq!(p2.offset() - p1.offset(), gpumem_core::util::align_up(64 + 8, 8));
     }
 
     #[test]
@@ -562,5 +568,20 @@ mod tests {
         let fp = a.register_footprint();
         assert!(fp.malloc <= 16, "Reg-Eff must be register-frugal: {fp}");
         assert!(fp.free <= 12, "{fp}");
+    }
+
+    #[test]
+    fn near_max_request_fails_instead_of_wrapping() {
+        // Regression (memlint unchecked-offset-arithmetic): the header
+        // inflation `align_up(size + H::SIZE, 8)` used to wrap for
+        // near-u64::MAX requests and pass the region-length guard.
+        each_variant(|a, tag| {
+            for size in [u64::MAX, u64::MAX - 8, u64::MAX - 16] {
+                assert!(
+                    matches!(a.malloc(&ctx(), size), Err(AllocError::UnsupportedSize(_))),
+                    "{tag}: size {size:#x} must be rejected, not wrapped"
+                );
+            }
+        });
     }
 }

@@ -226,8 +226,10 @@ impl XMalloc {
     }
 
     fn malloc_large(&self, sm: u32, size: u64) -> Result<DevicePtr, AllocError> {
-        let mp =
-            self.mblock_alloc_counted(sm, size + ITEM_HDR).ok_or(AllocError::OutOfMemory(size))?;
+        // Checked: `size + ITEM_HDR` wrapping would turn an absurd request
+        // into a small (apparently successful) mblock carve.
+        let need = size.checked_add(ITEM_HDR).ok_or(AllocError::UnsupportedSize(size))?;
+        let mp = self.mblock_alloc_counted(sm, need).ok_or(AllocError::OutOfMemory(size))?;
         self.write_item_header(mp, MAGIC_LARGE, 0, 0);
         Ok(DevicePtr::new(mp + ITEM_HDR))
     }
@@ -309,7 +311,7 @@ impl DeviceAllocator for XMalloc {
         self.metrics.tick(ctx.sm, Counter::MallocCalls);
         let r = if size == 0 {
             Err(AllocError::UnsupportedSize(0))
-        } else if size <= *CLASSES.last().unwrap() {
+        } else if size <= CLASSES[CLASSES.len() - 1] {
             self.malloc_small(ctx.sm, Self::class_index(size))
         } else {
             self.malloc_large(ctx.sm, size)
@@ -583,5 +585,19 @@ mod tests {
         let fp = alloc().register_footprint();
         assert!(fp.malloc >= 120, "XMalloc malloc must dwarf the field: {fp}");
         assert!(fp.free <= 30, "free stays modest: {fp}");
+    }
+
+    #[test]
+    fn near_max_request_fails_instead_of_wrapping() {
+        // Regression (memlint unchecked-offset-arithmetic): the large-path
+        // `size + ITEM_HDR` used to wrap for near-u64::MAX requests and
+        // carve a tiny mblock for an absurd request.
+        let a = alloc();
+        for size in [u64::MAX, u64::MAX - ITEM_HDR + 1] {
+            assert!(
+                matches!(a.malloc(&ctx(), size), Err(AllocError::UnsupportedSize(_))),
+                "size {size:#x} must be rejected, not wrapped"
+            );
+        }
     }
 }

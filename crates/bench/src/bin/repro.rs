@@ -993,7 +993,16 @@ fn audit(opts: &Opts) {
         }
     };
 
-    // Group by (crate, rule).
+    // Per-pass rollup first: the one-screen answer to "is the audit clean",
+    // one row per analysis pass of the framework.
+    println!("{:<22}{:>9}{:>13}", "pass", "standing", "allowlisted");
+    for pass in memlint::Pass::ALL {
+        let (s, a) = report.pass_counts(pass);
+        println!("{:<22}{s:>9}{a:>13}", pass.name());
+    }
+    println!();
+
+    // Then the detail, grouped by (crate, rule).
     let crate_of = |d: &memlint::Diagnostic| -> String {
         let s = d.file.to_string_lossy().replace('\\', "/");
         match s.strip_prefix("crates/").and_then(|r| r.split('/').next()) {
@@ -1019,12 +1028,17 @@ fn audit(opts: &Opts) {
     }
     rows.sort_by(|a, b| (&a.0, a.1.name()).cmp(&(&b.0, b.1.name())));
 
-    let mut csv = Csv::new(["crate", "rule", "standing", "allowlisted"]);
-    println!("{:<18}{:<28}{:>9}{:>13}", "crate", "rule", "standing", "allowlisted");
+    let mut csv = Csv::new(["crate", "pass", "rule", "standing", "allowlisted"]);
+    println!("{:<18}{:<22}{:<28}{:>9}{:>13}", "crate", "pass", "rule", "standing", "allowlisted");
     for (krate, rule, standing, allowed) in &rows {
-        println!("{krate:<18}{:<28}{standing:>9}{allowed:>13}", rule.name());
+        println!(
+            "{krate:<18}{:<22}{:<28}{standing:>9}{allowed:>13}",
+            rule.pass().name(),
+            rule.name()
+        );
         csv.row([
             krate.clone(),
+            rule.pass().name().to_string(),
             rule.name().to_string(),
             standing.to_string(),
             allowed.to_string(),

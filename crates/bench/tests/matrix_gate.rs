@@ -140,3 +140,41 @@ fn damaged_anchor_parses_then_fails_gate() {
     let report = compare(&reparsed, &current, &Gates::default().default);
     assert!(report.failures().any(|f| f.kind == FindingKind::InvalidAnchor));
 }
+
+/// ROADMAP item-1 leftover, closed: p99 malloc latency is anchored — and
+/// therefore regression-gated by `repro gate` — for every default manager
+/// family, not just a favoured few. A family silently dropping out of the
+/// committed latency anchor (e.g. a registry edit that narrows the sweep)
+/// fails here, and the perturbation check proves the gate actually bites
+/// on a per-family p99 key.
+#[test]
+fn latency_anchor_gates_p99_for_every_family() {
+    let root = repo_root();
+    let path = Anchor::path_for(root, "latency");
+    let text = std::fs::read_to_string(&path).expect("latency anchor must be committed");
+    let a = Anchor::parse(&text).unwrap();
+
+    for kind in gpumem_bench::registry::DEFAULT_KINDS {
+        let key = format!("{}/malloc_p99_ns", kind.label());
+        let m = a
+            .metrics
+            .iter()
+            .find(|m| m.key == key)
+            .unwrap_or_else(|| panic!("latency anchor misses {key}"));
+        assert!(m.class != MetricClass::Exact, "{key} must carry a tolerance class");
+        assert!(m.value.is_finite() && m.value > 0.0, "{key} must be a usable gate base");
+    }
+
+    // And the gate genuinely bites on a per-family p99: blow one reading
+    // past the (already generous) latency tolerance and expect a failure.
+    let gates = Gates::parse(&std::fs::read_to_string(root.join("gates.toml")).unwrap()).unwrap();
+    let tol = gates.tolerances("latency");
+    let key = "Reg-Eff-C/malloc_p99_ns";
+    let mut hurt = a.clone();
+    hurt.metrics.iter_mut().find(|m| m.key == key).unwrap().value *= 1000.0;
+    let report = compare(&a, &hurt, &tol);
+    assert!(
+        report.failures().any(|f| f.kind == FindingKind::Regression && f.key == key),
+        "a 1000x p99 regression on {key} must fail the latency gate"
+    );
+}

@@ -143,6 +143,7 @@ impl Magazine {
                 Err(cur) => t = cur,
             }
         }
+        // memlint: allow(unchecked-offset-arithmetic) — +1 sentinel encoding distinguishes offset 0 from EMPTY; heap offsets are far below u64::MAX, so the increment cannot wrap
         let enc = offset + 1;
         // Release publishes the parked block's handoff: a popper that
         // acquires this value may hand the block to a new owner whose
@@ -215,6 +216,7 @@ impl TagTable {
 
     #[inline]
     fn key(offset: u64) -> u64 {
+        // memlint: allow(unchecked-offset-arithmetic) — key encoding: offsets are < 2^55 (heap lengths), so +1 then << 8 cannot wrap the tag out of the word
         (offset + 1) << 8
     }
 

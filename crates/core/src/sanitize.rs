@@ -592,6 +592,7 @@ impl<A: DeviceAllocator> DeviceAllocator for Sanitized<A> {
 
     fn malloc(&self, ctx: &ThreadCtx, size: u64) -> Result<DevicePtr, AllocError> {
         let redzone = self.redzone_for(size);
+        // memlint: allow(unchecked-offset-arithmetic) — redzone_for returns 0 whenever size + redzone would overflow (checked there), so this sum never wraps
         let ptr = self.inner.malloc(ctx, size + redzone)?;
         self.admit(ctx, ptr, size, redzone);
         Ok(ptr)

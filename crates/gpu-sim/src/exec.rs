@@ -521,12 +521,14 @@ impl Device {
                 rec.emit(sm, EventKind::WarpRetired, [u64::from(warp_id), launch_id, 0, 0]);
             };
             let before = metrics.snapshot();
+            // memlint: allow(lock-across-launch-gate) — the gate is the outermost whole-grid serialisation by design; pool state is strictly interior and never taken in the reverse order
             let (elapsed, sched) = self.run_warps_locked(n_warps, &traced);
             let counters = metrics.snapshot().delta_since(&before);
             rec.emit(0, EventKind::LaunchEnd, [launch_id, elapsed.as_nanos() as u64, 0, 0]);
             LaunchReport { elapsed, counters, sched }
         } else {
             let before = metrics.snapshot();
+            // memlint: allow(lock-across-launch-gate) — the gate is the outermost whole-grid serialisation by design; pool state is strictly interior and never taken in the reverse order
             let (elapsed, sched) = self.run_warps_locked(n_warps, body);
             LaunchReport { elapsed, counters: metrics.snapshot().delta_since(&before), sched }
         }
@@ -566,6 +568,7 @@ impl Device {
         F: Fn(u32) + Sync,
     {
         let _gate = lock_pool(&self.pool.launch_gate);
+        // memlint: allow(lock-across-launch-gate) — the gate is the outermost whole-grid serialisation by design; pool state is strictly interior and never taken in the reverse order
         self.run_warps_locked(n_warps, &body)
     }
 

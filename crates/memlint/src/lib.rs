@@ -1,30 +1,35 @@
-//! # memlint — atomics-ordering static pass
+//! # memlint — multi-pass heap-safety static analyzer
 //!
 //! The model checker (`gpumem_core::sync` under `--cfg loom`) explores
-//! *sequentially consistent* interleavings; it cannot see weak-memory
-//! reordering. This pass covers the other half of the audit: it parses the
-//! workspace source and flags **ordering smells** — patterns that are
-//! correct under SC but broken (or unreviewable) under the real memory
-//! model — as `file:line` diagnostics.
+//! *sequentially consistent* interleavings at tiny bounds; the sanitizer
+//! and Probe audits catch bugs only when a test tier happens to drive the
+//! broken path. memlint covers the static half of the audit: it parses the
+//! workspace source once (masked text + function/struct/impl extents — see
+//! [`substrate`]) and runs a registry of analysis **passes** over it, each
+//! with its own rule catalog, reporting `file:line` diagnostics.
 //!
-//! ## Rules
+//! ## Passes
 //!
-//! | rule | smell |
-//! |------|-------|
-//! | `relaxed-cas-success`       | `compare_exchange*` whose *success* ordering is `Relaxed`: a CAS that wins a race but publishes nothing. Correct only when another atomic carries the edge (e.g. Vyukov ticket rings) — which is exactly what the allowlist reason must say. |
-//! | `relaxed-store-after-claim` | a `Relaxed` store following an acquiring CAS with no later release-or-stronger operation in the same function: the claimed state is written but never published. |
-//! | `raw-atomic-import`         | `std::sync::atomic` referenced outside the `gpumem_core::sync` facade: the code silently drops out of the model checker's view. |
-//! | `atomic-transmute`          | `transmute` to or from atomic types: layout-compatibility claim that each site must justify. |
-//! | `shared-unsafe-cell`        | an `UnsafeCell` struct field: mixed atomic/non-atomic access needs a documented guard. |
-//! | `allow-missing-reason`      | an allowlist entry without a written reason (never allowlistable itself). |
+//! | pass | rules | smell |
+//! |------|-------|-------|
+//! | `atomics` | `relaxed-cas-success`, `relaxed-store-after-claim`, `raw-atomic-import`, `atomic-transmute`, `shared-unsafe-cell` | ordering smells: patterns correct under SC but broken (or unreviewable) under the real memory model |
+//! | `offset-arithmetic` | `unchecked-offset-arithmetic` | raw `+`/`*`/`<<` on heap offsets, byte counts and page indices outside the checked helpers (`checked_add`, `checked_next_pow2`, the `SizingError` paths) — the overflow class PRs 2 and 7 fixed by hand |
+//! | `hot-path` | `hot-path-panic`, `hot-path-host-alloc` | `panic!`/`unwrap`/`expect`/`assert!` and host allocation (`Vec::push`, `Box::new`, `format!`…) inside `malloc`/`free`/`malloc_warp`/`free_warp` implementations and the in-crate functions they call: simulated device kernels must never host-allocate or unwind mid-protocol |
+//! | `lock-order` | `lock-order-cycle`, `lock-across-launch-gate` | per-function lock-acquisition graph over `gpu-sim` and the allocator crates: ordering cycles deadlock, and any lock taken under the executor's `launch_gate` repeats the PR 5 hazard |
+//! | `decorator-forwarding` | `decorator-missing-forward` | a `DeviceAllocator` decorator (`impl<A: DeviceAllocator> DeviceAllocator for X<A>`) that fails to override a defaulted trait method silently drops the inner manager's specialised behaviour — the bug class PR 8's runtime Probe audit checked dynamically |
 //!
-//! ## Allowlist
+//! The waiver audit (`allow-missing-reason`) rides along as a framework
+//! rule: a directive without a written reason, or naming an unknown rule,
+//! is itself a standing finding.
+//!
+//! ## Waivers
 //!
 //! A diagnostic is waived by a directive on the same line or the line
-//! directly above:
+//! directly above. One directive may name several rules:
 //!
 //! ```text
-//! // memlint: allow(relaxed-cas-success) — seq carries the release edge
+//! // memlint: allow(hot-path-panic) — poison propagation of the simulated device lock
+//! // memlint: allow(unchecked-offset-arithmetic, hot-path-host-alloc) — reason text
 //! ```
 //!
 //! The reason text after the dash is mandatory: an allow without one still
@@ -35,8 +40,8 @@
 //!
 //! The scanner is a hand-rolled lexical pass (the container has no `syn`):
 //! it masks comments, strings and `#[cfg(test)]` regions, then does
-//! paren/brace-matched extraction of atomic call sites, function extents
-//! and struct extents. That is deliberately dumb — it reads the code the
+//! paren/brace-matched extraction of call sites, function extents and
+//! struct/impl extents. That is deliberately dumb — it reads the code the
 //! way a reviewer skims it — and errs on the side of flagging: anything it
 //! cannot prove boring needs either a fix or a written reason.
 
@@ -45,9 +50,78 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod passes;
+pub mod substrate;
+
+use substrate::Workspace;
+
+// ---------------------------------------------------------------- passes
+
+/// The analysis passes, in reporting order. `Waivers` is the framework's
+/// own audit of the allow directives rather than a source analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Atomics-ordering smells (the original memlint).
+    Atomics,
+    /// Unchecked offset/byte/page arithmetic.
+    OffsetArithmetic,
+    /// Panics and host allocation inside device hot paths.
+    HotPath,
+    /// Lock-acquisition ordering across the executor and allocators.
+    LockOrder,
+    /// DeviceAllocator decorator forwarding completeness.
+    DecoratorForwarding,
+    /// Waiver-directive hygiene (framework rule).
+    Waivers,
+}
+
+impl Pass {
+    /// Every pass, in reporting order.
+    pub const ALL: [Pass; 6] = [
+        Pass::Atomics,
+        Pass::OffsetArithmetic,
+        Pass::HotPath,
+        Pass::LockOrder,
+        Pass::DecoratorForwarding,
+        Pass::Waivers,
+    ];
+
+    /// The five source-analysis passes (everything but the waiver audit).
+    pub const ANALYSIS: [Pass; 5] = [
+        Pass::Atomics,
+        Pass::OffsetArithmetic,
+        Pass::HotPath,
+        Pass::LockOrder,
+        Pass::DecoratorForwarding,
+    ];
+
+    /// Kebab-case name used in reports, CSV/JSON records and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Atomics => "atomics",
+            Pass::OffsetArithmetic => "offset-arithmetic",
+            Pass::HotPath => "hot-path",
+            Pass::LockOrder => "lock-order",
+            Pass::DecoratorForwarding => "decorator-forwarding",
+            Pass::Waivers => "waivers",
+        }
+    }
+
+    /// The pass's rule catalog.
+    pub fn rules(self) -> Vec<Rule> {
+        Rule::ALL.into_iter().filter(|r| r.pass() == self).collect()
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 // ---------------------------------------------------------------- rules
 
-/// The rule catalog.
+/// The rule catalog, across every pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// `compare_exchange*` with `Relaxed` success ordering.
@@ -60,18 +134,37 @@ pub enum Rule {
     AtomicTransmute,
     /// `UnsafeCell` field in a (shared) struct.
     SharedUnsafeCell,
+    /// Raw `+`/`*`/`<<` on offset/byte/page quantities outside the checked
+    /// helpers.
+    UncheckedOffsetArithmetic,
+    /// Panic/unwind machinery inside a device hot path.
+    HotPathPanic,
+    /// Host allocation inside a device hot path.
+    HotPathHostAlloc,
+    /// Lock acquisition completing an ordering cycle.
+    LockOrderCycle,
+    /// Lock acquired while the executor's launch gate is held.
+    LockAcrossLaunchGate,
+    /// Decorator impl missing an override of a defaulted trait method.
+    DecoratorMissingForward,
     /// Allowlist directive without a reason (or with an unknown rule).
     AllowMissingReason,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 12] = [
         Rule::RelaxedCasSuccess,
         Rule::RelaxedStoreAfterClaim,
         Rule::RawAtomicImport,
         Rule::AtomicTransmute,
         Rule::SharedUnsafeCell,
+        Rule::UncheckedOffsetArithmetic,
+        Rule::HotPathPanic,
+        Rule::HotPathHostAlloc,
+        Rule::LockOrderCycle,
+        Rule::LockAcrossLaunchGate,
+        Rule::DecoratorMissingForward,
         Rule::AllowMissingReason,
     ];
 
@@ -83,7 +176,29 @@ impl Rule {
             Rule::RawAtomicImport => "raw-atomic-import",
             Rule::AtomicTransmute => "atomic-transmute",
             Rule::SharedUnsafeCell => "shared-unsafe-cell",
+            Rule::UncheckedOffsetArithmetic => "unchecked-offset-arithmetic",
+            Rule::HotPathPanic => "hot-path-panic",
+            Rule::HotPathHostAlloc => "hot-path-host-alloc",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::LockAcrossLaunchGate => "lock-across-launch-gate",
+            Rule::DecoratorMissingForward => "decorator-missing-forward",
             Rule::AllowMissingReason => "allow-missing-reason",
+        }
+    }
+
+    /// The pass this rule belongs to.
+    pub fn pass(self) -> Pass {
+        match self {
+            Rule::RelaxedCasSuccess
+            | Rule::RelaxedStoreAfterClaim
+            | Rule::RawAtomicImport
+            | Rule::AtomicTransmute
+            | Rule::SharedUnsafeCell => Pass::Atomics,
+            Rule::UncheckedOffsetArithmetic => Pass::OffsetArithmetic,
+            Rule::HotPathPanic | Rule::HotPathHostAlloc => Pass::HotPath,
+            Rule::LockOrderCycle | Rule::LockAcrossLaunchGate => Pass::LockOrder,
+            Rule::DecoratorMissingForward => Pass::DecoratorForwarding,
+            Rule::AllowMissingReason => Pass::Waivers,
         }
     }
 
@@ -116,6 +231,13 @@ pub struct Diagnostic {
     pub allowed: Option<String>,
 }
 
+impl Diagnostic {
+    /// The pass that produced this diagnostic.
+    pub fn pass(&self) -> Pass {
+        self.rule.pass()
+    }
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}: {}: {}", self.file.display(), self.line, self.rule, self.message)
@@ -146,365 +268,35 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.denied().next().is_none()
     }
-}
 
-// ------------------------------------------------------------ lexical pass
-
-/// Returns `src` with comments, string literals and char literals blanked
-/// to spaces — same length, newlines preserved, so byte offsets and line
-/// numbers stay valid.
-fn mask_code(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1;
-                out.extend_from_slice(b"  ");
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                out.push(b' ');
-                i += 1;
-                while i < b.len() && b[i] != b'"' {
-                    if b[i] == b'\\' && i + 1 < b.len() {
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-                if i < b.len() {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
-                // Raw string: r"..." or r#"..."# (any hash count).
-                let start = i;
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < b.len() && b[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    j += 1;
-                    'raw: while j < b.len() {
-                        if b[j] == b'"' {
-                            let mut k = 0;
-                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                j += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        j += 1;
-                    }
-                    for &byte in &b[start..j] {
-                        out.push(if byte == b'\n' { b'\n' } else { b' ' });
-                    }
-                    i = j;
+    /// `(standing, allowlisted)` counts for one pass.
+    pub fn pass_counts(&self, pass: Pass) -> (usize, usize) {
+        let mut standing = 0;
+        let mut allowed = 0;
+        for d in &self.diagnostics {
+            if d.pass() == pass {
+                if d.allowed.is_some() {
+                    allowed += 1;
                 } else {
-                    out.push(b[i]);
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal vs. lifetime: 'x' / '\n' are literals,
-                // 'a> / 'static are lifetimes (lone quote passes through).
-                if i + 2 < b.len() && b[i + 1] == b'\\' {
-                    let mut j = i + 2;
-                    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
-                        j += 1;
-                    }
-                    let end = j.min(b.len() - 1);
-                    out.extend(std::iter::repeat_n(b' ', end - i + 1));
-                    i = j + 1;
-                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    out.extend_from_slice(b"   ");
-                    i += 3;
-                } else {
-                    out.push(b[i]);
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    // Byte-preserving for ASCII structure; non-ASCII bytes outside the
-    // masked literals pass through untouched.
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// Byte offset of each line start (for offset → line translation).
-fn line_starts(src: &str) -> Vec<usize> {
-    let mut v = vec![0];
-    for (i, c) in src.bytes().enumerate() {
-        if c == b'\n' {
-            v.push(i + 1);
-        }
-    }
-    v
-}
-
-fn line_of(starts: &[usize], offset: usize) -> usize {
-    starts.partition_point(|&s| s <= offset)
-}
-
-/// Offset of the matching close delimiter for the open one at `open`.
-fn match_delim(masked: &[u8], open: usize) -> Option<usize> {
-    let (o, c) = match masked[open] {
-        b'(' => (b'(', b')'),
-        b'{' => (b'{', b'}'),
-        b'[' => (b'[', b']'),
-        _ => return None,
-    };
-    let mut depth = 0usize;
-    for (i, &ch) in masked.iter().enumerate().skip(open) {
-        if ch == o {
-            depth += 1;
-        } else if ch == c {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
-}
-
-/// All byte offsets of `needle` in `hay`.
-fn find_all(hay: &str, needle: &str) -> Vec<usize> {
-    let mut v = Vec::new();
-    let mut from = 0;
-    while let Some(p) = hay[from..].find(needle) {
-        v.push(from + p);
-        from += p + needle.len();
-    }
-    v
-}
-
-/// Blanks `#[cfg(test)]`-gated items (incl. `#[cfg(all(test, ...))]`) so
-/// test-only code — model suites, fixtures inlined in tests — is not
-/// audited: tests may intentionally write smelly patterns.
-fn mask_test_regions(masked: &mut String) {
-    let snapshot = masked.clone();
-    let bytes = snapshot.as_bytes();
-    let mut cuts: Vec<(usize, usize)> = Vec::new();
-    for pat in ["#[cfg(test)]", "#[cfg(all(test"] {
-        for at in find_all(&snapshot, pat) {
-            // The gated item's body is the next brace group.
-            if let Some(open) = snapshot[at..].find('{').map(|p| at + p) {
-                if let Some(close) = match_delim(bytes, open) {
-                    cuts.push((at, close));
+                    standing += 1;
                 }
             }
         }
+        (standing, allowed)
     }
-    if cuts.is_empty() {
-        return;
-    }
-    let mut out = snapshot.into_bytes();
-    for (a, b) in cuts {
-        for p in a..=b.min(out.len() - 1) {
-            if out[p] != b'\n' {
-                out[p] = b' ';
-            }
-        }
-    }
-    *masked = String::from_utf8_lossy(&out).into_owned();
-}
-
-/// `(start, end)` byte extents of every brace-bodied item introduced by
-/// `kw` ("fn" / "struct") in the masked source.
-fn item_extents(masked: &str, kw: &str) -> Vec<(usize, usize)> {
-    let bytes = masked.as_bytes();
-    let mut v = Vec::new();
-    for at in find_all(masked, &format!("{kw} ")) {
-        // Require a token boundary before the keyword (skip identifiers
-        // that merely end in it).
-        if at > 0 {
-            let prev = bytes[at - 1];
-            if prev.is_ascii_alphanumeric() || prev == b'_' {
-                continue;
-            }
-        }
-        // Body = first brace group after the keyword, unless a `;` ends the
-        // item first (trait fn declarations, tuple/unit structs).
-        let mut j = at + kw.len();
-        let mut open = None;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => {
-                    open = Some(j);
-                    break;
-                }
-                b';' => break,
-                // Skip parenthesised stretches (fn args, tuple fields) so a
-                // `;`/`{` inside them does not confuse the item boundary.
-                b'(' | b'[' => match match_delim(bytes, j) {
-                    Some(close) => j = close + 1,
-                    None => break,
-                },
-                _ => j += 1,
-            }
-        }
-        if let Some(open) = open {
-            if let Some(close) = match_delim(bytes, open) {
-                v.push((at, close));
-            }
-        }
-    }
-    v
-}
-
-// ------------------------------------------------------------- atomic ops
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum MemOrder {
-    Relaxed,
-    Acquire,
-    Release,
-    AcqRel,
-    SeqCst,
-}
-
-impl MemOrder {
-    fn parse(tok: &str) -> Option<MemOrder> {
-        Some(match tok {
-            "Relaxed" => MemOrder::Relaxed,
-            "Acquire" => MemOrder::Acquire,
-            "Release" => MemOrder::Release,
-            "AcqRel" => MemOrder::AcqRel,
-            "SeqCst" => MemOrder::SeqCst,
-            _ => return None,
-        })
-    }
-
-    fn acquires(self) -> bool {
-        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
-    }
-
-    fn releases(self) -> bool {
-        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-enum OpKind {
-    /// `compare_exchange` / `compare_exchange_weak`; the recorded ordering
-    /// is the *success* ordering.
-    Cas,
-    Store,
-    Fence,
-    /// `fetch_*` / `swap` read-modify-write.
-    Rmw,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct AtomicOp {
-    offset: usize,
-    kind: OpKind,
-    order: MemOrder,
-}
-
-/// `Ordering::X` tokens inside `args`, in order.
-fn orderings_in(args: &str) -> Vec<MemOrder> {
-    find_all(args, "Ordering::")
-        .into_iter()
-        .filter_map(|p| {
-            let rest = &args[p + "Ordering::".len()..];
-            let end = rest.find(|c: char| !c.is_ascii_alphanumeric()).unwrap_or(rest.len());
-            MemOrder::parse(&rest[..end])
-        })
-        .collect()
-}
-
-/// Extracts every atomic call site from the masked source.
-fn atomic_ops(masked: &str) -> Vec<AtomicOp> {
-    let bytes = masked.as_bytes();
-    let mut ops = Vec::new();
-    let mut push_calls = |pat: &str, kind: OpKind| {
-        for at in find_all(masked, pat) {
-            let open = at + pat.len() - 1; // pat ends with '('
-            let Some(close) = match_delim(bytes, open) else {
-                continue;
-            };
-            let args = &masked[open + 1..close];
-            let ords = orderings_in(args);
-            let order = match kind {
-                // compare_exchange(cur, new, success, failure): the success
-                // ordering is the second-to-last `Ordering::` token.
-                OpKind::Cas if ords.len() >= 2 => ords[ords.len() - 2],
-                OpKind::Cas => continue,
-                // store/fence/fetch_*: one ordering argument; calls without
-                // one are not atomics (same-named inherent methods).
-                _ => match ords.last() {
-                    Some(&o) => o,
-                    None => continue,
-                },
-            };
-            ops.push(AtomicOp { offset: at, kind, order });
-        }
-    };
-    push_calls(".compare_exchange(", OpKind::Cas);
-    push_calls(".compare_exchange_weak(", OpKind::Cas);
-    push_calls(".store(", OpKind::Store);
-    push_calls("fence(", OpKind::Fence);
-    for pat in [
-        ".fetch_add(",
-        ".fetch_sub(",
-        ".fetch_and(",
-        ".fetch_or(",
-        ".fetch_xor(",
-        ".fetch_max(",
-        ".fetch_min(",
-        ".swap(",
-    ] {
-        push_calls(pat, OpKind::Rmw);
-    }
-    ops.sort_by_key(|o| o.offset);
-    ops
 }
 
 // -------------------------------------------------------------- allowlist
 
 struct Allow {
     line: usize,
-    rule: Option<Rule>,
+    /// Each named rule: parsed form plus the raw text (for unknown-rule
+    /// reporting).
+    rules: Vec<(Option<Rule>, String)>,
     reason: Option<String>,
-    raw_rule: String,
 }
 
-/// Extracts `// memlint: allow(rule) — reason` directives from the
+/// Extracts `// memlint: allow(rule[, rule…]) — reason` directives from the
 /// *unmasked* source (they live in comments).
 fn directives(src: &str) -> Vec<Allow> {
     let mut v = Vec::new();
@@ -516,7 +308,13 @@ fn directives(src: &str) -> Vec<Allow> {
         let Some(close) = rest.find(')') else {
             continue;
         };
-        let raw_rule = rest[..close].trim().to_string();
+        let rules = rest[..close]
+            .split(',')
+            .map(|raw| {
+                let raw = raw.trim().to_string();
+                (Rule::from_name(&raw), raw)
+            })
+            .collect();
         let after = rest[close + 1..].trim_start();
         // Reason separator: em dash, en dash, hyphen(s) or a colon.
         let reason = ["—", "–", "-", ":"]
@@ -525,151 +323,68 @@ fn directives(src: &str) -> Vec<Allow> {
             .map(|r| r.trim_start_matches(['—', '–', '-', ':', ' ']).trim())
             .filter(|r| !r.is_empty())
             .map(str::to_string);
-        v.push(Allow { line: idx + 1, rule: Rule::from_name(&raw_rule), reason, raw_rule });
+        v.push(Allow { line: idx + 1, rules, reason });
     }
     v
 }
 
-// ------------------------------------------------------------------ rules
+// ------------------------------------------------------------------ scan
+
+/// Scans a set of sources together: workspace-level passes (lock graphs,
+/// decorator audits) see the whole set, per-file rules each file. This is
+/// the core entry point; [`scan_source`] and [`scan_workspace`] wrap it.
+pub fn scan_files(sources: Vec<(PathBuf, String)>) -> Report {
+    let ws = Workspace::from_sources(sources);
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for pass in passes::registry() {
+        (pass.run)(&ws, &mut out);
+    }
+
+    // Apply the allowlist, then audit the directives themselves.
+    for file in &ws.files {
+        let allows = directives(&file.src);
+        for d in out.iter_mut().filter(|d| d.file == file.rel) {
+            let fired = allows.iter().find(|a| {
+                (a.line == d.line || a.line + 1 == d.line)
+                    && a.rules.iter().any(|(r, _)| *r == Some(d.rule))
+            });
+            if let Some(a) = fired {
+                // A reasonless allow waives nothing: the directive itself
+                // becomes the finding (below), keeping --deny red.
+                d.allowed = a.reason.clone();
+            }
+        }
+        for a in &allows {
+            for (rule, raw) in &a.rules {
+                let msg = match (rule, &a.reason) {
+                    (None, _) => format!("allow directive names unknown rule `{raw}`"),
+                    (Some(_), None) => {
+                        format!("allow({raw}) has no reason — write `— <why this site is sound>`")
+                    }
+                    _ => continue,
+                };
+                out.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: a.line,
+                    rule: Rule::AllowMissingReason,
+                    message: msg,
+                    allowed: None,
+                });
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.rule.name()).cmp(&(&b.file, b.line, b.rule.name())));
+    // Two edges can land on one site (a lock nested under two held guards);
+    // one diagnostic — and one waiver — per (file, line, rule) is enough.
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    Report { files: ws.files.len(), diagnostics: out }
+}
 
 /// Scans one file's source text. `file` labels the diagnostics (and
 /// exempts the facade itself from `raw-atomic-import`).
 pub fn scan_source(file: &Path, src: &str) -> Vec<Diagnostic> {
-    let mut masked = mask_code(src);
-    mask_test_regions(&mut masked);
-    let starts = line_starts(src);
-    let allows = directives(src);
-    let mut out: Vec<Diagnostic> = Vec::new();
-
-    let mut push = |rule: Rule, offset: usize, message: String| {
-        out.push(Diagnostic {
-            file: file.to_path_buf(),
-            line: line_of(&starts, offset),
-            rule,
-            message,
-            allowed: None,
-        });
-    };
-
-    // relaxed-cas-success + relaxed-store-after-claim share the op table.
-    let ops = atomic_ops(&masked);
-    for op in &ops {
-        if matches!(op.kind, OpKind::Cas) && op.order == MemOrder::Relaxed {
-            push(
-                Rule::RelaxedCasSuccess,
-                op.offset,
-                "compare_exchange success ordering is Relaxed — the winning CAS \
-                 publishes nothing; name the atomic that carries the edge"
-                    .into(),
-            );
-        }
-    }
-    for (fn_start, fn_end) in item_extents(&masked, "fn") {
-        let in_fn: Vec<&AtomicOp> =
-            ops.iter().filter(|o| o.offset > fn_start && o.offset < fn_end).collect();
-        let Some(claim_pos) =
-            in_fn.iter().position(|o| matches!(o.kind, OpKind::Cas) && o.order.acquires())
-        else {
-            continue;
-        };
-        for (i, op) in in_fn.iter().enumerate().skip(claim_pos + 1) {
-            if !matches!(op.kind, OpKind::Store) || op.order != MemOrder::Relaxed {
-                continue;
-            }
-            let published = in_fn[i + 1..].iter().any(|later| later.order.releases());
-            if !published {
-                push(
-                    Rule::RelaxedStoreAfterClaim,
-                    op.offset,
-                    "Relaxed store after an acquiring CAS with no later release \
-                     operation in this function — the claimed state is never \
-                     published"
-                        .into(),
-                );
-            }
-        }
-    }
-
-    // raw-atomic-import: the facade file is the one sanctioned location.
-    let is_facade = file.ends_with("core/src/sync.rs");
-    if !is_facade {
-        for at in find_all(&masked, "std::sync::atomic") {
-            push(
-                Rule::RawAtomicImport,
-                at,
-                "raw std::sync::atomic use outside the gpumem_core::sync facade \
-                 — this code is invisible to the loom model checker"
-                    .into(),
-            );
-        }
-    }
-
-    // atomic-transmute: a transmute whose masked call text names an atomic.
-    let bytes = masked.as_bytes();
-    for at in find_all(&masked, "transmute") {
-        let Some(open) = masked[at..].find('(').map(|p| at + p) else {
-            continue;
-        };
-        let Some(close) = match_delim(bytes, open) else {
-            continue;
-        };
-        // Turbofish types sit between `transmute` and `(`; args inside.
-        let span = &masked[at..close];
-        if span.contains("Atomic") {
-            push(
-                Rule::AtomicTransmute,
-                at,
-                "transmute involving atomic types — layout compatibility must \
-                 be justified (incl. under cfg(loom))"
-                    .into(),
-            );
-        }
-    }
-
-    // shared-unsafe-cell: UnsafeCell fields inside struct bodies.
-    let structs = item_extents(&masked, "struct");
-    for at in find_all(&masked, "UnsafeCell<") {
-        if structs.iter().any(|&(s, e)| at > s && at < e) {
-            push(
-                Rule::SharedUnsafeCell,
-                at,
-                "UnsafeCell field — mixed atomic/non-atomic access; document \
-                 the guard that serialises it"
-                    .into(),
-            );
-        }
-    }
-
-    // Apply the allowlist, then audit the directives themselves.
-    for d in &mut out {
-        let fired = allows
-            .iter()
-            .find(|a| a.rule == Some(d.rule) && (a.line == d.line || a.line + 1 == d.line));
-        if let Some(a) = fired {
-            // A reasonless allow waives nothing: the directive itself becomes
-            // the finding (below), keeping --deny red.
-            d.allowed = a.reason.clone();
-        }
-    }
-    for a in &allows {
-        let msg = match (a.rule, &a.reason) {
-            (None, _) => format!("allow directive names unknown rule `{}`", a.raw_rule),
-            (Some(_), None) => {
-                format!("allow({}) has no reason — write `— <why this site is sound>`", a.raw_rule)
-            }
-            _ => continue,
-        };
-        out.push(Diagnostic {
-            file: file.to_path_buf(),
-            line: a.line,
-            rule: Rule::AllowMissingReason,
-            message: msg,
-            allowed: None,
-        });
-    }
-
-    out.sort_by_key(|d| d.line);
-    out
+    scan_files(vec![(file.to_path_buf(), src.to_string())]).diagnostics
 }
 
 // -------------------------------------------------------------- workspace
@@ -711,40 +426,69 @@ pub fn scan_workspace(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
     walk(root, &mut files)?;
     files.sort();
-    let mut report = Report::default();
+    let mut sources = Vec::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         if !audited(&rel) {
             continue;
         }
-        let src = fs::read_to_string(&path)?;
-        report.files += 1;
-        report.diagnostics.extend(scan_source(&rel, &src));
+        sources.push((rel, fs::read_to_string(&path)?));
     }
-    Ok(report)
+    Ok(scan_files(sources))
+}
+
+// ------------------------------------------------------------------ json
+
+/// Renders the report as a JSON document: one record per diagnostic with
+/// `file`/`line`/`pass`/`rule`/`allowed`/`reason`/`message` fields, plus
+/// summary counts. Hand-rolled (the workspace has no serde); consumed by
+/// `memlint --json`, `repro audit`, and downstream CI annotators.
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"files\": {},\n", report.files));
+    s.push_str(&format!("  \"standing\": {},\n", report.denied().count()));
+    s.push_str(&format!("  \"allowlisted\": {},\n", report.allowlisted().count()));
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    { ");
+        s.push_str(&format!("\"file\": \"{}\", ", json_escape(&d.file.to_string_lossy())));
+        s.push_str(&format!("\"line\": {}, ", d.line));
+        s.push_str(&format!("\"pass\": \"{}\", ", d.pass().name()));
+        s.push_str(&format!("\"rule\": \"{}\", ", d.rule.name()));
+        s.push_str(&format!("\"allowed\": {}, ", d.allowed.is_some()));
+        match &d.allowed {
+            Some(r) => s.push_str(&format!("\"reason\": \"{}\", ", json_escape(r))),
+            None => s.push_str("\"reason\": null, "),
+        }
+        s.push_str(&format!("\"message\": \"{}\" }}", json_escape(&d.message)));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Minimal JSON string escaping.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn mask_preserves_length_and_lines() {
-        let src = "let a = \"str // not comment\"; // real\nlet b = '\\n'; /* c\n*/ x";
-        let m = mask_code(src);
-        assert_eq!(m.len(), src.len());
-        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
-        assert!(!m.contains("not comment"));
-        assert!(!m.contains("real"));
-        assert!(m.contains("let b"));
-        assert!(m.contains(" x"));
-    }
-
-    #[test]
-    fn lifetimes_survive_masking() {
-        let m = mask_code("fn f<'a>(x: &'a str) -> &'a str { x }");
-        assert!(m.contains("fn f<'a>"));
-    }
 
     #[test]
     fn cas_success_ordering_parsed_across_lines() {
@@ -772,8 +516,58 @@ mod tests {
     }
 
     #[test]
+    fn multi_rule_directive_waives_each_named_rule() {
+        let src = "fn place(off: u64, size: u64) -> u64 {\n    // memlint: allow(unchecked-offset-arithmetic, relaxed-cas-success) — bounded by construction, test of the comma grammar\n    off + size\n}\n";
+        let d = scan_source(Path::new("x.rs"), src);
+        assert!(
+            d.iter().all(|d| d.rule != Rule::UncheckedOffsetArithmetic || d.allowed.is_some()),
+            "comma-listed rule must be waived: {d:?}"
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::AllowMissingReason));
+    }
+
+    #[test]
+    fn unknown_rule_in_comma_list_is_flagged() {
+        let src = "// memlint: allow(hot-path-panic, no-such-rule) — reason here\nfn f() {}\n";
+        let d = scan_source(Path::new("x.rs"), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::AllowMissingReason);
+        assert!(d[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
     fn test_modules_are_not_audited() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f(a: &AtomicU32) {\n        let _ = a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);\n    }\n}\n";
         assert!(scan_source(Path::new("x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn every_rule_maps_to_a_pass_and_back() {
+        for rule in Rule::ALL {
+            assert!(rule.pass().rules().contains(&rule), "{rule} missing from its pass catalog");
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        let total: usize = Pass::ALL.iter().map(|p| p.rules().len()).sum();
+        assert_eq!(total, Rule::ALL.len(), "every rule belongs to exactly one pass");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_counts() {
+        let report = Report {
+            files: 1,
+            diagnostics: vec![Diagnostic {
+                file: PathBuf::from("a \"b\".rs"),
+                line: 3,
+                rule: Rule::HotPathPanic,
+                message: "line1\nline2".into(),
+                allowed: None,
+            }],
+        };
+        let j = render_json(&report);
+        assert!(j.contains("\"pass\": \"hot-path\""));
+        assert!(j.contains("\"rule\": \"hot-path-panic\""));
+        assert!(j.contains("a \\\"b\\\".rs"));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"standing\": 1"));
     }
 }

@@ -1,0 +1,228 @@
+//! `atomics` pass — ordering smells (the original memlint).
+//!
+//! The loom model checker explores sequentially consistent interleavings;
+//! it cannot see weak-memory reordering. This pass flags patterns that are
+//! correct under SC but broken (or unreviewable) under the real memory
+//! model: Relaxed CAS success orderings, claimed-but-never-published
+//! stores, raw `std::sync::atomic` escapes from the facade, atomic
+//! transmutes, and `UnsafeCell` struct fields.
+
+use super::push;
+use crate::substrate::{find_all, match_delim, SourceFile, Workspace};
+use crate::{Diagnostic, Rule};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemOrder {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl MemOrder {
+    fn parse(tok: &str) -> Option<MemOrder> {
+        Some(match tok {
+            "Relaxed" => MemOrder::Relaxed,
+            "Acquire" => MemOrder::Acquire,
+            "Release" => MemOrder::Release,
+            "AcqRel" => MemOrder::AcqRel,
+            "SeqCst" => MemOrder::SeqCst,
+            _ => return None,
+        })
+    }
+
+    fn acquires(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum OpKind {
+    /// `compare_exchange` / `compare_exchange_weak`; the recorded ordering
+    /// is the *success* ordering.
+    Cas,
+    Store,
+    Fence,
+    /// `fetch_*` / `swap` read-modify-write.
+    Rmw,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct AtomicOp {
+    offset: usize,
+    kind: OpKind,
+    order: MemOrder,
+}
+
+/// `Ordering::X` tokens inside `args`, in order.
+fn orderings_in(args: &str) -> Vec<MemOrder> {
+    find_all(args, "Ordering::")
+        .into_iter()
+        .filter_map(|p| {
+            let rest = &args[p + "Ordering::".len()..];
+            let end = rest.find(|c: char| !c.is_ascii_alphanumeric()).unwrap_or(rest.len());
+            MemOrder::parse(&rest[..end])
+        })
+        .collect()
+}
+
+/// Extracts every atomic call site from the masked source.
+fn atomic_ops(masked: &str) -> Vec<AtomicOp> {
+    let bytes = masked.as_bytes();
+    let mut ops = Vec::new();
+    let mut push_calls = |pat: &str, kind: OpKind| {
+        for at in find_all(masked, pat) {
+            let open = at + pat.len() - 1; // pat ends with '('
+            let Some(close) = match_delim(bytes, open) else {
+                continue;
+            };
+            let args = &masked[open + 1..close];
+            let ords = orderings_in(args);
+            let order = match kind {
+                // compare_exchange(cur, new, success, failure): the success
+                // ordering is the second-to-last `Ordering::` token.
+                OpKind::Cas if ords.len() >= 2 => ords[ords.len() - 2],
+                OpKind::Cas => continue,
+                // store/fence/fetch_*: one ordering argument; calls without
+                // one are not atomics (same-named inherent methods).
+                _ => match ords.last() {
+                    Some(&o) => o,
+                    None => continue,
+                },
+            };
+            ops.push(AtomicOp { offset: at, kind, order });
+        }
+    };
+    push_calls(".compare_exchange(", OpKind::Cas);
+    push_calls(".compare_exchange_weak(", OpKind::Cas);
+    push_calls(".store(", OpKind::Store);
+    push_calls("fence(", OpKind::Fence);
+    for pat in [
+        ".fetch_add(",
+        ".fetch_sub(",
+        ".fetch_and(",
+        ".fetch_or(",
+        ".fetch_xor(",
+        ".fetch_max(",
+        ".fetch_min(",
+        ".swap(",
+    ] {
+        push_calls(pat, OpKind::Rmw);
+    }
+    ops.sort_by_key(|o| o.offset);
+    ops
+}
+
+fn scan_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let masked = &file.masked;
+
+    // relaxed-cas-success + relaxed-store-after-claim share the op table.
+    let ops = atomic_ops(masked);
+    for op in &ops {
+        if matches!(op.kind, OpKind::Cas) && op.order == MemOrder::Relaxed {
+            push(
+                out,
+                file,
+                op.offset,
+                Rule::RelaxedCasSuccess,
+                "compare_exchange success ordering is Relaxed — the winning CAS \
+                 publishes nothing; name the atomic that carries the edge"
+                    .into(),
+            );
+        }
+    }
+    for item in &file.fns {
+        let Some((fn_start, fn_end)) = item.body else { continue };
+        let in_fn: Vec<&AtomicOp> =
+            ops.iter().filter(|o| o.offset > fn_start && o.offset < fn_end).collect();
+        let Some(claim_pos) =
+            in_fn.iter().position(|o| matches!(o.kind, OpKind::Cas) && o.order.acquires())
+        else {
+            continue;
+        };
+        for (i, op) in in_fn.iter().enumerate().skip(claim_pos + 1) {
+            if !matches!(op.kind, OpKind::Store) || op.order != MemOrder::Relaxed {
+                continue;
+            }
+            let published = in_fn[i + 1..].iter().any(|later| later.order.releases());
+            if !published {
+                push(
+                    out,
+                    file,
+                    op.offset,
+                    Rule::RelaxedStoreAfterClaim,
+                    "Relaxed store after an acquiring CAS with no later release \
+                     operation in this function — the claimed state is never \
+                     published"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    // raw-atomic-import: the facade file is the one sanctioned location.
+    let is_facade = file.rel.ends_with("core/src/sync.rs");
+    if !is_facade {
+        for at in find_all(masked, "std::sync::atomic") {
+            push(
+                out,
+                file,
+                at,
+                Rule::RawAtomicImport,
+                "raw std::sync::atomic use outside the gpumem_core::sync facade \
+                 — this code is invisible to the loom model checker"
+                    .into(),
+            );
+        }
+    }
+
+    // atomic-transmute: a transmute whose masked call text names an atomic.
+    let bytes = masked.as_bytes();
+    for at in find_all(masked, "transmute") {
+        let Some(open) = masked[at..].find('(').map(|p| at + p) else {
+            continue;
+        };
+        let Some(close) = match_delim(bytes, open) else {
+            continue;
+        };
+        // Turbofish types sit between `transmute` and `(`; args inside.
+        let span = &masked[at..close];
+        if span.contains("Atomic") {
+            push(
+                out,
+                file,
+                at,
+                Rule::AtomicTransmute,
+                "transmute involving atomic types — layout compatibility must \
+                 be justified (incl. under cfg(loom))"
+                    .into(),
+            );
+        }
+    }
+
+    // shared-unsafe-cell: UnsafeCell fields inside struct bodies.
+    for at in find_all(masked, "UnsafeCell<") {
+        if file.structs.iter().any(|&(s, e)| at > s && at < e) {
+            push(
+                out,
+                file,
+                at,
+                Rule::SharedUnsafeCell,
+                "UnsafeCell field — mixed atomic/non-atomic access; document \
+                 the guard that serialises it"
+                    .into(),
+            );
+        }
+    }
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        scan_file(file, out);
+    }
+}

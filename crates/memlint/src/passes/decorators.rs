@@ -1,0 +1,134 @@
+//! `decorator-forwarding` pass — DeviceAllocator decorators must forward
+//! every defaulted trait method.
+//!
+//! A decorator (`impl<A: DeviceAllocator> DeviceAllocator for Wrap<A>`)
+//! that fails to override a *defaulted* trait method gets the trait's
+//! generic fallback instead of the inner manager's specialised behaviour:
+//! `Cached<XMalloc>::malloc_warp` silently degrades to a per-lane malloc
+//! loop, dropping the coalesced protocol the benchmark measures. PR 8
+//! audited this dynamically (the Probe decorator counts forwarded calls);
+//! this pass proves it statically for every decorator, present and future.
+//!
+//! Mechanics: find the `trait DeviceAllocator` definition, split its
+//! methods into required (no body — the compiler already forces overrides)
+//! and defaulted (body present). For every impl whose header both
+//! implements `DeviceAllocator for …` *and* bounds a type parameter by
+//! `DeviceAllocator` (that bound is what makes it a decorator rather than
+//! a leaf allocator), report each defaulted method the impl body does not
+//! define. A deliberate non-forward is waived at the impl header with a
+//! reason naming why the default is correct for that wrapper.
+
+use std::collections::BTreeSet;
+
+use super::push;
+use crate::substrate::{find_tokens, is_ident_byte, prev_non_ws, SourceFile, Workspace};
+use crate::{Diagnostic, Rule};
+
+const TRAIT: &str = "DeviceAllocator";
+
+/// Defaulted method names of the `DeviceAllocator` trait defined in
+/// `file`, if the file defines it. Token-boundary matching keeps
+/// `DeviceAllocatorExt` (the blanket convenience trait) out.
+fn defaulted_methods(file: &SourceFile) -> Option<Vec<String>> {
+    let masked = &file.masked;
+    let def_at = find_tokens(masked, TRAIT)
+        .into_iter()
+        .find(|&at| masked[..at].trim_end().ends_with("trait"))?;
+    // The trait body is the item extent that contains the name.
+    let (_, end) = *crate::substrate::item_extents(masked, "trait")
+        .iter()
+        .find(|&&(s, e)| def_at > s && def_at < e)?;
+    let defaulted = file
+        .fns
+        .iter()
+        .filter(|f| f.at > def_at && f.at < end && f.body.is_some())
+        .map(|f| f.name.clone())
+        .collect();
+    Some(defaulted)
+}
+
+/// Whether an impl header is a decorator impl: implements the trait for a
+/// type *and* bounds some parameter by the trait (`: DeviceAllocator` or
+/// `+ DeviceAllocator`), i.e. it wraps an inner allocator.
+fn is_decorator_impl(header: &str) -> bool {
+    let hits = find_tokens(header, TRAIT);
+    let b = header.as_bytes();
+    let mut implements = false;
+    let mut bounds = false;
+    for at in hits {
+        let after = header[at + TRAIT.len()..].trim_start();
+        if after.starts_with("for") && !after[3..].starts_with(|c: char| is_ident_byte(c as u8)) {
+            implements = true;
+        }
+        if let Some(p) = prev_non_ws(b, at) {
+            if b[p] == b':' || b[p] == b'+' {
+                bounds = true;
+            }
+        }
+    }
+    implements && bounds
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    // Trait definitions: prefer the one in the impl's own file (fixtures
+    // carry a local mini-trait), falling back to the workspace-global one.
+    let defs: Vec<(usize, Vec<String>)> = ws
+        .files
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| defaulted_methods(f).map(|m| (i, m)))
+        .collect();
+    if defs.is_empty() {
+        return;
+    }
+
+    for (fi, file) in ws.files.iter().enumerate() {
+        for imp in &file.impls {
+            if !is_decorator_impl(&imp.header) {
+                continue;
+            }
+            let defaulted = defs
+                .iter()
+                .find(|&&(di, _)| di == fi)
+                .or_else(|| defs.first())
+                .map(|(_, m)| m.as_slice())
+                .unwrap_or(&[]);
+            let defined: BTreeSet<&str> = file
+                .fns
+                .iter()
+                .filter(|f| f.at > imp.body.0 && f.at < imp.body.1)
+                .map(|f| f.name.as_str())
+                .collect();
+            let self_ty = imp
+                .header
+                .split(" for ")
+                .nth(1)
+                .unwrap_or("?")
+                .split(" where ")
+                .next()
+                .unwrap_or("?")
+                .trim();
+            // One diagnostic per impl naming every missing method: all are
+            // anchored at the impl header, so separate diagnostics would
+            // collapse in the (file, line, rule) dedup anyway — and a
+            // single waiver line is meant to cover the whole decision.
+            let missing: Vec<&str> =
+                defaulted.iter().map(String::as_str).filter(|m| !defined.contains(m)).collect();
+            if !missing.is_empty() {
+                push(
+                    out,
+                    file,
+                    imp.at,
+                    Rule::DecoratorMissingForward,
+                    format!(
+                        "decorator impl for `{self_ty}` does not override defaulted \
+                         trait method(s) `{}` — the generic fallback replaces the \
+                         inner allocator's specialised path; forward them or waive with \
+                         why the default is correct here",
+                        missing.join("`, `"),
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! `hot-path` pass — panics and host allocation inside device hot paths.
+//!
+//! The simulated device kernels (`malloc`/`free`/`malloc_warp`/`free_warp`/
+//! `free_warp_all` implementations) model GPU-resident protocols: a real
+//! device thread can neither unwind nor call the host allocator
+//! mid-protocol, so `panic!`/`unwrap`/`expect`/`assert!` and `Vec::push`/
+//! `Box::new`/`format!` in those bodies are modeling errors — or host-side
+//! bookkeeping that must be named as such with a waiver.
+//!
+//! The pass roots at every hot-named `fn` in an `alloc-*` crate, closes
+//! over the in-crate call graph (a helper called from `malloc` is as hot
+//! as `malloc` itself), and flags two rules in the closure:
+//!
+//! * `hot-path-panic` — unwind machinery (`panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!`, `assert*!`, `.unwrap()`, `.expect(`).
+//!   `debug_assert*!` is exempt: it compiles out of release builds.
+//! * `hot-path-host-alloc` — host allocation (`Box::new`, `vec![`,
+//!   `format!`, `to_string`, …). Collection-style method calls
+//!   (`.push(`, `.insert(`, …) are flagged only when the method name does
+//!   *not* resolve to an in-crate `fn` — `FifoArray::push` is the
+//!   simulated device structure itself, `Vec::push` is the host heap.
+//!
+//! Scope: `alloc-*` crates plus out-of-tree files (fixtures). The core
+//! decorators (`Sanitized`, `Traced`) host-allocate by design — they are
+//! host-side instrumentation wrapped around the simulated kernel, not the
+//! kernel — so `gpumem-core` is deliberately out of scope.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::push;
+use crate::substrate::{find_tokens, Workspace};
+use crate::{Diagnostic, Rule};
+
+/// Function names that anchor the device hot path.
+const ROOTS: [&str; 5] = ["malloc", "free", "malloc_warp", "free_warp", "free_warp_all"];
+
+/// Unwind machinery: `(pattern, needs leading token boundary)`.
+const PANIC_PATTERNS: [&str; 7] =
+    ["panic!", "unreachable!", "todo!", "unimplemented!", "assert!", "assert_eq!", "assert_ne!"];
+
+/// Unambiguous host-allocation call patterns.
+const ALLOC_PATTERNS: [&str; 9] = [
+    "Box::new(",
+    "Rc::new(",
+    "Arc::new(",
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "String::new(",
+    "vec![",
+    "format!",
+    "String::from(",
+];
+
+/// Method names that allocate when the receiver is a host collection.
+/// Resolved against the in-crate `fn` map before flagging.
+const ALLOC_METHODS: [&str; 6] = ["push", "insert", "extend", "collect", "push_back", "to_vec"];
+
+/// `.to_string(` / `.to_owned(` always land on the host heap.
+const ALLOC_METHOD_ALWAYS: [&str; 2] = ["to_string", "to_owned"];
+
+/// One hot function body: `(file index, body range, root it is reached from)`.
+struct HotBody {
+    file: usize,
+    range: (usize, usize),
+    root: String,
+}
+
+/// One in-crate `fn` definition, with the self-type of its enclosing
+/// `impl` block (when it has one) for qualified-call resolution.
+struct Def {
+    file: usize,
+    body: (usize, usize),
+    self_ty: Option<String>,
+}
+
+/// Base type name an `impl` header applies to: the type after `for` in a
+/// trait impl, else the type after the (possibly generic) `impl` keyword.
+/// `impl<A: DeviceAllocator> DeviceAllocator for Cached<A>` → `Cached`;
+/// `impl State` → `State`; `impl<H: Header, const M: bool> RegEff<H, M>`
+/// → `RegEff`.
+fn impl_self_ty(header: &str) -> Option<String> {
+    let tail = if let Some(pos) = header.rfind(" for ") {
+        &header[pos + 5..]
+    } else {
+        // Skip the generic parameter list after `impl`, if any.
+        let b = header.as_bytes();
+        let mut i = crate::substrate::skip_ws(b, 0);
+        if b.get(i) == Some(&b'<') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                match b[i] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        &header[i..]
+    };
+    let b = tail.as_bytes();
+    let st = crate::substrate::skip_ws(b, 0);
+    let mut e = st;
+    while e < b.len() && crate::substrate::is_ident_byte(b[e]) {
+        e += 1;
+    }
+    (e > st).then(|| tail[st..e].to_string())
+}
+
+/// Self-type of the `impl` block enclosing byte `at`, if any.
+fn self_ty_at(file: &crate::substrate::SourceFile, at: usize) -> Option<String> {
+    file.impls
+        .iter()
+        .find(|im| im.body.0 <= at && at < im.body.1)
+        .and_then(|im| impl_self_ty(&im.header))
+}
+
+/// Whether the byte before `at` permits a token start (rules out
+/// `debug_assert!` matching the `assert!` pattern).
+fn token_start(masked: &str, at: usize) -> bool {
+    at == 0 || !crate::substrate::is_ident_byte(masked.as_bytes()[at - 1])
+}
+
+/// Call sites inside `range` as `(qualifier, name)` pairs. The qualifier
+/// is the path segment before a `::name(` call (`None` for bare calls and
+/// `.name(` method calls); resolution against the in-crate `fn` map
+/// happens at the caller so `DevicePtr::new(…)` cannot pull every
+/// in-crate `fn new` into the hot closure.
+fn call_sites(masked: &str, range: (usize, usize)) -> BTreeSet<(Option<String>, String)> {
+    let b = masked.as_bytes();
+    let mut sites = BTreeSet::new();
+    let (lo, hi) = range;
+    let mut i = lo;
+    while i < hi {
+        if b[i] == b'(' {
+            // Read the identifier ending right before the paren.
+            let mut st = i;
+            while st > lo && crate::substrate::is_ident_byte(b[st - 1]) {
+                st -= 1;
+            }
+            if st == i {
+                i += 1;
+                continue;
+            }
+            let qualifier = if st >= lo + 2 && &masked[st - 2..st] == "::" {
+                let mut qs = st - 2;
+                while qs > lo && crate::substrate::is_ident_byte(b[qs - 1]) {
+                    qs -= 1;
+                }
+                Some(masked[qs..st - 2].to_string())
+            } else {
+                None
+            };
+            sites.insert((qualifier, masked[st..i].to_string()));
+        }
+        i += 1;
+    }
+    sites
+}
+
+/// Type names (`struct`/`enum`) the crate defines, for qualified-call
+/// resolution.
+fn crate_type_names(ws: &Workspace, file_idxs: &[usize]) -> BTreeSet<String> {
+    let mut types = BTreeSet::new();
+    for &fi in file_idxs {
+        let masked = &ws.files[fi].masked;
+        let b = masked.as_bytes();
+        for kw in ["struct", "enum"] {
+            for at in find_tokens(masked, kw) {
+                let st = crate::substrate::skip_ws(b, at + kw.len());
+                let mut e = st;
+                while e < b.len() && crate::substrate::is_ident_byte(b[e]) {
+                    e += 1;
+                }
+                if e > st {
+                    types.insert(masked[st..e].to_string());
+                }
+            }
+        }
+    }
+    types
+}
+
+/// In-scope files grouped by crate, with a per-crate `fn name → (file,
+/// body)` map for call-graph closure.
+fn crate_groups(ws: &Workspace) -> BTreeMap<String, Vec<usize>> {
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, file) in ws.files.iter().enumerate() {
+        let name = file.crate_name();
+        if name.starts_with("alloc-") || !file.in_tree() {
+            groups.entry(name).or_default().push(idx);
+        }
+    }
+    groups
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for (_crate_name, file_idxs) in crate_groups(ws) {
+        // fn name → every definition in the crate, tagged with its impl
+        // self-type. Bare names are good enough for method calls (allocator
+        // crates keep one hot protocol per crate, and over-matching only
+        // widens the audit); qualified `Type::name(` calls resolve against
+        // the self-type so `ScatterAlloc::free` calling `PageHash::new`
+        // cannot drag `ScatterAlloc::new` (a constructor) into the closure.
+        let mut defs: BTreeMap<&str, Vec<Def>> = BTreeMap::new();
+        for &fi in &file_idxs {
+            let file = &ws.files[fi];
+            for item in &file.fns {
+                if let Some(body) = item.body {
+                    defs.entry(item.name.as_str()).or_default().push(Def {
+                        file: fi,
+                        body,
+                        self_ty: self_ty_at(file, item.at),
+                    });
+                }
+            }
+        }
+
+        // Closure from the hot roots over in-crate calls.
+        let mut hot: Vec<HotBody> = Vec::new();
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut frontier: Vec<(usize, (usize, usize), String)> = Vec::new();
+        for root in ROOTS {
+            for d in defs.get(root).map(Vec::as_slice).unwrap_or(&[]) {
+                frontier.push((d.file, d.body, root.to_string()));
+            }
+        }
+        let crate_types = crate_type_names(ws, &file_idxs);
+        while let Some((fi, body, root)) = frontier.pop() {
+            if !seen.insert((fi, body.0)) {
+                continue;
+            }
+            let caller_ty = self_ty_at(&ws.files[fi], body.0);
+            for (qualifier, name) in call_sites(&ws.files[fi].masked, body) {
+                let want_ty: Option<&str> = match qualifier.as_deref() {
+                    None => None, // bare or method call: resolve by name alone
+                    Some("Self") => match caller_ty.as_deref() {
+                        Some(t) => Some(t),
+                        None => None,
+                    },
+                    Some(q) if crate_types.contains(q) => Some(q),
+                    Some(_) => continue, // external type (Vec::, DevicePtr::, …)
+                };
+                for d in defs.get(name.as_str()).map(Vec::as_slice).unwrap_or(&[]) {
+                    if let Some(want) = want_ty {
+                        if d.self_ty.as_deref() != Some(want) {
+                            continue;
+                        }
+                    }
+                    frontier.push((d.file, d.body, root.clone()));
+                }
+            }
+            hot.push(HotBody { file: fi, range: body, root });
+        }
+
+        // Flag the two rule families inside every hot body.
+        let mut flagged: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for hb in &hot {
+            let file = &ws.files[hb.file];
+            let masked = &file.masked;
+            let (lo, hi) = hb.range;
+            let mut hit = |at: usize, rule: Rule, what: &str, out: &mut Vec<Diagnostic>| {
+                if !flagged.insert((hb.file, at)) {
+                    return;
+                }
+                push(
+                    out,
+                    file,
+                    at,
+                    rule,
+                    format!(
+                        "{what} inside the device hot path (reached from `{root}`) — \
+                         simulated kernels must not {verb} mid-protocol",
+                        what = what,
+                        root = hb.root,
+                        verb = if rule == Rule::HotPathPanic { "unwind" } else { "host-allocate" },
+                    ),
+                );
+            };
+
+            for pat in PANIC_PATTERNS {
+                for at in crate::substrate::find_all(masked, pat) {
+                    if at >= lo && at < hi && token_start(masked, at) {
+                        hit(at, Rule::HotPathPanic, &format!("`{pat}`"), out);
+                    }
+                }
+            }
+            for pat in [".unwrap()", ".expect("] {
+                for at in crate::substrate::find_all(masked, pat) {
+                    if at >= lo && at < hi {
+                        hit(
+                            at,
+                            Rule::HotPathPanic,
+                            &format!("`{}`", pat.trim_end_matches('(')),
+                            out,
+                        );
+                    }
+                }
+            }
+            for pat in ALLOC_PATTERNS {
+                for at in crate::substrate::find_all(masked, pat) {
+                    if at >= lo && at < hi && token_start(masked, at) {
+                        hit(
+                            at,
+                            Rule::HotPathHostAlloc,
+                            &format!("`{}`", pat.trim_end_matches(['(', '['])),
+                            out,
+                        );
+                    }
+                }
+            }
+            for m in ALLOC_METHODS {
+                // `.push(` on a type the crate defines (FifoArray, queues)
+                // is the simulated device structure — only unresolvable
+                // method names are treated as host collections.
+                if defs.contains_key(m) {
+                    continue;
+                }
+                for at in find_tokens(masked, m) {
+                    let call = at + m.len();
+                    let is_method = at >= 1 && masked.as_bytes()[at - 1] == b'.';
+                    let is_call = masked.as_bytes().get(call) == Some(&b'(');
+                    if is_method && is_call && at >= lo && at < hi {
+                        hit(at - 1, Rule::HotPathHostAlloc, &format!("`.{m}(…)`"), out);
+                    }
+                }
+            }
+            for m in ALLOC_METHOD_ALWAYS {
+                for at in find_tokens(masked, m) {
+                    let call = at + m.len();
+                    let is_method = at >= 1 && masked.as_bytes()[at - 1] == b'.';
+                    let is_call = masked.as_bytes().get(call) == Some(&b'(');
+                    if is_method && is_call && at >= lo && at < hi {
+                        hit(at - 1, Rule::HotPathHostAlloc, &format!("`.{m}()`"), out);
+                    }
+                }
+            }
+        }
+    }
+}

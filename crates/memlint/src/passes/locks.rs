@@ -1,0 +1,364 @@
+//! `lock-order` pass — lock-acquisition ordering across the executor and
+//! allocator crates.
+//!
+//! Builds a per-function lock-acquisition graph: each `.lock()` call (or
+//! call through an in-crate guard-returning wrapper such as
+//! `gpu-sim::exec::lock_pool`) is an acquisition named by the receiver
+//! chain's field identifier (`self.pool.launch_gate.lock()` and
+//! `lock_pool(&self.pool.launch_gate)` both acquire `launch_gate`). A
+//! let-bound guard is held to the end of the function; a temporary guard
+//! only to the end of its statement. Acquiring `b` while `a` is held adds
+//! the edge `a → b`, keyed by crate.
+//!
+//! Two rules fire on the global edge set:
+//!
+//! * `lock-order-cycle` — the edge completes a cycle (including a direct
+//!   re-acquisition of a held lock, the immediate self-deadlock).
+//! * `lock-across-launch-gate` — any lock taken while the executor's
+//!   `launch_gate` is held: the gate serialises whole-grid launches, and
+//!   nesting anything under it repeats the PR 5 stall hazard.
+//!
+//! Scope: `gpu-sim`, the `alloc-*` crates, and out-of-tree files. Lock
+//! names are lexical — two fields with the same name in one crate collapse
+//! into one node, which only errs toward flagging.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::push;
+use crate::substrate::{
+    chain_tail_ident, find_all, find_tokens, last_ident, match_delim, stmt_end, stmt_start,
+    SourceFile, Workspace,
+};
+use crate::{Diagnostic, Rule};
+
+/// One lock acquisition inside a function body.
+struct Acquire {
+    /// Byte offset of the acquisition site.
+    at: usize,
+    /// Lexical lock name (receiver-chain tail or wrapper argument).
+    name: String,
+    /// Exclusive end of the held range.
+    held_until: usize,
+}
+
+/// A lock-ordering edge `from → to`, recorded where `to` was acquired.
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    at: usize,
+}
+
+fn in_scope(file: &SourceFile) -> bool {
+    let name = file.crate_name();
+    name.starts_with("alloc-") || name == "gpu-sim" || !file.in_tree()
+}
+
+/// Guard-returning wrapper functions in the crate (`fn lock_pool<T>(m:
+/// &Mutex<T>) -> MutexGuard<…>`): calling one acquires a lock, and the
+/// `.lock()` inside the wrapper body is skipped (its receiver is the
+/// wrapper's own parameter). The flag records whether the wrapper takes
+/// the mutex as a parameter (`Mutex<` in the signature) — then the lock is
+/// named by the call-site argument — or locks an internal field (named by
+/// the wrapper itself, e.g. `lock_shard`).
+fn wrapper_names(ws: &Workspace, file_idxs: &[usize]) -> BTreeMap<String, bool> {
+    let mut v = BTreeMap::new();
+    for &fi in file_idxs {
+        for item in &ws.files[fi].fns {
+            if item.sig.contains("MutexGuard") && item.body.is_some() {
+                v.insert(item.name.clone(), item.sig.contains("Mutex<"));
+            }
+        }
+    }
+    v
+}
+
+/// Exclusive end of the innermost brace block containing `at` within
+/// `body` — the scope a let-bound guard lives to.
+fn enclosing_block_end(masked: &str, body: (usize, usize), at: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut i = body.0;
+    while i < at {
+        match bytes[i] {
+            b'{' => stack.push(i),
+            b'}' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    stack
+        .last()
+        .and_then(|&open| match_delim(bytes, open))
+        .map(|close| close.min(body.1))
+        .unwrap_or(body.1)
+}
+
+/// Whether the guard produced at `at` is let-bound to a named binding
+/// (held to end of its block) rather than a temporary (end of statement).
+fn is_let_bound(masked: &str, at: usize) -> bool {
+    let stmt = &masked[stmt_start(masked, at)..at.min(masked.len())];
+    let Some(rest) = stmt.trim_start().strip_prefix("let ") else {
+        return false;
+    };
+    let binding = rest.trim_start().trim_start_matches("mut ").trim_start();
+    // `let _ = lock()` drops the guard immediately — not held.
+    let ident: String =
+        binding.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    !ident.is_empty() && ident != "_"
+}
+
+/// Collects every acquisition in one function body.
+fn acquisitions(
+    file: &SourceFile,
+    body: (usize, usize),
+    wrappers: &BTreeMap<String, bool>,
+    params: &[String],
+) -> Vec<Acquire> {
+    let masked = &file.masked;
+    let bytes = masked.as_bytes();
+    let (lo, hi) = body;
+    let mut v = Vec::new();
+
+    for pat in [".lock(", ".try_lock("] {
+        for at in find_all(masked, pat) {
+            if at < lo || at >= hi {
+                continue;
+            }
+            let Some((_, name)) = chain_tail_ident(masked, at) else { continue };
+            // Inside a wrapper, the receiver is the wrapper's parameter —
+            // the real identity lives at the call sites.
+            if params.contains(&name) {
+                continue;
+            }
+            v.push(Acquire { at, name, held_until: 0 });
+        }
+    }
+    for (w, takes_mutex) in wrappers {
+        for at in find_tokens(masked, w) {
+            if at < lo || at >= hi {
+                continue;
+            }
+            let open = at + w.len();
+            if bytes.get(open) != Some(&b'(') {
+                continue;
+            }
+            // Skip the definition itself (`fn lock_pool(` is a token too).
+            if masked[..at].trim_end().ends_with("fn") {
+                continue;
+            }
+            // `lock_pool(&self.pool.launch_gate)` names the lock by its
+            // argument; `lock_shard(sm, warp)` (index args, the mutex is
+            // internal) names it by the wrapper itself.
+            let name = if *takes_mutex {
+                let Some(close) = match_delim(bytes, open) else { continue };
+                let arg = &masked[open + 1..close];
+                let first = arg.split(',').next().unwrap_or("");
+                let Some(name) = last_ident(first) else { continue };
+                name
+            } else {
+                w.clone()
+            };
+            v.push(Acquire { at, name, held_until: 0 });
+        }
+    }
+
+    for a in &mut v {
+        a.held_until = if is_let_bound(masked, a.at) {
+            enclosing_block_end(masked, body, a.at)
+        } else {
+            stmt_end(masked, a.at)
+        };
+    }
+    v.sort_by_key(|a| a.at);
+    v
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    // Group in-scope files by crate (lock names are per-crate nodes).
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, file) in ws.files.iter().enumerate() {
+        if in_scope(file) {
+            groups.entry(file.crate_name()).or_default().push(idx);
+        }
+    }
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for (crate_name, file_idxs) in &groups {
+        let wrappers = wrapper_names(ws, file_idxs);
+
+        // Direct acquisitions per function, then a fixpoint call-through
+        // summary: a call to `run_warps_locked` while the launch gate is
+        // held nests every lock that callee (transitively) acquires.
+        let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut bodies: Vec<(usize, &crate::substrate::FnItem, (usize, usize))> = Vec::new();
+        for &fi in file_idxs {
+            for item in &ws.files[fi].fns {
+                let Some(body) = item.body else { continue };
+                bodies.push((fi, item, body));
+                let names = acquisitions(&ws.files[fi], body, &wrappers, &item.params)
+                    .into_iter()
+                    .map(|a| a.name)
+                    .collect::<BTreeSet<_>>();
+                // Wrapper locks are named at their call sites, not inside.
+                if !wrappers.contains_key(&item.name) {
+                    direct.entry(item.name.clone()).or_default().extend(names);
+                }
+            }
+        }
+        // Call sites of every known fn name, per body, computed once.
+        // Method calls resolve in-crate only on a plain `self.` receiver:
+        // `self.cuda.malloc(…)` delegates to an *embedded* allocator (often
+        // another crate's type) that merely shares the method name.
+        let fn_names: BTreeSet<String> = direct.keys().cloned().collect();
+        let calls_of = |fi: usize, body: (usize, usize), callee: &str| -> Vec<usize> {
+            let masked = &ws.files[fi].masked;
+            find_tokens(masked, callee)
+                .into_iter()
+                .filter(|&at| {
+                    let in_body = at >= body.0
+                        && at < body.1
+                        && masked.as_bytes().get(at + callee.len()) == Some(&b'(');
+                    if !in_body {
+                        return false;
+                    }
+                    if at > 0 && masked.as_bytes()[at - 1] == b'.' {
+                        return chain_tail_ident(masked, at - 1)
+                            .is_some_and(|(_, recv)| recv == "self");
+                    }
+                    true
+                })
+                .collect()
+        };
+        let mut callee_map: Vec<BTreeSet<String>> = Vec::with_capacity(bodies.len());
+        for &(fi, item, body) in &bodies {
+            let mut set = BTreeSet::new();
+            if !wrappers.contains_key(&item.name) {
+                for name in &fn_names {
+                    if name != &item.name && !calls_of(fi, body, name).is_empty() {
+                        set.insert(name.clone());
+                    }
+                }
+            }
+            callee_map.push(set);
+        }
+        let mut summary = direct.clone();
+        loop {
+            let mut changed = false;
+            for (bi, &(_, item, _)) in bodies.iter().enumerate() {
+                if wrappers.contains_key(&item.name) {
+                    continue;
+                }
+                let mut acc: BTreeSet<String> = BTreeSet::new();
+                for callee in &callee_map[bi] {
+                    if let Some(locks) = summary.get(callee) {
+                        acc.extend(locks.iter().cloned());
+                    }
+                }
+                let entry = summary.entry(item.name.clone()).or_default();
+                let before = entry.len();
+                entry.extend(acc);
+                if entry.len() != before {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for &(fi, item, body) in &bodies {
+            let file = &ws.files[fi];
+            let masked = &file.masked;
+            let mut acqs = acquisitions(file, body, &wrappers, &item.params);
+            // Virtual acquisitions: call sites of in-crate functions that
+            // themselves take locks. A non-wrapper callee releases its
+            // locks before returning, so the held range is the call
+            // expression itself — not the whole statement (two calls in
+            // different `if` branches of one statement never overlap).
+            for (callee, locks) in &summary {
+                if locks.is_empty() || callee == &item.name || wrappers.contains_key(callee) {
+                    continue;
+                }
+                for at in calls_of(fi, body, callee) {
+                    let open = at + callee.len();
+                    let held_until = match_delim(masked.as_bytes(), open)
+                        .map(|c| c + 1)
+                        .unwrap_or_else(|| stmt_end(masked, at));
+                    for lock in locks {
+                        acqs.push(Acquire { at, name: lock.clone(), held_until });
+                    }
+                }
+            }
+            acqs.sort_by_key(|a| a.at);
+            for i in 0..acqs.len() {
+                for j in i + 1..acqs.len() {
+                    if acqs[j].at < acqs[i].held_until && acqs[i].at != acqs[j].at {
+                        edges.push(Edge {
+                            from: format!("{crate_name}::{}", acqs[i].name),
+                            to: format!("{crate_name}::{}", acqs[j].name),
+                            file: fi,
+                            at: acqs[j].at,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Adjacency over the whole edge set for reachability queries.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(e.from.as_str()).or_default().insert(e.to.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+
+    for e in &edges {
+        let file = &ws.files[e.file];
+        let (from_lock, to_lock) =
+            (e.from.rsplit("::").next().unwrap_or(""), e.to.rsplit("::").next().unwrap_or(""));
+        if e.from == e.to || reaches(&e.to, &e.from) {
+            push(
+                out,
+                file,
+                e.at,
+                Rule::LockOrderCycle,
+                format!(
+                    "acquiring `{to_lock}` while `{from_lock}` is held completes a \
+                     lock-ordering cycle — another path acquires them in the \
+                     opposite order (deadlock)",
+                ),
+            );
+        }
+        if from_lock == "launch_gate" {
+            push(
+                out,
+                file,
+                e.at,
+                Rule::LockAcrossLaunchGate,
+                format!(
+                    "`{to_lock}` acquired while the executor launch gate is held — \
+                     the gate serialises whole-grid launches; nesting locks under \
+                     it stalls every SM (PR 5 hazard)",
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! `offset-arithmetic` pass — raw arithmetic on heap-offset quantities.
+//!
+//! The bug class PRs 2 and 7 fixed by hand: `size + HEADER > self.len`
+//! wraps in release builds when `size` is near `u64::MAX`, so the bounds
+//! check *passes* and the allocator hands out memory it does not own. The
+//! pass taints a small vocabulary of offset/byte/page identifiers and
+//! flags raw binary `+`/`*`/`<<` where either operand is tainted, unless
+//! the enclosing statement already goes through a checked helper
+//! (`checked_add`, `checked_mul`, `saturating_*`, `checked_next_pow2`,
+//! explicitly-documented `wrapping_*`).
+//!
+//! The taint set is deliberately tight — `size`, `sz`, `off`, `offset`,
+//! `demand`, `page_idx`, `nbytes`, `byte_len` — so every finding is worth
+//! a human decision: a `checked_*` rewrite or a waiver stating the bound
+//! that makes the raw op safe.
+
+use super::push;
+use crate::substrate::{
+    cast_after, chain_tail_ident, is_ident_byte, prev_non_ws, skip_ws, stmt_end, stmt_start,
+    SourceFile, Workspace,
+};
+use crate::{Diagnostic, Rule};
+
+/// Identifiers treated as heap-offset / byte-count / page-index values.
+const TAINT: [&str; 8] =
+    ["size", "sz", "off", "offset", "demand", "page_idx", "nbytes", "byte_len"];
+
+fn tainted(ident: &str) -> bool {
+    TAINT.contains(&ident)
+}
+
+/// The statement already routes through a checked/saturating helper — the
+/// raw-looking operator is feeding (or guarded by) the safe path.
+fn stmt_is_checked(stmt: &str) -> bool {
+    ["checked_", "saturating_", "wrapping_", "overflowing_"].iter().any(|p| stmt.contains(p))
+}
+
+/// Reads the identifier token starting at or just after `from` (skipping
+/// whitespace and one leading `&` / `(`).
+fn right_ident(masked: &str, from: usize) -> Option<(usize, String)> {
+    let b = masked.as_bytes();
+    let mut i = skip_ws(b, from);
+    while i < b.len() && (b[i] == b'&' || b[i] == b'(') {
+        i = skip_ws(b, i + 1);
+    }
+    let st = i;
+    while i < b.len() && is_ident_byte(b[i]) {
+        i += 1;
+    }
+    (i > st).then(|| (i, masked[st..i].to_string()))
+}
+
+/// Binary-operator sites for `+`, `*`, `<<` (excluding compound
+/// assignments and unary uses) inside `range` of the masked text.
+fn operator_sites(masked: &str, range: (usize, usize)) -> Vec<(usize, &'static str, usize)> {
+    let b = masked.as_bytes();
+    let mut v = Vec::new();
+    let (lo, hi) = range;
+    let mut i = lo;
+    while i < hi {
+        let (op, width): (&'static str, usize) = match b[i] {
+            b'+' => ("+", 1),
+            b'*' => ("*", 1),
+            b'<' if i + 1 < hi && b[i + 1] == b'<' => ("<<", 2),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let after = i + width;
+        // Compound assignment (`+=`, `*=`, `<<=`) mutates in place — the
+        // wrap hazard is real but a different shape; out of scope here.
+        if after < b.len() && b[after] == b'=' {
+            i = after + 1;
+            continue;
+        }
+        // Binary position: a value must end immediately to the left.
+        let left_ok = prev_non_ws(b, i)
+            .map(|p| is_ident_byte(b[p]) || b[p] == b')' || b[p] == b']')
+            .unwrap_or(false);
+        if left_ok {
+            v.push((i, op, after));
+        }
+        i = after;
+    }
+    v
+}
+
+fn scan_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let masked = &file.masked;
+    for item in &file.fns {
+        let Some((body_start, body_end)) = item.body else { continue };
+        for (at, op, after) in operator_sites(masked, (body_start, body_end)) {
+            // Operand taint: the identifier chain ending at the operator
+            // (`list.offset() + 16` → `offset`) or the one starting after it.
+            let left = chain_tail_ident(masked, at);
+            let right = right_ident(masked, after);
+            let hit =
+                [left.as_ref(), right.as_ref()].into_iter().flatten().find(|(_, id)| tainted(id));
+            let Some((_, id)) = hit else { continue };
+            // Float casts carry no wrap hazard (`size as f64 * 1e-9`).
+            if let Some((_, ty)) = right.as_ref().and_then(|&(end, _)| cast_after(masked, end)) {
+                if ty == "f64" || ty == "f32" {
+                    continue;
+                }
+            }
+            let stmt = &masked[stmt_start(masked, at)..stmt_end(masked, at)];
+            if stmt_is_checked(stmt) {
+                continue;
+            }
+            push(
+                out,
+                file,
+                at,
+                Rule::UncheckedOffsetArithmetic,
+                format!(
+                    "raw `{op}` on offset-tainted `{id}` — wraps silently in release \
+                     (a wrapped bounds check passes); use checked_add/checked_mul/\
+                     checked_shl or waive with the bound that makes this safe",
+                    op = op,
+                    id = id,
+                ),
+            );
+        }
+    }
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        scan_file(file, out);
+    }
+}

@@ -1,0 +1,692 @@
+//! Shared lexical substrate for every analysis pass.
+//!
+//! One masking + extent-extraction layer feeds all passes: source text is
+//! blanked of comments, strings and `#[cfg(test)]` regions (same length,
+//! newlines preserved, so byte offsets translate to line numbers), then
+//! function, struct and impl extents are carved out once per file. Passes
+//! never re-parse — they pattern-match over [`SourceFile::masked`] and
+//! anchor diagnostics through [`SourceFile::line_of`].
+//!
+//! The scanner is deliberately a hand-rolled lexical pass (the container
+//! has no `syn`): it reads the code the way a reviewer skims it, and errs
+//! on the side of flagging — anything it cannot prove boring needs either
+//! a fix or a written waiver reason.
+
+use std::path::PathBuf;
+
+/// Returns `src` with comments, string literals and char literals blanked
+/// to spaces — same length, newlines preserved, so byte offsets and line
+/// numbers stay valid.
+pub fn mask_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string: r"..." or r#"..."# (any hash count).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    for &byte in &b[start..j] {
+                        out.push(if byte == b'\n' { b'\n' } else { b' ' });
+                    }
+                    i = j;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs. lifetime: 'x' / '\n' are literals,
+                // 'a> / 'static are lifetimes (lone quote passes through).
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                        j += 1;
+                    }
+                    let end = j.min(b.len() - 1);
+                    out.extend(std::iter::repeat_n(b' ', end - i + 1));
+                    i = j + 1;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Byte-preserving for ASCII structure; non-ASCII bytes outside the
+    // masked literals pass through untouched.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte offset of each line start (for offset → line translation).
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut v = vec![0];
+    for (i, c) in src.bytes().enumerate() {
+        if c == b'\n' {
+            v.push(i + 1);
+        }
+    }
+    v
+}
+
+/// 1-based line containing `offset`.
+pub fn line_of(starts: &[usize], offset: usize) -> usize {
+    starts.partition_point(|&s| s <= offset)
+}
+
+/// Offset of the matching close delimiter for the open one at `open`.
+pub fn match_delim(masked: &[u8], open: usize) -> Option<usize> {
+    let (o, c) = match masked[open] {
+        b'(' => (b'(', b')'),
+        b'{' => (b'{', b'}'),
+        b'[' => (b'[', b']'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, &ch) in masked.iter().enumerate().skip(open) {
+        if ch == o {
+            depth += 1;
+        } else if ch == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Offset of the matching open delimiter for the close one at `close`.
+pub fn match_delim_back(masked: &[u8], close: usize) -> Option<usize> {
+    let (o, c) = match masked[close] {
+        b')' => (b'(', b')'),
+        b'}' => (b'{', b'}'),
+        b']' => (b'[', b']'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        if masked[i] == c {
+            depth += 1;
+        } else if masked[i] == o {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// All byte offsets of `needle` in `hay`.
+pub fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        v.push(from + p);
+        from += p + needle.len();
+    }
+    v
+}
+
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Occurrences of `word` in `hay` with identifier boundaries on both sides.
+pub fn find_tokens(hay: &str, word: &str) -> Vec<usize> {
+    let b = hay.as_bytes();
+    find_all(hay, word)
+        .into_iter()
+        .filter(|&at| {
+            let before_ok = at == 0 || !is_ident_byte(b[at - 1]);
+            let end = at + word.len();
+            let after_ok = end >= b.len() || !is_ident_byte(b[end]);
+            before_ok && after_ok
+        })
+        .collect()
+}
+
+/// Offset of the first non-whitespace byte at or after `from`.
+pub fn skip_ws(b: &[u8], mut from: usize) -> usize {
+    while from < b.len() && b[from].is_ascii_whitespace() {
+        from += 1;
+    }
+    from
+}
+
+/// Offset of the last non-whitespace byte strictly before `before`, if any.
+pub fn prev_non_ws(b: &[u8], before: usize) -> Option<usize> {
+    (0..before).rev().find(|&i| !b[i].is_ascii_whitespace())
+}
+
+/// Start offset of the statement containing `offset`: the first
+/// non-whitespace byte after the previous `;`, `{` or `}`.
+pub fn stmt_start(masked: &str, offset: usize) -> usize {
+    let b = masked.as_bytes();
+    let mut i = offset;
+    while i > 0 {
+        match b[i - 1] {
+            b';' | b'{' | b'}' => break,
+            _ => i -= 1,
+        }
+    }
+    skip_ws(b, i)
+}
+
+/// End offset (exclusive) of the statement containing `offset`: just past
+/// the next `;`, or the end of the text.
+pub fn stmt_end(masked: &str, offset: usize) -> usize {
+    let b = masked.as_bytes();
+    match b[offset..].iter().position(|&c| c == b';') {
+        Some(p) => offset + p + 1,
+        None => b.len(),
+    }
+}
+
+/// Blanks `#[cfg(test)]`-gated items (incl. `#[cfg(all(test, ...))]`) so
+/// test-only code — model suites, fixtures inlined in tests — is not
+/// audited: tests may intentionally write smelly patterns.
+pub fn mask_test_regions(masked: &mut String) {
+    let snapshot = masked.clone();
+    let bytes = snapshot.as_bytes();
+    let mut cuts: Vec<(usize, usize)> = Vec::new();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test"] {
+        for at in find_all(&snapshot, pat) {
+            // The gated item's body is the next brace group.
+            if let Some(open) = snapshot[at..].find('{').map(|p| at + p) {
+                if let Some(close) = match_delim(bytes, open) {
+                    cuts.push((at, close));
+                }
+            }
+        }
+    }
+    if cuts.is_empty() {
+        return;
+    }
+    let mut out = snapshot.into_bytes();
+    for (a, b) in cuts {
+        for p in a..=b.min(out.len() - 1) {
+            if out[p] != b'\n' {
+                out[p] = b' ';
+            }
+        }
+    }
+    *masked = String::from_utf8_lossy(&out).into_owned();
+}
+
+/// `(start, end)` byte extents of every brace-bodied item introduced by
+/// `kw` ("struct" / "trait") in the masked source.
+pub fn item_extents(masked: &str, kw: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut v = Vec::new();
+    for at in find_all(masked, &format!("{kw} ")) {
+        // Require a token boundary before the keyword (skip identifiers
+        // that merely end in it).
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        // Body = first brace group after the keyword, unless a `;` ends the
+        // item first (trait fn declarations, tuple/unit structs).
+        let mut j = at + kw.len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                // Skip parenthesised stretches (fn args, tuple fields) so a
+                // `;`/`{` inside them does not confuse the item boundary.
+                b'(' | b'[' => match match_delim(bytes, j) {
+                    Some(close) => j = close + 1,
+                    None => break,
+                },
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = open {
+            if let Some(close) = match_delim(bytes, open) {
+                v.push((at, close));
+            }
+        }
+    }
+    v
+}
+
+/// One `fn` item: free function, inherent/trait-impl method, or trait
+/// method declaration (`body` is `None` when the item ends in `;`).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Identifier after the `fn` keyword.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub at: usize,
+    /// Parameter pattern identifiers (`self` included), for lock-wrapper
+    /// classification.
+    pub params: Vec<String>,
+    /// Signature text between the `fn` keyword and the body/`;`.
+    pub sig: String,
+    /// Brace body extent (inclusive braces), when the item has one.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `impl` block with its raw header text.
+#[derive(Clone, Debug)]
+pub struct ImplItem {
+    /// Byte offset of the `impl` keyword.
+    pub at: usize,
+    /// Masked text between `impl` and the body `{` (generics, trait path,
+    /// self type, where clause).
+    pub header: String,
+    /// Brace body extent (inclusive braces).
+    pub body: (usize, usize),
+}
+
+/// Extracts every `fn` item from the masked source.
+fn fn_items(masked: &str) -> Vec<FnItem> {
+    let bytes = masked.as_bytes();
+    let mut v = Vec::new();
+    for at in find_tokens(masked, "fn") {
+        // Name (absent for `fn(...)` pointer types — skip those).
+        let mut j = skip_ws(bytes, at + 2);
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = masked[name_start..j].to_string();
+        // Parameter list: first paren group after the name (generics in
+        // between contain no parens).
+        let mut params = Vec::new();
+        let mut k = j;
+        let mut paren: Option<(usize, usize)> = None;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'(' => {
+                    if let Some(close) = match_delim(bytes, k) {
+                        paren = Some((k, close));
+                    }
+                    break;
+                }
+                b'{' | b';' => break,
+                _ => k += 1,
+            }
+        }
+        if let Some((po, pc)) = paren {
+            for seg in split_top_level(&masked[po + 1..pc]) {
+                let pat = seg.split(':').next().unwrap_or("");
+                if let Some(id) = pat
+                    .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .find(|s| !s.is_empty())
+                {
+                    params.push(id.to_string());
+                }
+            }
+        }
+        // Body = first top-level brace group, unless `;` ends the item.
+        let mut j2 = paren.map(|(_, pc)| pc + 1).unwrap_or(j);
+        let mut body = None;
+        let mut sig_end = j2;
+        while j2 < bytes.len() {
+            match bytes[j2] {
+                b'{' => {
+                    if let Some(close) = match_delim(bytes, j2) {
+                        body = Some((j2, close));
+                    }
+                    sig_end = j2;
+                    break;
+                }
+                b';' => {
+                    sig_end = j2;
+                    break;
+                }
+                b'(' | b'[' => match match_delim(bytes, j2) {
+                    Some(close) => j2 = close + 1,
+                    None => break,
+                },
+                _ => j2 += 1,
+            }
+        }
+        let sig = masked[at..sig_end.min(masked.len())].to_string();
+        v.push(FnItem { name, at, params, sig, body });
+    }
+    v
+}
+
+/// Splits `s` on commas at paren/bracket/brace depth zero.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let b = s.as_bytes();
+    let mut v = Vec::new();
+    let (mut depth, mut start) = (0i32, 0usize);
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => {
+                v.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < s.len() {
+        v.push(s[start..].trim());
+    }
+    v
+}
+
+/// Extracts every `impl` block.
+fn impl_items(masked: &str) -> Vec<ImplItem> {
+    let bytes = masked.as_bytes();
+    let mut v = Vec::new();
+    for at in find_tokens(masked, "impl") {
+        let mut j = at + "impl".len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                b'(' | b'[' => match match_delim(bytes, j) {
+                    Some(close) => j = close + 1,
+                    None => break,
+                },
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = match_delim(bytes, open) else { continue };
+        v.push(ImplItem {
+            at,
+            header: masked[at + "impl".len()..open].to_string(),
+            body: (open, close),
+        });
+    }
+    v
+}
+
+/// One audited file with its masked text and item extents, computed once
+/// and shared by every pass.
+pub struct SourceFile {
+    /// Workspace-relative path (or the bare label for single-file scans).
+    pub rel: PathBuf,
+    /// Raw source (waiver directives live in comments, so they are read
+    /// from here).
+    pub src: String,
+    /// Masked source: comments/strings/chars/test regions blanked.
+    pub masked: String,
+    /// Line-start offsets for `line_of`.
+    pub starts: Vec<usize>,
+    /// Every `fn` item (functions, methods, trait declarations).
+    pub fns: Vec<FnItem>,
+    /// Struct body extents.
+    pub structs: Vec<(usize, usize)>,
+    /// Impl blocks with headers.
+    pub impls: Vec<ImplItem>,
+}
+
+impl SourceFile {
+    pub fn new(rel: PathBuf, src: String) -> SourceFile {
+        let mut masked = mask_code(&src);
+        mask_test_regions(&mut masked);
+        let starts = line_starts(&src);
+        let fns = fn_items(&masked);
+        let structs = item_extents(&masked, "struct");
+        let impls = impl_items(&masked);
+        SourceFile { rel, src, masked, starts, fns, structs, impls }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        line_of(&self.starts, offset)
+    }
+
+    /// The crate this file belongs to (`crates/<name>/...`), or
+    /// `"workspace-root"` for root `src/` files and out-of-tree scans.
+    pub fn crate_name(&self) -> String {
+        let s = self.rel.to_string_lossy().replace('\\', "/");
+        match s.strip_prefix("crates/").and_then(|r| r.split('/').next()) {
+            Some(name) => name.to_string(),
+            None => "workspace-root".to_string(),
+        }
+    }
+
+    /// Whether this file lives under `crates/` (fixtures and single-file
+    /// scans do not, and stay in scope for every pass).
+    pub fn in_tree(&self) -> bool {
+        self.rel.to_string_lossy().replace('\\', "/").starts_with("crates/")
+    }
+}
+
+/// The whole audited file set — what workspace-level passes walk.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    pub fn from_sources(sources: Vec<(PathBuf, String)>) -> Workspace {
+        Workspace { files: sources.into_iter().map(|(p, s)| SourceFile::new(p, s)).collect() }
+    }
+}
+
+/// Walks a receiver chain backward from `end` (exclusive): skips one
+/// trailing paren group if present, then reads the identifier. Returns the
+/// identifier closest to `end` — e.g. `self.pool.launch_gate` → about
+/// `launch_gate`, `self.shard(warp)` → `shard`.
+pub fn chain_tail_ident(masked: &str, end: usize) -> Option<(usize, String)> {
+    let b = masked.as_bytes();
+    let mut i = prev_non_ws(b, end)? + 1;
+    if i > 0 && b[i - 1] == b')' {
+        i = match_delim_back(b, i - 1)?;
+    }
+    let word_end = i;
+    while i > 0 && is_ident_byte(b[i - 1]) {
+        i -= 1;
+    }
+    if i == word_end {
+        return None;
+    }
+    Some((i, masked[i..word_end].to_string()))
+}
+
+/// The final identifier token in `s` (for wrapper-call lock arguments:
+/// `&self.pool.launch_gate` → `launch_gate`).
+pub fn last_ident(s: &str) -> Option<String> {
+    let b = s.as_bytes();
+    let mut end = b.len();
+    loop {
+        let e = prev_non_ws(b, end)?;
+        if is_ident_byte(b[e]) {
+            let mut st = e;
+            while st > 0 && is_ident_byte(b[st - 1]) {
+                st -= 1;
+            }
+            return Some(s[st..e + 1].to_string());
+        }
+        end = e;
+    }
+}
+
+/// Extends a span rightward over an `as <type>` cast, reporting the cast
+/// target. Used by the offset pass to skip float casts (no wrap hazard).
+pub fn cast_after(masked: &str, end: usize) -> Option<(usize, String)> {
+    let b = masked.as_bytes();
+    let j = skip_ws(b, end);
+    if !masked[j..].starts_with("as") {
+        return None;
+    }
+    let j2 = j + 2;
+    if j2 < b.len() && is_ident_byte(b[j2]) {
+        return None;
+    }
+    let t = skip_ws(b, j2);
+    let mut te = t;
+    while te < b.len() && is_ident_byte(b[te]) {
+        te += 1;
+    }
+    (te > t).then(|| (te, masked[t..te].to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_preserves_length_and_lines() {
+        let src = "let a = \"str // not comment\"; // real\nlet b = '\\n'; /* c\n*/ x";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+        assert!(!m.contains("not comment"));
+        assert!(!m.contains("real"));
+        assert!(m.contains("let b"));
+        assert!(m.contains(" x"));
+    }
+
+    #[test]
+    fn lifetimes_survive_masking() {
+        let m = mask_code("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(m.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn fn_items_extract_names_params_and_bodies() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "fn alpha(a: u64, mut b: &str) -> u64 { a }\n\
+             trait T { fn decl(&self, n: usize); fn defaulted(&self) -> bool { true } }\n"
+                .into(),
+        );
+        let names: Vec<&str> = f.fns.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "decl", "defaulted"]);
+        assert_eq!(f.fns[0].params, ["a", "b"]);
+        assert!(f.fns[0].body.is_some());
+        assert_eq!(f.fns[1].params, ["self", "n"]);
+        assert!(f.fns[1].body.is_none(), "trait declaration has no body");
+        assert!(f.fns[2].body.is_some(), "trait default has a body");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let f = SourceFile::new("x.rs".into(), "struct S { run: fn(u32) -> u32 }".into());
+        assert!(f.fns.is_empty());
+    }
+
+    #[test]
+    fn impl_headers_cover_generics_and_where_clauses() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "impl<A: Tr + ?Sized> Tr for Wrap<A> where A: Send { fn go(&self) {} }".into(),
+        );
+        assert_eq!(f.impls.len(), 1);
+        assert!(f.impls[0].header.contains("Tr for Wrap<A>"));
+        assert!(f.impls[0].header.contains("where A: Send"));
+    }
+
+    #[test]
+    fn chain_tail_skips_call_groups() {
+        let m = "self.shard(warp).lock()";
+        let at = m.find(".lock").unwrap();
+        assert_eq!(chain_tail_ident(m, at).unwrap().1, "shard");
+        let m2 = "self.pool.launch_gate.lock()";
+        let at2 = m2.find(".lock").unwrap();
+        assert_eq!(chain_tail_ident(m2, at2).unwrap().1, "launch_gate");
+    }
+
+    #[test]
+    fn last_ident_reads_wrapper_args() {
+        assert_eq!(last_ident("&self.pool.launch_gate").as_deref(), Some("launch_gate"));
+        assert_eq!(last_ident("&shared.state").as_deref(), Some("state"));
+        assert_eq!(last_ident("  ").as_deref(), None);
+    }
+
+    #[test]
+    fn statement_bounds() {
+        let m = "fn f() { let a = 1;\n    let b = a + 2; }";
+        let at = m.find("a + 2").unwrap();
+        assert_eq!(&m[stmt_start(m, at)..stmt_end(m, at)], "let b = a + 2;");
+    }
+
+    #[test]
+    fn cast_detection() {
+        let m = "size as f64 * n";
+        assert_eq!(cast_after(m, 4).unwrap().1, "f64");
+        assert!(cast_after("size + 1", 4).is_none());
+    }
+}

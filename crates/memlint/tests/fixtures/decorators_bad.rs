@@ -1,0 +1,29 @@
+//! Known-bad fixture for the decorator-forwarding pass: a decorator that
+//! overrides `malloc_warp` but silently inherits the defaulted `metrics`,
+//! hiding the inner manager's instrumentation.
+
+pub trait DeviceAllocator {
+    fn malloc(&self) -> u64;
+
+    fn malloc_warp(&self) -> u64 {
+        self.malloc()
+    }
+
+    fn metrics(&self) -> u64 {
+        0
+    }
+}
+
+pub struct Wrap<A> {
+    inner: A,
+}
+
+impl<A: DeviceAllocator> DeviceAllocator for Wrap<A> {
+    fn malloc(&self) -> u64 {
+        self.inner.malloc()
+    }
+
+    fn malloc_warp(&self) -> u64 {
+        self.inner.malloc_warp()
+    }
+}

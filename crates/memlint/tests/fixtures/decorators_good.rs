@@ -1,0 +1,44 @@
+//! Known-good fixture for the decorator-forwarding pass: one decorator
+//! overrides every defaulted method, the other deliberately suppresses the
+//! defaults and says so in a waiver.
+
+pub trait DeviceAllocator {
+    fn malloc(&self) -> u64;
+
+    fn malloc_warp(&self) -> u64 {
+        self.malloc()
+    }
+
+    fn metrics(&self) -> u64 {
+        0
+    }
+}
+
+pub struct Full<A> {
+    inner: A,
+}
+
+impl<A: DeviceAllocator> DeviceAllocator for Full<A> {
+    fn malloc(&self) -> u64 {
+        self.inner.malloc()
+    }
+
+    fn malloc_warp(&self) -> u64 {
+        self.inner.malloc_warp()
+    }
+
+    fn metrics(&self) -> u64 {
+        self.inner.metrics()
+    }
+}
+
+pub struct Opaque<A> {
+    inner: A,
+}
+
+// memlint: allow(decorator-missing-forward) — Opaque deliberately hides warp batching and metrics; the per-lane defaults are its contract
+impl<A: DeviceAllocator> DeviceAllocator for Opaque<A> {
+    fn malloc(&self) -> u64 {
+        self.inner.malloc()
+    }
+}

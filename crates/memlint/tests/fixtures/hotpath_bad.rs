@@ -1,0 +1,19 @@
+//! Known-bad fixture for the hot-path pass: panics and host allocation
+//! inside a `malloc` implementation and a helper it calls.
+
+pub struct Fixture {
+    items: Vec<u64>,
+}
+
+impl Fixture {
+    pub fn malloc(&mut self, size: u64) -> u64 {
+        let label = size.to_string();
+        assert!(!label.is_empty(), "fixture");
+        self.reserve(size)
+    }
+
+    fn reserve(&mut self, size: u64) -> u64 {
+        self.items.push(size);
+        self.items.last().copied().unwrap()
+    }
+}

@@ -1,0 +1,26 @@
+//! Known-good fixture for the hot-path pass: `debug_assert!` compiles out
+//! of release builds, `.push(` resolving to an in-crate `fn push` is the
+//! simulated device structure (not a host Vec), and code unreachable from
+//! the hot roots may allocate freely.
+
+pub struct Ring {
+    head: u64,
+}
+
+impl Ring {
+    pub fn malloc(&mut self, size: u64) -> u64 {
+        debug_assert!(size > 0, "zero-size requests are rejected upstream");
+        self.push(size)
+    }
+
+    fn push(&mut self, size: u64) -> u64 {
+        self.head = self.head.wrapping_add(size);
+        self.head
+    }
+}
+
+pub fn build_harness() -> Vec<u64> {
+    let mut v = Vec::with_capacity(4);
+    v.push(0);
+    v
+}

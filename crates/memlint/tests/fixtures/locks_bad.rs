@@ -1,0 +1,37 @@
+//! Known-bad fixture for the lock-order pass: two functions acquiring the
+//! same pair of locks in opposite orders (a deadlock cycle), and a lock
+//! taken while a `launch_gate` guard is held.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.alpha.lock().unwrap();
+        let gb = self.beta.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.beta.lock().unwrap();
+        let ga = self.alpha.lock().unwrap();
+        *gb + *ga
+    }
+}
+
+pub struct Gate {
+    launch_gate: Mutex<u64>,
+    state: Mutex<u64>,
+}
+
+impl Gate {
+    pub fn launch(&self) -> u64 {
+        let gate = self.launch_gate.lock().unwrap();
+        let st = self.state.lock().unwrap();
+        *gate + *st
+    }
+}

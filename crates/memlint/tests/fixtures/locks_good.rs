@@ -1,0 +1,33 @@
+//! Known-good fixture for the lock-order pass: a consistent acquisition
+//! order is not a cycle, and a guard confined to an inner block is
+//! released before the next lock is taken.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn first(&self) -> u64 {
+        let ga = self.alpha.lock().unwrap();
+        let gb = self.beta.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn second(&self) -> u64 {
+        let ga = self.alpha.lock().unwrap();
+        let gb = self.beta.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn scoped(&self) -> u64 {
+        let snapshot = {
+            let gb = self.beta.lock().unwrap();
+            *gb
+        };
+        let ga = self.alpha.lock().unwrap();
+        *ga + snapshot
+    }
+}

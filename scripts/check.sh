@@ -88,11 +88,20 @@ test -s target/trace-smoke/trace_scatter.json
 grep -q '"ph"' target/trace-smoke/trace_scatter.json
 grep -q '^ScatterAlloc,malloc,' target/trace-smoke/trace_latency_2048_TITANV.csv
 
-# Atomics-ordering static pass: any non-allowlisted smell (Relaxed CAS
-# success edges, raw std::sync::atomic imports bypassing the facade, ...)
-# fails the gate; every allowlist entry must carry a written reason.
-echo "==> memlint --deny"
+# Heap-safety static analysis: the full pass set (atomics ordering, offset
+# arithmetic, hot-path panics/allocation, lock ordering, decorator
+# forwarding) over the workspace. Any non-allowlisted finding fails the
+# gate; every allowlist entry must carry a written reason.
+echo "==> memlint --deny (all passes)"
 cargo run --offline -q -p memlint -- --deny .
+
+# The audit CLI consumes the same report: per-pass rollup table plus an
+# audit.csv with a pass column, exit 2 on standing findings.
+echo "==> repro audit smoke"
+rm -rf target/audit-smoke
+cargo run --offline --release -q -p gpumem-bench --bin repro -- \
+    audit --out target/audit-smoke > /dev/null
+head -2 target/audit-smoke/audit.csv | grep -q '^crate,pass,rule,standing,allowlisted'
 
 # Loom model checking: the same allocator protocols, compiled against the
 # cooperative-scheduling shim (--cfg loom) and exhaustively interleaved at
