@@ -36,9 +36,11 @@ use gpumem_bench::gate::{self, Gates};
 use gpumem_bench::matrix::{self, MatrixCfg, Tier};
 use gpumem_bench::registry::{ManagerKind, ManagerSelection, ALL_KINDS, DEFAULT_KINDS};
 use gpumem_bench::runners::{self, Bench};
+use gpumem_bench::watch;
 use gpumem_core::info::SURVEY_TABLE;
+use gpumem_core::telemetry::{self, TelemetryConfig};
 use gpumem_core::trace::DEFAULT_EVENTS_PER_SM;
-use gpumem_core::{HeapBackendKind, Pretouch};
+use gpumem_core::{HeapBackendKind, Pretouch, SloSpec, Telemetry, TelemetryServer, TelemetrySink};
 
 #[derive(Clone)]
 struct Opts {
@@ -84,6 +86,18 @@ struct Opts {
     candidate: Option<PathBuf>,
     /// `--scenario NAME` (repeatable): restrict matrix/gate to a subset.
     scenarios: Vec<String>,
+    /// `--telemetry`: run `perf`/`matrix` under the live sampler and write
+    /// the `telemetry_<cmd>.{json,csv,prom}` exports next to the results.
+    telemetry: bool,
+    /// `--telemetry-hz N`: sampler cadence (overrides `GMS_TELEMETRY_HZ`;
+    /// default 100 Hz, i.e. 10 ms windows).
+    telemetry_hz: Option<f64>,
+    /// `--telemetry-listen ADDR`: serve the live OpenMetrics exposition on
+    /// this TCP address for the duration of the run (implies telemetry).
+    telemetry_listen: Option<String>,
+    /// `--slo SPEC` (repeatable): rolling-window objectives evaluated by
+    /// the sampler, e.g. `malloc_p99_ns<50000@500ms`.
+    slos: Vec<String>,
 }
 
 impl Default for Opts {
@@ -115,6 +129,10 @@ impl Default for Opts {
             gates: PathBuf::from("gates.toml"),
             candidate: None,
             scenarios: Vec::new(),
+            telemetry: false,
+            telemetry_hz: None,
+            telemetry_listen: None,
+            slos: Vec::new(),
         }
     }
 }
@@ -206,6 +224,13 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
             "--gates" => opts.gates = PathBuf::from(next(&mut i)?),
             "--candidate" => opts.candidate = Some(PathBuf::from(next(&mut i)?)),
             "--scenario" => opts.scenarios.push(next(&mut i)?),
+            "--telemetry" => opts.telemetry = true,
+            "--telemetry-hz" => {
+                let hz = next(&mut i)?;
+                opts.telemetry_hz = Some(hz.parse().map_err(|e| format!("bad hz {hz:?}: {e}"))?);
+            }
+            "--telemetry-listen" => opts.telemetry_listen = Some(next(&mut i)?),
+            "--slo" => opts.slos.push(next(&mut i)?),
             other => return Err(format!("unknown option: {other}\n{}", usage())),
         }
     }
@@ -213,17 +238,23 @@ fn parse_args(args: &[String]) -> Result<(String, Opts), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|init|fig9|perf|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|trace|audit|exec-bench|matrix|gate|check|all> [options]\n\
+    "usage: repro <table1|init|fig9|perf|mixed|scaling|frag|oom|workgen|write|graph-init|graph-update|churn|contention|sanitize|trace|audit|exec-bench|matrix|gate|watch|check|all> [options]\n\
      (`repro --report contention` is an alias for `repro contention`;\n\
       `repro perf` is fig9 at the paper's full 8 GiB heap, mmap-backed by default;\n\
       `repro matrix` regenerates the committed BENCH_<scenario>.json anchors,\n\
-      `repro gate` reruns and compares them against gates.toml tolerances)\n\
+      `repro gate` reruns and compares them against gates.toml tolerances,\n\
+      `repro watch --scenario NAME` runs one scenario under the live telemetry\n\
+      sampler and writes telemetry_<scenario>.{json,csv,prom} into --out)\n\
      options: -t SELECTOR[@ram|mmap|numa][+cached] --device D --num N --warp --dense --max-exp E\n\
      --range LO-HI --iter N --timeout SECS --cycles N --edges N --scale-div N --oom-heap MB\n\
      -m MANAGER --trace-cap EVENTS_PER_SM --out DIR --cached\n\
      --heap-backend ram|mmap|numa --pretouch auto|full|striped|lazy --heap-mb MB\n\
      matrix/gate: --smoke | --tier tiny|smoke|full, --seed HEX, --anchors DIR,\n\
-     --gates FILE, --candidate DIR, --scenario NAME (repeatable)"
+     --gates FILE, --candidate DIR, --scenario NAME (repeatable)\n\
+     telemetry (watch, or perf/matrix with --telemetry): --telemetry-hz N,\n\
+     --telemetry-listen ADDR, --slo METRIC<THRESH@WINDOW (repeatable,\n\
+     e.g. --slo 'malloc_p99_ns<50000@500ms'); watch restricts managers\n\
+     with -m NAME or -t SELECTOR and defaults to the smoke tier"
         .to_string()
 }
 
@@ -280,6 +311,7 @@ fn main() {
         "exec-bench" => exec_overhead(&opts),
         "matrix" => matrix_cmd(&opts),
         "gate" => gate_cmd(&opts),
+        "watch" => watch_cmd(&opts),
         "check" => check(&opts),
         "all" => run_all(opts),
         other => {
@@ -307,7 +339,9 @@ fn perf(opts: Opts) {
         opts.backend(),
         opts.pretouch.resolve(opts.backend()),
     );
+    let lt = start_live_telemetry(&opts, "perf");
     fig9(&opts);
+    finish_live_telemetry(lt, &opts);
 }
 
 fn run_all(mut opts: Opts) {
@@ -726,9 +760,10 @@ fn contention(opts: &Opts) {
         "list_hops",
         "oom_fallbacks",
         "warp_coalesced",
+        "dropped_events",
     ]);
     println!(
-        "{:<16}{:>9}{:>9}{:>9}{:>10}{:>6}{:>8}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
+        "{:<16}{:>9}{:>9}{:>9}{:>10}{:>6}{:>8}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}{:>9}",
         "manager",
         "obs_ms",
         "base_ms",
@@ -741,13 +776,14 @@ fn contention(opts: &Opts) {
         "queue_spin",
         "list_hop",
         "oom_fall",
-        "coalesced"
+        "coalesced",
+        "dropped"
     );
     for &kind in &opts.kinds {
         let c = runners::contention_profile(&bench, kind, opts.num, size);
         let s = &c.counters;
         println!(
-            "{:<16}{:>9}{:>9}{:>8.2}x{:>10}{:>6}{:>8}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}",
+            "{:<16}{:>9}{:>9}{:>8.2}x{:>10}{:>6}{:>8}{:>11}{:>12}{:>12}{:>10}{:>10}{:>10}{:>9}",
             c.manager,
             ms(c.observed),
             ms(c.baseline),
@@ -761,6 +797,7 @@ fn contention(opts: &Opts) {
             s.list_hops(),
             s.oom_fallbacks(),
             s.warp_coalesced(),
+            c.dropped_events,
         );
         csv.row([
             c.manager.to_string(),
@@ -783,6 +820,7 @@ fn contention(opts: &Opts) {
             s.list_hops().to_string(),
             s.oom_fallbacks().to_string(),
             s.warp_coalesced().to_string(),
+            c.dropped_events.to_string(),
         ]);
     }
     save(csv, opts, &format!("contention_{}_{}.csv", opts.num, opts.device.name));
@@ -870,7 +908,16 @@ fn write_anchor(anchor: &Anchor, dir: &std::path::Path, name: &str) {
 /// `repro matrix` — run the scenario registry at the selected tier and
 /// write one `BENCH_<scenario>.json` anchor per scenario.
 fn matrix_cmd(opts: &Opts) {
-    let cfg = matrix_cfg(opts);
+    let mut cfg = matrix_cfg(opts);
+    let lt = start_live_telemetry(opts, "matrix");
+    if let Some(lt) = &lt {
+        let marker = lt.tel.boundary_marker();
+        cfg.launch_hook = Some(std::sync::Arc::new(move |phase| {
+            if matches!(phase, gpu_sim::LaunchPhase::End { .. }) {
+                marker.mark();
+            }
+        }));
+    }
     let specs = selected_scenarios(opts);
     println!(
         "# matrix tier={} seed={:#x} backend={} anchors={}",
@@ -890,6 +937,155 @@ fn matrix_cmd(opts: &Opts) {
                 eprintln!("matrix {}: {e}", spec.name);
                 std::process::exit(1);
             }
+        }
+    }
+    finish_live_telemetry(lt, opts);
+}
+
+/// Builds the sampler config from the command line: cadence from
+/// `--telemetry-hz` (falling back to `GMS_TELEMETRY_HZ`, then the 10 ms
+/// default) and rolling-window objectives from repeated `--slo` flags.
+fn telemetry_config(opts: &Opts) -> TelemetryConfig {
+    let mut cfg = TelemetryConfig::from_env();
+    if let Some(hz) = opts.telemetry_hz {
+        cfg = cfg.hz(hz);
+    }
+    for raw in &opts.slos {
+        match raw.parse::<SloSpec>() {
+            Ok(spec) => cfg = cfg.slo(spec),
+            Err(e) => {
+                eprintln!("bad --slo {raw:?}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// The manager restriction `repro watch` applies to its scenario: `-m NAME`
+/// pins one manager, an explicit `-t` selector pins a set, and neither
+/// runs the scenario's natural set.
+fn watch_kinds(opts: &Opts) -> Option<Vec<ManagerKind>> {
+    if let Some(name) = &opts.manager {
+        match resolve_manager(name) {
+            Ok(k) => return Some(vec![k]),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (opts.kinds != DEFAULT_KINDS).then(|| opts.kinds.clone())
+}
+
+/// `repro watch` — run one matrix scenario under the live telemetry
+/// sampler and export the sampled time-series (JSON, per-window CSV,
+/// OpenMetrics). Defaults to the smoke tier: watch is an interactive
+/// diagnosis tool, not the anchor producer.
+fn watch_cmd(opts: &Opts) {
+    let scenario = match opts.scenarios.as_slice() {
+        [one] => one.clone(),
+        [] => {
+            eprintln!("watch requires --scenario NAME\n{}", usage());
+            std::process::exit(2);
+        }
+        _ => {
+            eprintln!("watch takes exactly one --scenario");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = MatrixCfg::new(opts.tier.unwrap_or(Tier::Smoke));
+    cfg.device = opts.device;
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    cfg.heap_backend = opts.backend();
+    cfg.pretouch = opts.pretouch;
+    cfg.kinds = watch_kinds(opts);
+    let outcome = watch::watch(
+        cfg,
+        &scenario,
+        telemetry_config(opts),
+        opts.telemetry_listen.as_deref(),
+        &opts.out,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("watch: {e}");
+        std::process::exit(1);
+    });
+    if outcome.anchor.metrics.is_empty() {
+        eprintln!("warning: manager restriction excluded every kind this scenario runs");
+    }
+    let s = &outcome.series;
+    let boundaries = s.samples.iter().filter(|x| x.boundary).count();
+    println!(
+        "watched {scenario}: {} samples ({} kernel-boundary cuts, {} evicted), \
+         {} launches, {} mallocs / {} frees, {} trace events dropped",
+        s.samples.len(),
+        boundaries,
+        s.evicted,
+        s.launches,
+        s.totals.malloc_calls(),
+        s.totals.free_calls(),
+        s.dropped_events,
+    );
+    print!("{}", s.slo_table());
+    for p in [&outcome.json_path, &outcome.csv_path, &outcome.om_path] {
+        println!("wrote {}", p.display());
+    }
+    // Breached objectives make the run's exit status actionable in CI.
+    if s.slo.iter().any(|r| !r.breaches.is_empty()) {
+        std::process::exit(3);
+    }
+}
+
+/// Live sampler attached to a `--telemetry` run of `perf`/`matrix` (the
+/// `watch` subcommand manages its own). Holds the process-global sink
+/// installed; [`finish_live_telemetry`] clears it and writes the exports.
+struct LiveTelemetry {
+    tel: Telemetry,
+    server: Option<TelemetryServer>,
+    label: String,
+}
+
+fn start_live_telemetry(opts: &Opts, label: &str) -> Option<LiveTelemetry> {
+    if !opts.telemetry && opts.telemetry_listen.is_none() {
+        return None;
+    }
+    let sink = TelemetrySink::new();
+    telemetry::install_global_sink(&sink);
+    let tel = Telemetry::start(telemetry_config(opts), sink);
+    let server = opts.telemetry_listen.as_deref().map(|addr| match tel.serve(addr, label) {
+        Ok(s) => {
+            eprintln!("telemetry: serving OpenMetrics on http://{}/", s.addr());
+            s
+        }
+        Err(e) => {
+            eprintln!("telemetry: bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    });
+    Some(LiveTelemetry { tel, server, label: label.to_string() })
+}
+
+fn finish_live_telemetry(lt: Option<LiveTelemetry>, opts: &Opts) {
+    let Some(LiveTelemetry { tel, server, label }) = lt else { return };
+    telemetry::clear_global_sink();
+    if let Some(s) = server {
+        s.stop();
+    }
+    let series = tel.stop();
+    let prov = vec![("cmd".to_string(), label.clone()), ("run".to_string(), provenance(opts))];
+    match watch::export(&series, &label, &prov, &opts.out) {
+        Ok(paths) => {
+            print!("{}", series.slo_table());
+            for p in &paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("telemetry export: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -1258,6 +1454,14 @@ fn trace(opts: &Opts) {
     }
     save(csv, opts, &format!("trace_latency_{}_{}.csv", opts.num, opts.device.name));
     let occ = &r.occupancy;
+    if r.trace.dropped > 0 {
+        eprintln!(
+            "warning: {} events dropped at ring capacity {} (drop-newest) — \
+             latency percentiles and the occupancy timeline are truncated; \
+             raise --trace-cap",
+            r.trace.dropped, opts.trace_cap
+        );
+    }
     println!(
         "{} events recorded ({} dropped), span {:.3} ms; occupancy: {} samples, peak {} B in {} allocs, address range {} B",
         r.trace.len(),

@@ -19,6 +19,9 @@
 //!   the whole paper grid at smoke/full tier, one anchor per scenario.
 //! * [`gate`] — the `repro gate` comparator: committed anchors vs a fresh
 //!   run, per-scenario tolerances from `gates.toml`.
+//! * [`watch`] — `repro watch`: any matrix scenario under the live
+//!   telemetry sampler (`gpumem_core::telemetry`), exporting the sampled
+//!   time-series as JSON, per-window CSV and OpenMetrics.
 //!
 //! The `repro` binary (in `src/bin`) drives everything:
 //! `repro all` writes one CSV per figure into `results/`,
@@ -33,3 +36,4 @@ pub mod matrix;
 pub mod registry;
 pub mod runners;
 pub mod shapes;
+pub mod watch;

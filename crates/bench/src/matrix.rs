@@ -15,9 +15,11 @@
 //! failure, so anything nondeterministic enough to appear or disappear
 //! between runs must not become a metric.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
-use gpu_sim::{Device, DeviceSpec};
+use gpu_sim::{Device, DeviceSpec, LaunchHook};
 use gpu_workloads::write_test::WritePattern;
 use gpumem_core::trace::DEFAULT_EVENTS_PER_SM;
 use gpumem_core::{HeapBackendKind, Pretouch};
@@ -71,7 +73,7 @@ impl std::str::FromStr for Tier {
 }
 
 /// Everything a scenario needs to size and seed itself.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct MatrixCfg {
     pub device: DeviceSpec,
     pub tier: Tier,
@@ -80,6 +82,30 @@ pub struct MatrixCfg {
     pub timeout: Duration,
     pub heap_backend: HeapBackendKind,
     pub pretouch: Pretouch,
+    /// Restricts scenarios to these manager kinds (`repro watch -m`);
+    /// `None` runs each scenario's natural set. Scenario bodies apply it
+    /// through [`MatrixCfg::restrict`], so the anchors a restricted run
+    /// produces are a key-subset of the unrestricted ones.
+    pub kinds: Option<Vec<ManagerKind>>,
+    /// Launch-lifecycle callback installed on every [`Device`] this config
+    /// constructs — the telemetry sampler's kernel-boundary signal.
+    pub launch_hook: Option<LaunchHook>,
+}
+
+impl fmt::Debug for MatrixCfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatrixCfg")
+            .field("device", &self.device)
+            .field("tier", &self.tier)
+            .field("seed", &self.seed)
+            .field("iterations", &self.iterations)
+            .field("timeout", &self.timeout)
+            .field("heap_backend", &self.heap_backend)
+            .field("pretouch", &self.pretouch)
+            .field("kinds", &self.kinds)
+            .field("launch_hook", &self.launch_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl MatrixCfg {
@@ -97,12 +123,29 @@ impl MatrixCfg {
             timeout: Duration::from_secs(if tier == Tier::Full { 30 } else { 20 }),
             heap_backend: HeapBackendKind::env_default(),
             pretouch: Pretouch::Auto,
+            kinds: None,
+            launch_hook: None,
+        }
+    }
+
+    /// Applies the optional manager restriction to a scenario's natural
+    /// kind set, preserving the natural order (metric keys keep their
+    /// relative ordering in restricted runs). No restriction passes the
+    /// set through unchanged.
+    pub fn restrict(&self, natural: &[ManagerKind]) -> Vec<ManagerKind> {
+        match &self.kinds {
+            None => natural.to_vec(),
+            Some(sel) => natural.iter().copied().filter(|k| sel.contains(k)).collect(),
         }
     }
 
     /// The shared runner context for one scenario.
     pub fn bench(&self) -> Bench {
-        let mut b = Bench::new(Device::new(self.device));
+        let mut dev = Device::new(self.device);
+        if let Some(hook) = &self.launch_hook {
+            dev.set_launch_hook(Arc::clone(hook));
+        }
+        let mut b = Bench::new(dev);
         b.iterations = self.iterations;
         b.seed = self.seed;
         b.cell_timeout = self.timeout;
@@ -364,7 +407,7 @@ fn perf_thread_cached(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
 fn perf_thread_body(cfg: &MatrixCfg, bench: Bench) -> Result<Vec<Metric>, MatrixError> {
     let num = cfg.tier.pick(256, 2048, 1_000_000);
     let mut metrics = Vec::new();
-    for kind in crate::registry::DEFAULT_KINDS {
+    for kind in cfg.restrict(&crate::registry::DEFAULT_KINDS) {
         for size in [16u64, 512] {
             let c = runners::alloc_perf(&bench, kind, num, size, false);
             let k = format!("{}/s{size}", kind.label());
@@ -382,7 +425,7 @@ fn perf_warp(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
     let bench = cfg.bench();
     let warps = cfg.tier.pick(128, 1024, 10_000);
     let mut metrics = Vec::new();
-    for kind in crate::registry::DEFAULT_KINDS {
+    for kind in cfg.restrict(&crate::registry::DEFAULT_KINDS) {
         let c = runners::alloc_perf(&bench, kind, warps, 256, true);
         let k = format!("{}/w256", kind.label());
         metrics.push(Metric::time_hi(format!("{k}/alloc_mops"), mops(warps, c.alloc)));
@@ -406,7 +449,7 @@ fn mixed_cached(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
 fn mixed_body(cfg: &MatrixCfg, bench: Bench) -> Result<Vec<Metric>, MatrixError> {
     let num = cfg.tier.pick(256, 2048, 1_000_000);
     let mut metrics = Vec::new();
-    for kind in crate::registry::DEFAULT_KINDS {
+    for kind in cfg.restrict(&crate::registry::DEFAULT_KINDS) {
         for upper in [1024u64, 4096] {
             let c = runners::mixed_perf(&bench, kind, num, upper);
             let k = format!("{}/u{upper}", kind.label());
@@ -425,7 +468,7 @@ fn scaling(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
         Tier::Full => 20,
     };
     let mut metrics = Vec::new();
-    for kind in CORE_KINDS {
+    for kind in cfg.restrict(&CORE_KINDS) {
         let mut failures = 0u64;
         let mut top: Option<runners::AllocPerfCell> = None;
         for e in 1..=max_exp {
@@ -463,7 +506,7 @@ fn frag(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
         Tier::Full => 10,
     };
     let mut metrics = Vec::new();
-    for kind in crate::registry::DEFAULT_KINDS {
+    for kind in cfg.restrict(&crate::registry::DEFAULT_KINDS) {
         for size in [64u64, 4096] {
             let c = runners::fragmentation(&bench, kind, num, size, cycles);
             let k = format!("{}/s{size}", kind.label());
@@ -479,7 +522,8 @@ fn oom(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
     let bench = cfg.bench();
     let heap = if cfg.tier == Tier::Full { 256u64 << 20 } else { 64 << 20 };
     let mut metrics = Vec::new();
-    for kind in [ManagerKind::OuroSP, ManagerKind::ScatterAlloc, ManagerKind::Halloc] {
+    for kind in cfg.restrict(&[ManagerKind::OuroSP, ManagerKind::ScatterAlloc, ManagerKind::Halloc])
+    {
         let c = runners::oom(&bench, kind, heap, 1024);
         metrics.push(Metric::model_hi(format!("{}/utilization", kind.label()), c.utilization));
         metrics.push(Metric::exact(
@@ -500,7 +544,7 @@ fn workgen(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
             format!("Baseline/r{lo}-{hi}/kops"),
             kops(threads, base.elapsed),
         ));
-        for kind in CORE_KINDS {
+        for kind in cfg.restrict(&CORE_KINDS) {
             let c = runners::work_generation(&bench, kind, threads, lo, hi);
             let k = format!("{}/r{lo}-{hi}", kind.label());
             metrics.push(Metric::time_hi(format!("{k}/kops"), kops(threads, c.elapsed)));
@@ -518,7 +562,7 @@ fn coalescing(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
         ("u16", WritePattern::Uniform { bytes: 16 }),
         ("m16-128", WritePattern::Mixed { lo: 16, hi: 128 }),
     ] {
-        for kind in CORE_KINDS {
+        for kind in cfg.restrict(&CORE_KINDS) {
             let c = runners::write_performance(&bench, kind, threads, pattern);
             let k = format!("{}/{tag}", kind.label());
             metrics.push(Metric::model_lo(format!("{k}/relative_cost"), c.relative_cost));
@@ -538,7 +582,7 @@ fn graph_init(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
     let csr = dyn_graph::generate("fe_body", div, bench.seed);
     let edges = csr.edges() as u32;
     let mut metrics = Vec::new();
-    for kind in GRAPH_KINDS {
+    for kind in cfg.restrict(&GRAPH_KINDS) {
         let c = runners::graph_init(&bench, kind, &csr)?;
         let k = format!("{}/fe_body", kind.label());
         metrics.push(Metric::time_hi(format!("{k}/edges_mops"), mops(edges, c.elapsed)));
@@ -557,7 +601,7 @@ fn graph_update(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
     let edges = cfg.tier.pick(500, 2000, 20_000);
     let csr = dyn_graph::generate("fe_body", div, bench.seed);
     let mut metrics = Vec::new();
-    for kind in GRAPH_KINDS {
+    for kind in cfg.restrict(&GRAPH_KINDS) {
         for (mode, focused) in [("focused", true), ("uniform", false)] {
             let c = runners::graph_update(&bench, kind, &csr, edges, focused)?;
             let k = format!("{}/{mode}", kind.label());
@@ -572,7 +616,7 @@ fn latency(cfg: &MatrixCfg) -> Result<Vec<Metric>, MatrixError> {
     let bench = cfg.bench();
     let num = cfg.tier.pick(512, 2048, 100_000);
     let mut metrics = Vec::new();
-    for kind in crate::registry::DEFAULT_KINDS {
+    for kind in cfg.restrict(&crate::registry::DEFAULT_KINDS) {
         let r = runners::trace_profile(&bench, kind, num, DEFAULT_EVENTS_PER_SM);
         let k = kind.label();
         metrics

@@ -18,6 +18,7 @@ use alloc_ouroboros::{OuroSC, OuroSP, OuroVAC, OuroVAP, OuroVLC, OuroVLP};
 use alloc_regeff::{RegEffC, RegEffCF, RegEffCFM, RegEffCM};
 use alloc_scatter::ScatterAlloc;
 use alloc_xmalloc::XMalloc;
+use gpumem_core::telemetry::{self, TelemetrySink};
 use gpumem_core::trace::{TraceRecorder, Traced, DEFAULT_EVENTS_PER_SM};
 use gpumem_core::{
     Cached, DeviceAllocator, DeviceHeap, HeapBackendKind, HeapError, HeapSpec, Metrics, Pretouch,
@@ -165,6 +166,7 @@ impl ManagerKind {
             metrics: false,
             trace: None,
             cached: false,
+            sink: None,
         }
     }
 
@@ -233,6 +235,8 @@ pub struct ManagerBuilder {
     trace: Option<usize>,
     /// Wrap the manager in the [`Cached`] magazine decorator.
     cached: bool,
+    /// Explicit telemetry sink to register the metrics handle with.
+    sink: Option<TelemetrySink>,
 }
 
 impl ManagerBuilder {
@@ -321,6 +325,21 @@ impl ManagerBuilder {
         self
     }
 
+    /// Registers the built manager with a telemetry sink so the live
+    /// sampler ([`gpumem_core::telemetry`]) can snapshot its counters and
+    /// drain its trace ring. Implies metrics and (if not already chosen) a
+    /// modest trace ring sized for sampling rather than post-mortem replay.
+    ///
+    /// Call sites that cannot reach the builder (matrix scenario bodies
+    /// construct managers internally) get the same effect from the
+    /// process-global sink: `repro watch` installs one via
+    /// [`gpumem_core::telemetry::install_global_sink`], and `try_build`
+    /// consults it when no explicit sink was given.
+    pub fn telemetry(mut self, sink: &TelemetrySink) -> Self {
+        self.sink = Some(sink.clone());
+        self
+    }
+
     /// Constructs the manager, panicking on heap-construction failure.
     ///
     /// Thin wrapper over [`ManagerBuilder::try_build`] for tests and call
@@ -344,10 +363,24 @@ impl ManagerBuilder {
                 inner
             }
         };
-        Ok(match self.trace {
+        // Watch mode: an explicit sink (`.telemetry()`), or the
+        // process-global one `repro watch` installs, forces the
+        // observability stack on so the sampler has counters to delta and
+        // a ring to drain. The global lookup is one mutex lock per
+        // *construction* — builds without a sink installed pay a single
+        // `None` branch and nothing on any allocation path.
+        let sink = self.sink.or_else(telemetry::global_sink);
+        let trace = match (&sink, self.trace) {
+            (Some(_), None) => Some(telemetry::WATCH_EVENTS_PER_SM),
+            (_, chosen) => chosen,
+        };
+        Ok(match trace {
             Some(events_per_sm) => {
                 let rec = Arc::new(TraceRecorder::new(self.sms, events_per_sm));
                 let metrics = Metrics::enabled(self.sms).with_tracer(Arc::clone(&rec));
+                if let Some(sink) = &sink {
+                    sink.attach(&metrics);
+                }
                 let inner: Arc<dyn DeviceAllocator> =
                     Arc::from(construct(self.kind, heap, self.sms, metrics));
                 Arc::new(Traced::new(wrap_cached(inner), rec))

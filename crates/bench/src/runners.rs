@@ -708,6 +708,11 @@ pub struct ContentionCell {
     /// Extra claim-counter trips across the observed launches (scheduler
     /// rebalancing, see `SchedStats::steals`).
     pub steals: u64,
+    /// Trace-ring events lost to drop-newest backpressure during the
+    /// observed run. Zero when no tracer is attached (the default); real
+    /// when one is — e.g. under `repro watch`'s global telemetry sink —
+    /// and then a signal that percentile/occupancy views are truncated.
+    pub dropped_events: u64,
 }
 
 impl ContentionCell {
@@ -733,6 +738,7 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
         dispatch: Duration,
         workers_used: usize,
         steals: u64,
+        dropped_events: u64,
     }
     let run = |metrics_on: bool| -> Run {
         let alloc = kind
@@ -757,6 +763,7 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
             dispatch: rep.sched.dispatch,
             workers_used: rep.sched.workers_used(),
             steals: rep.sched.steals,
+            dropped_events: 0,
         };
         if kind.warp_level_only() {
             let free = bench.device.launch_warps_observed(&m, num.div_ceil(WARP_SIZE), |w| {
@@ -778,6 +785,7 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
             out.dispatch += free.sched.dispatch;
             out.steals += free.sched.steals;
         }
+        out.dropped_events = m.tracer().map_or(0, |rec| rec.dropped());
         out
     };
     // A discarded warmup absorbs cold-start effects (first touch of a fresh
@@ -792,6 +800,7 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
     let mut dispatch = Duration::ZERO;
     let mut workers_used = 0usize;
     let mut steals = 0u64;
+    let mut dropped_events = 0u64;
     for _ in 0..bench.iterations.max(2) {
         let b = run(false);
         baseline = baseline.min(b.elapsed);
@@ -802,6 +811,7 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
         dispatch = o.dispatch;
         workers_used = o.workers_used;
         steals = o.steals;
+        dropped_events = o.dropped_events;
     }
     ContentionCell {
         manager: kind.label(),
@@ -814,6 +824,7 @@ pub fn contention_profile(bench: &Bench, kind: ManagerKind, num: u32, size: u64)
         dispatch,
         workers_used,
         steals,
+        dropped_events,
     }
 }
 

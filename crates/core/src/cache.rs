@@ -572,6 +572,12 @@ impl<A: DeviceAllocator> DeviceAllocator for Cached<A> {
     fn metrics(&self) -> Metrics {
         self.inner.metrics()
     }
+
+    fn drain(&self) -> u64 {
+        // Published magazine contents first, then whatever the inner
+        // manager itself might be holding back (a nested decorator).
+        self.flush_all() + self.inner.drain()
+    }
 }
 
 impl<A: DeviceAllocator> Drop for Cached<A> {

@@ -45,6 +45,10 @@
 //!   [`TraceRecorder`] fed by the [`Traced`] wrapper and the executor,
 //!   with latency-histogram, heap-occupancy-timeline and Chrome/Perfetto
 //!   JSON consumers.
+//! * [`telemetry`] — the live-observability plane: a host-thread sampler
+//!   that folds counter deltas and trace-ring drains into a bounded
+//!   [`Sample`] time-series, with rolling-window SLO evaluation
+//!   ([`SloTracker`]) and OpenMetrics / JSON exporters.
 //!
 //! Everything here is `std`-only; no external dependencies.
 
@@ -60,6 +64,7 @@ pub mod ptr;
 pub mod regs;
 pub mod sanitize;
 pub mod sync;
+pub mod telemetry;
 pub mod trace;
 pub mod traits;
 pub mod util;
@@ -75,6 +80,11 @@ pub use metrics::{AllocCounters, Counter, CounterSnapshot, Metrics};
 pub use ptr::DevicePtr;
 pub use regs::RegisterFootprint;
 pub use sanitize::{Sanitized, SanitizerConfig, SanitizerReport, Violation, ViolationKind};
+pub use telemetry::{
+    validate_openmetrics, BoundaryMarker, BreachSpan, Sample, SloMetric, SloOp, SloReport, SloSpec,
+    SloTracker, Telemetry, TelemetryConfig, TelemetryServer, TelemetrySink, TimeSeries,
+    TELEMETRY_SCHEMA_VERSION,
+};
 pub use trace::{
     chrome_trace_json, occupancy_timeline, validate_chrome_json, EventKind, LatencyHistogram,
     OccupancySample, OccupancyTimeline, OpLatencies, Trace, TraceEvent, TraceRecorder, Traced,

@@ -222,6 +222,15 @@ impl Metrics {
         }
     }
 
+    /// True when this handle is the last owner of its counter block —
+    /// every manager-side clone has been dropped, so the counters are
+    /// frozen. The telemetry sink uses this to retire dead sources into a
+    /// folded base snapshot instead of re-reading their shards forever.
+    /// Trivially true for a disabled handle (there is nothing to read).
+    pub fn is_sole_owner(&self) -> bool {
+        self.inner.as_ref().is_none_or(|c| Arc::strong_count(c) == 1)
+    }
+
     /// A clone for an *embedded* fallback allocator: shares the counter
     /// block but drops [call-accounting](Counter::is_call_accounting)
     /// events, so one outer request relayed inward is still counted once.

@@ -118,6 +118,19 @@ pub trait DeviceAllocator: Send + Sync {
     fn metrics(&self) -> Metrics {
         Metrics::disabled()
     }
+
+    /// Flushes any blocks a decorator is holding back from the underlying
+    /// manager (e.g. [`Cached`](crate::cache::Cached) magazine contents),
+    /// returning how many were pushed down. Leaf managers hold nothing
+    /// back, so the default is a no-op.
+    ///
+    /// The telemetry sampler's teardown contract depends on this: frees
+    /// parked in a magazine are invisible to the counters until the inner
+    /// `free` runs, so callers must `drain()` before taking a final
+    /// [`crate::telemetry`] sample or the last window under-reports frees.
+    fn drain(&self) -> u64 {
+        0
+    }
 }
 
 /// Frees the lanes a partially-failed `malloc_warp` already granted (best
@@ -180,6 +193,14 @@ impl<T: DeviceAllocator + ?Sized> DeviceAllocator for std::sync::Arc<T> {
     }
     fn metrics(&self) -> Metrics {
         (**self).metrics()
+    }
+
+    fn drain(&self) -> u64 {
+        // Without this forwarder the defaulted no-op would shadow the
+        // pointee's drain — a `Cached` behind `Arc<dyn DeviceAllocator>`
+        // (every registry-built handle) would keep its magazines parked
+        // and the telemetry teardown contract would silently break.
+        (**self).drain()
     }
 }
 

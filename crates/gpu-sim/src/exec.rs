@@ -34,6 +34,42 @@ use gpumem_core::{CounterSnapshot, Metrics, ThreadCtx, WarpCtx, WARP_SIZE};
 
 use crate::spec::DeviceSpec;
 
+/// A kernel-launch lifecycle notification, delivered to the callback
+/// installed with [`Device::set_launch_hook`].
+///
+/// `Begin` fires once the launch gate is held and the grid is about to
+/// dispatch; `End` fires after the last warp retires and carries the
+/// parallel-section wall clock. `seq` is a per-device launch counter that
+/// pairs the two phases. The legacy [`Device::spawn_launch`] baseline
+/// bypasses the pool and does **not** fire hooks.
+#[derive(Clone, Copy, Debug)]
+pub enum LaunchPhase {
+    /// The grid is about to dispatch onto the pool.
+    Begin {
+        /// Per-device launch sequence number.
+        seq: u64,
+        /// Warps in this grid.
+        n_warps: u32,
+    },
+    /// The last warp of the grid retired.
+    End {
+        /// Per-device launch sequence number (matches the `Begin`).
+        seq: u64,
+        /// Warps in this grid.
+        n_warps: u32,
+        /// Parallel-section duration (the same clock [`Device::launch`]
+        /// returns).
+        elapsed: Duration,
+    },
+}
+
+/// Callback type for [`Device::set_launch_hook`]. Runs on the launching
+/// thread with the launch gate held, so it must not launch on the same
+/// device (that would self-deadlock) and should be quick — its cost lands
+/// between grids, not inside the timed parallel section, but it still
+/// delays back-to-back launches.
+pub type LaunchHook = Arc<dyn Fn(LaunchPhase) + Send + Sync>;
+
 /// Outcome of an observed launch: kernel wall-clock time plus the
 /// contention-counter activity attributable to that launch (the delta of
 /// the allocator's [`Metrics`] over the parallel section).
@@ -345,6 +381,8 @@ impl Drop for WorkerPool {
 pub struct Device {
     spec: DeviceSpec,
     pool: WorkerPool,
+    hook: Option<LaunchHook>,
+    launch_seq: AtomicU64,
 }
 
 impl Device {
@@ -377,7 +415,7 @@ impl Device {
                 }
             });
         }
-        Device { spec, pool: WorkerPool::new(workers) }
+        Device { spec, pool: WorkerPool::new(workers), hook: None, launch_seq: AtomicU64::new(0) }
     }
 
     /// The worker count [`Device::new`] would use right now — the effective
@@ -396,7 +434,22 @@ impl Device {
     /// A device with an explicit worker count (`1..=MAX_WORKERS`).
     pub fn with_workers(spec: DeviceSpec, workers: usize) -> Self {
         assert!((1..=Self::MAX_WORKERS).contains(&workers));
-        Device { spec, pool: WorkerPool::new(workers) }
+        Device { spec, pool: WorkerPool::new(workers), hook: None, launch_seq: AtomicU64::new(0) }
+    }
+
+    /// Installs a launch-lifecycle callback, replacing any previous one.
+    /// The hook fires around every pooled launch ([`LaunchPhase::Begin`] /
+    /// [`LaunchPhase::End`]) — plain *and* observed variants — which is how
+    /// the telemetry sampler aligns its windows to kernel boundaries
+    /// (`repro watch` cuts a window at each `End`). See [`LaunchHook`] for
+    /// the re-entrancy rule.
+    pub fn set_launch_hook(&mut self, hook: LaunchHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes the launch-lifecycle callback, if any.
+    pub fn clear_launch_hook(&mut self) {
+        self.hook = None;
     }
 
     /// The device description.
@@ -574,12 +627,27 @@ impl Device {
 
     /// Dispatches `n_warps` warps onto the pool (or runs inline for a
     /// 1-worker device) and reports the parallel section's duration plus
-    /// scheduler stats. Caller must hold the launch gate.
+    /// scheduler stats. Caller must hold the launch gate. Every pooled
+    /// launch funnels through here, so this is also where the
+    /// [`LaunchHook`] fires — `Begin` before dispatch, `End` after the
+    /// grid retires, outside the timed section on both sides.
     fn run_warps_locked(
         &self,
         n_warps: u32,
         body: &(dyn Fn(u32) + Sync),
     ) -> (Duration, SchedStats) {
+        let Some(hook) = &self.hook else {
+            return self.dispatch_warps(n_warps, body);
+        };
+        let seq = self.launch_seq.fetch_add(1, Ordering::Relaxed);
+        hook(LaunchPhase::Begin { seq, n_warps });
+        let (elapsed, sched) = self.dispatch_warps(n_warps, body);
+        hook(LaunchPhase::End { seq, n_warps, elapsed });
+        (elapsed, sched)
+    }
+
+    /// The hook-free core of [`Device::run_warps_locked`].
+    fn dispatch_warps(&self, n_warps: u32, body: &(dyn Fn(u32) + Sync)) -> (Duration, SchedStats) {
         let workers = self.pool.workers;
         if n_warps == 0 {
             return (Duration::ZERO, SchedStats { workers, ..SchedStats::default() });

@@ -166,6 +166,30 @@ def main():
     ]
     print(table(["manager", "init ms", "malloc regs", "free regs"], body))
 
+    telemetry = sorted(DIR.glob("telemetry_*.csv"))
+    if telemetry:
+        section("Telemetry (repro watch / --telemetry, per-window series)")
+        body = []
+        for path in telemetry:
+            rows = load(path.name)
+            if not rows:
+                continue
+            label = path.stem[len("telemetry_"):]
+            span_ms = max(float(r["t_ms"]) for r in rows)
+            peak_allocs = max(float(r["allocs_per_sec"]) for r in rows)
+            worst_p99 = max(int(r["malloc_p99_ns"]) for r in rows)
+            cuts = sum(1 for r in rows if r["boundary"] in ("1", "true"))
+            dropped = max(int(r["dropped_events"]) for r in rows)
+            body.append([
+                label, len(rows), f"{span_ms:.0f}", f"{peak_allocs:,.0f}",
+                f"{worst_p99:,}", cuts, dropped,
+            ])
+        print(table(
+            ["run", "windows", "span ms", "peak allocs/s",
+             "worst p99 ns", "boundary cuts", "trace drops"],
+            body,
+        ))
+
 
 if __name__ == "__main__":
     main()

@@ -30,6 +30,10 @@ pub mod prelude {
         OccupancyTimeline, OpLatencies, Trace, TraceRecorder, Traced,
     };
     pub use gpumem_core::{
+        validate_openmetrics, Sample, SloSpec, Telemetry, TelemetryConfig, TelemetrySink,
+        TimeSeries,
+    };
+    pub use gpumem_core::{
         AllocError, Counter, CounterSnapshot, DeviceAllocator, DeviceHeap, DevicePtr, HeapBackend,
         HeapBackendKind, HeapError, HeapSpec, ManagerInfo, Metrics, Pretouch, Sanitized,
         SanitizerConfig, SanitizerReport, ThreadCtx, WarpCtx,

@@ -135,3 +135,69 @@ fn disabled_tracing_adds_no_measurable_record_cost() {
     let untraced = per_op_ns(&Metrics::enabled(8));
     assert!(untraced < 200.0, "untraced record path costs {untraced:.2} ns/op (want < 200)");
 }
+
+/// Edge case: replaying an empty stream must yield an empty, all-zero
+/// timeline — no phantom sample, no peak, no address range.
+#[test]
+fn occupancy_timeline_of_empty_stream_is_empty() {
+    let rec = TraceRecorder::new(4, 16);
+    let tl = occupancy_timeline(&rec.snapshot(), 64);
+    assert!(tl.samples.is_empty(), "no events, no samples");
+    assert_eq!(tl.peak_live_bytes, 0);
+    assert_eq!(tl.peak_live_allocs, 0);
+    assert_eq!(tl.unmatched_frees, 0);
+    assert_eq!(tl.address_range.range(), 0);
+}
+
+/// Edge case: a `FreeEnd` whose pointer the replay never saw allocated
+/// (ring drop ate the `MallocEnd`, or a collective bulk free) must count
+/// as unmatched, never underflow the live curve, and must not poison the
+/// later matched cycle on the same address.
+#[test]
+fn occupancy_timeline_counts_free_before_malloc_as_unmatched() {
+    let rec = TraceRecorder::new(4, 16);
+    rec.emit_at(10, 0, EventKind::FreeEnd, [0x40, 5, 0, 1]); // never allocated
+    rec.emit_at(20, 0, EventKind::MallocEnd, [0x40, 64, 5, 0]);
+    rec.emit_at(30, 0, EventKind::FreeEnd, [0x40, 5, 0, 1]); // matches the malloc
+    let tl = occupancy_timeline(&rec.snapshot(), 64);
+    assert_eq!(tl.unmatched_frees, 1, "only the early free is unmatched");
+    assert_eq!(tl.samples.len(), 3, "every replayed event samples the curve");
+    assert_eq!(
+        (tl.samples[0].live_bytes, tl.samples[0].live_allocs),
+        (0, 0),
+        "unmatched free must not underflow"
+    );
+    assert_eq!(tl.peak_live_bytes, 64);
+    let last = tl.samples.last().unwrap();
+    assert_eq!((last.live_bytes, last.live_allocs), (0, 0), "matched cycle still balances");
+}
+
+/// Edge case: a shard filled to *exactly* its capacity records everything
+/// and drops nothing; the next event hits drop-newest backpressure and
+/// must be invisible to the replay (counted in `dropped()`, absent from
+/// the timeline) rather than corrupting it.
+#[test]
+fn occupancy_timeline_survives_ring_wrap_at_exact_capacity() {
+    let cap = 8usize;
+    let rec = TraceRecorder::new(1, cap);
+    for i in 0..cap as u64 {
+        rec.emit_at(10 + i, 0, EventKind::MallocEnd, [0x100 + i * 64, 64, 5, 0]);
+    }
+    assert_eq!(rec.recorded(), cap as u64, "exact fill commits every slot");
+    assert_eq!(rec.dropped(), 0, "exact fill drops nothing");
+    let tl = occupancy_timeline(&rec.snapshot(), cap * 2);
+    assert_eq!(tl.samples.len(), cap);
+    assert_eq!(tl.peak_live_allocs, cap as u64);
+
+    rec.emit_at(99, 0, EventKind::FreeEnd, [0x100, 5, 0, 1]); // one past capacity
+    assert_eq!(rec.dropped(), 1, "overflow is drop-newest, and it is counted");
+    let tl2 = occupancy_timeline(&rec.snapshot(), cap * 2);
+    assert_eq!(tl2.samples.len(), cap, "the dropped event never reaches the replay");
+    assert_eq!(tl2.peak_live_allocs, cap as u64, "live curve unchanged by the drop");
+    assert_eq!(tl2.unmatched_frees, 0);
+
+    // Decimation keeps the (strided) shape and always the final state.
+    let thin = occupancy_timeline(&rec.snapshot(), 2);
+    assert!(thin.samples.len() <= 3, "decimated to ~max_samples");
+    assert_eq!(thin.samples.last(), tl.samples.last(), "final state always kept");
+}
